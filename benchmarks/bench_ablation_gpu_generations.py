@@ -1,0 +1,80 @@
+"""Ablation — pipelining value across GPU generations.
+
+The paper's introduction argues that as tensor-core throughput outpaces
+memory bandwidth, exploiting intra-tile pipeline parallelism becomes
+essential. This experiment compiles the same operator for three
+generations:
+
+* **V100** (Volta) — no asynchronous copy hardware: every shared-memory
+  pipelined schedule fails to compile (only pre-Ampere register-level
+  software pipelining survives), the reason the paper evaluates on Ampere;
+* **A100** (Ampere) — the paper's platform;
+* **H100-like** (Hopper) — ~3.2x tensor-core throughput over ~2.2x
+  bandwidth: the pipelining gain should *grow*.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpusim import A100, H100, V100
+from repro.tensor import GemmSpec
+from repro.tuning import Measurer, SpaceOptions, enumerate_space, restrict_space
+
+from conftest import write_result
+
+SPEC = GemmSpec("gen_mm", 1, 512, 768, 3072)
+GPUS = [V100, A100, H100]
+
+
+def run_experiment() -> dict:
+    out = {}
+    for gpu in GPUS:
+        measurer = Measurer(gpu, via_ir=False)
+        space = enumerate_space(SPEC, gpu, options=SpaceOptions(max_size=600))
+        _, tvm_best = measurer.best(SPEC, restrict_space(space, "tvm"))
+        alcop_cfg, alcop_best = measurer.best(SPEC, restrict_space(space, "alcop"))
+        out[gpu.name] = {
+            "tvm_us": tvm_best,
+            "alcop_us": alcop_best,
+            "gain": tvm_best / alcop_best,
+            "alcop_stages": (alcop_cfg.smem_stages, alcop_cfg.reg_stages),
+            "compute_memory_ratio": gpu.tc_flops_total / gpu.dram_bw,
+        }
+    return out
+
+
+@pytest.fixture(scope="module")
+def generations():
+    return run_experiment()
+
+
+def test_gpu_generations(generations, benchmark):
+    lines = ["Ablation — pipelining gain across GPU generations (512x768x3072 MatMul)"]
+    lines.append(
+        f"{'GPU':18s} | {'flops:byte':>10s} | {'TVM (us)':>9s} | {'ALCOP (us)':>10s} | "
+        f"{'gain':>5s} | best stages"
+    )
+    for name, row in generations.items():
+        lines.append(
+            f"{name:18s} | {row['compute_memory_ratio']:10.0f} | {row['tvm_us']:9.1f} | "
+            f"{row['alcop_us']:10.1f} | {row['gain']:5.2f} | {row['alcop_stages']}"
+        )
+    write_result("ablation_gpu_generations", "\n".join(lines))
+
+    v100, a100, h100 = (generations[g.name] for g in GPUS)
+    # Volta: no cp.async -> every *shared-memory* pipelined candidate fails
+    # to compile; only register-level software pipelining (which predates
+    # Ampere) survives. This is the paper's hardware premise for evaluating
+    # on Ampere only.
+    assert v100["alcop_stages"][0] == 1
+    assert v100["gain"] < a100["gain"]
+    # Ampere and Hopper benefit substantially; the widening compute:memory
+    # gap keeps pipelining essential on the newer part.
+    assert a100["gain"] > 1.1
+    assert h100["gain"] > 1.5
+    assert h100["compute_memory_ratio"] > a100["compute_memory_ratio"]
+
+    measurer = Measurer(H100, via_ir=False)
+    space = restrict_space(enumerate_space(SPEC, H100, options=SpaceOptions(max_size=200)), "alcop")
+    benchmark(measurer.best, SPEC, space)

@@ -1,0 +1,55 @@
+"""Compiler-performance benchmarks: the cost of ALCOP's own passes.
+
+Not a paper table — this times the reproduction's compilation pipeline
+itself (schedule -> lower -> pipelining transformation -> spec extraction),
+so regressions in pass complexity are caught.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codegen import lower
+from repro.gpusim import extract_timing_spec
+from repro.schedule import TileConfig, auto_schedule
+from repro.tensor import GemmSpec, contraction, placeholder
+from repro.transform import apply_pipelining
+
+SPEC = GemmSpec("bench_mm", 1, 2048, 2048, 2048)
+CFG = TileConfig(128, 128, 32, warp_m=64, warp_n=64, chunk_k=16, smem_stages=3, reg_stages=2)
+
+
+def _graph():
+    a = placeholder("A", (2048, 2048))
+    b = placeholder("B", (2048, 2048))
+    return contraction(a, b, SPEC)
+
+
+def test_bench_auto_schedule(benchmark):
+    benchmark(lambda: auto_schedule(_graph(), CFG))
+
+
+def test_bench_lowering(benchmark):
+    sch = auto_schedule(_graph(), CFG)
+    benchmark(lower, sch)
+
+
+def test_bench_pipelining_pass(benchmark):
+    kernel = lower(auto_schedule(_graph(), CFG))
+    benchmark(apply_pipelining, kernel)
+
+
+def test_bench_spec_extraction(benchmark):
+    kernel = apply_pipelining(lower(auto_schedule(_graph(), CFG)))
+    benchmark(extract_timing_spec, kernel)
+
+
+def test_bench_full_compile_and_time(benchmark):
+    from repro.gpusim import simulate_kernel
+
+    def full():
+        kernel = apply_pipelining(lower(auto_schedule(_graph(), CFG)))
+        return simulate_kernel(extract_timing_spec(kernel))
+
+    res = benchmark(full)
+    assert res.latency_us > 0

@@ -1,0 +1,102 @@
+"""Figure 10 — single-operator performance normalized to TVM.
+
+Five compiler variants over the operator suite, each given the exhaustive
+best schedule in its (pipelining-restricted) sub-space, as in the paper's
+Sec. V-A. Expected shape: ALCOP averages ~1.2x over TVM with the largest
+win on small-output / long-reduction shapes; double-buffering alone brings
+almost nothing; dropping multi-level then multi-stage pipelining
+monotonically erodes the gain.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.tuning import restrict_space
+from repro.workloads import OPERATOR_SUITE
+
+from conftest import bench_suite_specs, write_result
+
+VARIANTS = [
+    ("TVM", "tvm"),
+    ("TVM DB", "tvm-db"),
+    ("ALCOP w/o ML&MS", "alcop-no-ml-no-ms"),
+    ("ALCOP w/o ML", "alcop-no-ml"),
+    ("ALCOP", "alcop"),
+]
+
+
+def run_experiment(measurer, suite_spaces) -> dict:
+    results = {}
+    for spec in bench_suite_specs():
+        space = suite_spaces[spec.name]
+        lat = {}
+        for label, variant in VARIANTS:
+            sub = restrict_space(space, variant)
+            _, best = measurer.best(spec, sub)
+            lat[label] = best
+        results[spec.name] = lat
+    return results
+
+
+@pytest.fixture(scope="module")
+def fig10(measurer, suite_spaces):
+    return run_experiment(measurer, suite_spaces)
+
+
+def test_fig10_table(fig10, measurer, benchmark):
+    labels = [l for l, _ in VARIANTS]
+    lines = ["Fig. 10 — single-operator speedup over TVM (exhaustive search per variant)"]
+    lines.append(f"{'operator':16s} | " + " | ".join(f"{l:>16s}" for l in labels))
+    speedups = {l: [] for l in labels}
+    for op, lat in fig10.items():
+        row = []
+        for l in labels:
+            s = lat["TVM"] / lat[l]
+            speedups[l].append(s)
+            row.append(f"{s:16.2f}")
+        lines.append(f"{op:16s} | " + " | ".join(row))
+    lines.append(
+        f"{'geo-mean':16s} | "
+        + " | ".join(f"{statistics.geometric_mean(speedups[l]):16.2f}" for l in labels)
+    )
+    lines.append(f"max ALCOP speedup: {max(speedups['ALCOP']):.2f}x")
+    write_result("fig10_single_op", "\n".join(lines))
+
+    gm = {l: statistics.geometric_mean(speedups[l]) for l in labels}
+    # Paper shape: full ALCOP clearly ahead; ablations ordered; DB ~ nothing.
+    assert gm["ALCOP"] >= gm["ALCOP w/o ML"] >= gm["ALCOP w/o ML&MS"] >= 1.0
+    assert gm["ALCOP"] > 1.10
+    assert max(speedups["ALCOP"]) > 1.4
+    assert gm["TVM DB"] < gm["ALCOP"]
+
+    # Insight 1 (Sec. V-A): pipelining works best on limited-spatial-
+    # parallelism shapes (MM_RN50_FC) and least on abundant-parallelism
+    # ones (MM_Conv1x1_1).
+    if "MM_RN50_FC" in fig10 and "MM_Conv1x1_1" in fig10:
+        rn50 = fig10["MM_RN50_FC"]["TVM"] / fig10["MM_RN50_FC"]["ALCOP"]
+        conv1x1 = fig10["MM_Conv1x1_1"]["TVM"] / fig10["MM_Conv1x1_1"]["ALCOP"]
+        assert rn50 > conv1x1
+    # Insight 2: longer reduction axes amortize the pipeline fill better
+    # (BERT FC2 with K=3072 vs QKV with K=768).
+    if "MM_BERT_FC2" in fig10 and "MM_BERT_QKV" in fig10:
+        fc2 = fig10["MM_BERT_FC2"]["TVM"] / fig10["MM_BERT_FC2"]["ALCOP"]
+        qkv = fig10["MM_BERT_QKV"]["TVM"] / fig10["MM_BERT_QKV"]["ALCOP"]
+        assert fc2 > qkv
+    # BMM contrast (soft): the attention BMMs are DRAM-bound end to end in
+    # our simulator, so SV/QK land close together; require only that SV is
+    # not clearly *worse*, and record both in the table.
+    if "BMM_BERT_SV" in fig10 and "BMM_BERT_QK" in fig10:
+        sv = fig10["BMM_BERT_SV"]["TVM"] / fig10["BMM_BERT_SV"]["ALCOP"]
+        qk = fig10["BMM_BERT_QK"]["TVM"] / fig10["BMM_BERT_QK"]["ALCOP"]
+        assert sv >= qk - 0.05
+
+    # Machine benchmark: one exhaustive-best lookup from a warm cache.
+    spec = next(iter(bench_suite_specs()))
+    from conftest import SPACE_OPTIONS
+    from repro.tuning import enumerate_space
+
+    space = enumerate_space(spec, options=SPACE_OPTIONS)
+    benchmark(measurer.best, spec, space)

@@ -1,0 +1,84 @@
+"""Figure 12 — performance model accuracy: best-in-top-k.
+
+For each suite operator, rank the entire design space by (a) our
+pipeline-aware analytical model and (b) the bottleneck-based analysis,
+then report the best *measured* performance within the top-10 and top-50
+ranked schedules, normalized to the exhaustive-search optimum. 'compile
+fail' arises when a model's first k picks all fail to build — only the
+bottleneck model, which is blind to occupancy and launchability, does
+this.
+
+Expected shape (paper): analytical > bottleneck at both k; top-50 within a
+few percent of exhaustive; MatMuls >95% for the analytical model.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.perfmodel import bottleneck_latency, predict_latency
+from repro.tuning import best_in_top_k
+from repro.tuning.tuners import analytical_rank
+
+from conftest import bench_suite_specs, write_result
+
+KS = (10, 50)
+
+
+def run_experiment(measurer, suite_spaces) -> dict:
+    out = {}
+    for spec in bench_suite_specs():
+        space = suite_spaces[spec.name]
+        latencies = measurer.sweep(spec, space)
+        best = min(l for l in latencies if l != float("inf"))
+        row = {}
+        for label, model in (("analytical", predict_latency), ("bottleneck", bottleneck_latency)):
+            order = analytical_rank(spec, space, model=model)
+            ranked = [latencies[i] for i in order]
+            row[label] = {k: best_in_top_k(ranked, k, best) for k in KS}
+        out[spec.name] = row
+    return out
+
+
+@pytest.fixture(scope="module")
+def fig12(measurer, suite_spaces):
+    return run_experiment(measurer, suite_spaces)
+
+
+def test_fig12(fig12, measurer, suite_spaces, benchmark):
+    lines = ["Fig. 12 — best-in-top-k of the two static models (normalized to exhaustive best)"]
+    lines.append(f"{'operator':16s} | {'anal@10':>8s} {'anal@50':>8s} | {'bneck@10':>8s} {'bneck@50':>8s}")
+    for op, row in fig12.items():
+        a, b = row["analytical"], row["bottleneck"]
+
+        def fmt(v):
+            return "  FAIL  " if v == 0.0 else f"{v:8.2f}"
+
+        lines.append(f"{op:16s} | {fmt(a[10])} {fmt(a[50])} | {fmt(b[10])} {fmt(b[50])}")
+    avg = {
+        (label, k): statistics.mean(row[label][k] for row in fig12.values())
+        for label in ("analytical", "bottleneck")
+        for k in KS
+    }
+    lines.append(
+        f"{'average':16s} | {avg[('analytical', 10)]:8.2f} {avg[('analytical', 50)]:8.2f} | "
+        f"{avg[('bottleneck', 10)]:8.2f} {avg[('bottleneck', 50)]:8.2f}"
+    )
+    lines.append("paper: analytical 0.79@10 / 0.92@50; bottleneck 0.75@10 / 0.88@50")
+    write_result("fig12_model_accuracy", "\n".join(lines))
+
+    # Paper shape: the pipeline-aware model beats bottleneck analysis at
+    # both budgets; top-50 approaches the exhaustive best; MatMuls >90%.
+    assert avg[("analytical", 10)] > avg[("bottleneck", 10)]
+    assert avg[("analytical", 50)] > avg[("bottleneck", 50)]
+    assert avg[("analytical", 50)] > 0.85
+    # MatMuls: high top-50 accuracy for most shapes (paper reports >95%;
+    # our MM_BERT_FC2 lands lower — recorded in EXPERIMENTS.md).
+    mm = [row["analytical"][50] for op, row in fig12.items() if op.startswith("MM_")]
+    assert statistics.median(mm) > 0.9
+
+    spec = bench_suite_specs()[0]
+    space = suite_spaces[spec.name]
+    benchmark(analytical_rank, spec, space[:200])

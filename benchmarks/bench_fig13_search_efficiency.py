@@ -1,0 +1,102 @@
+"""Figure 13 — search efficiency of schedule tuning methods.
+
+Four tuners from Table II — Grid-Search, XGB (ML cost model + simulated
+annealing), Analytical-only ranking, and ALCOP's Model-Assisted XGB — run
+against the simulator ground truth with 10- and 50-trial budgets,
+normalized to the exhaustive-search best.
+
+Expected shape (paper): Model-Assisted XGB dominates at both budgets
+(95%@10, 99%@50), the analytical prior is what wins the early trials, and
+measured-data fine-tuning is what closes the final gap; grid search is
+far behind.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.tuning import (
+    AnalyticalOnlyTuner,
+    GridSearchTuner,
+    ModelAssistedXGBTuner,
+    XGBTuner,
+)
+
+from conftest import QUICK, bench_suite_specs, write_result
+
+TUNERS = [
+    ("Grid-Search", GridSearchTuner),
+    ("XGB", XGBTuner),
+    ("Analytical-only", AnalyticalOnlyTuner),
+    ("Model-Assisted XGB", ModelAssistedXGBTuner),
+]
+KS = (10, 50)
+SEEDS = (0,) if QUICK else (0, 1, 2)
+
+
+def run_experiment(measurer, suite_spaces) -> dict:
+    out = {}
+    for spec in bench_suite_specs():
+        space = suite_spaces[spec.name]
+        _, best = measurer.best(spec, space)
+        row = {}
+        for label, cls in TUNERS:
+            curves = []
+            for seed in SEEDS:
+                tuner = cls(spec, space, measurer=measurer, seed=seed)
+                hist = tuner.tune(max(KS))
+                curves.append(hist.normalized_curve(KS, best))
+            row[label] = [statistics.mean(c[i] for c in curves) for i in range(len(KS))]
+        out[spec.name] = row
+    return out
+
+
+@pytest.fixture(scope="module")
+def fig13(measurer, suite_spaces):
+    return run_experiment(measurer, suite_spaces)
+
+
+def test_fig13(fig13, measurer, suite_spaces, benchmark):
+    labels = [l for l, _ in TUNERS]
+    lines = ["Fig. 13 — best-in-k-trials, normalized to exhaustive best"]
+    lines.append(f"{'operator':16s} | " + " | ".join(f"{l:>18s}" for l in labels))
+    lines.append(f"{'':16s} | " + " | ".join(f"{'@10':>8s} {'@50':>9s}" for _ in labels))
+    avg = {l: [0.0, 0.0] for l in labels}
+    for op, row in fig13.items():
+        cells = []
+        for l in labels:
+            cells.append(f"{row[l][0]:8.2f} {row[l][1]:9.2f}")
+            avg[l][0] += row[l][0] / len(fig13)
+            avg[l][1] += row[l][1] / len(fig13)
+        lines.append(f"{op:16s} | " + " | ".join(cells))
+    lines.append(
+        f"{'average':16s} | "
+        + " | ".join(f"{avg[l][0]:8.2f} {avg[l][1]:9.2f}" for l in labels)
+    )
+    lines.append("paper averages: Grid n/a; XGB 0.70@10/0.86@50; "
+                 "Analytical 0.79@10/0.92@50; Model-Assisted 0.95@10/0.99@50")
+    write_result("fig13_search_efficiency", "\n".join(lines))
+
+    # Paper shape: the hybrid leads at both budgets and ~matches exhaustive
+    # at 50 trials; the pure-ML tuner has no prior before its first batch
+    # returns; grid search is far behind everything. Our simulated space
+    # has a denser near-optimal set than real A100 spaces, so random cold
+    # starts land closer to the top than the paper's 0.70@10 — the
+    # orderings below are the reproduced claims (see EXPERIMENTS.md).
+    assert avg["Model-Assisted XGB"][0] >= avg["XGB"][0] - 0.03
+    assert avg["Model-Assisted XGB"][0] >= avg["Analytical-only"][0] - 0.02
+    # "ML helps analytical": measured fine-tuning beats pure ranking at 50.
+    assert avg["Model-Assisted XGB"][1] > avg["Analytical-only"][1]
+    assert avg["Model-Assisted XGB"][1] > 0.9
+    assert avg["Grid-Search"][1] < avg["Model-Assisted XGB"][1]
+
+    spec = bench_suite_specs()[0]
+    space = suite_spaces[spec.name]
+
+    def one_tuning_round():
+        t = ModelAssistedXGBTuner(spec, space, measurer=measurer, seed=0)
+        return t.tune(10)
+
+    benchmark.pedantic(one_tuning_round, rounds=2, iterations=1)

@@ -1,0 +1,61 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Each ``bench_*.py`` file regenerates one table or figure of the ALCOP paper
+(see DESIGN.md's experiment index). Experiments run once per session inside
+fixtures, print their table, and persist it under ``benchmarks/results/``;
+the ``benchmark`` fixture then times a representative computational kernel
+of that experiment so ``pytest benchmarks/ --benchmark-only`` reports
+machine-performance numbers alongside.
+
+Set ``REPRO_BENCH_QUICK=1`` to run reduced sweeps (fewer operators, smaller
+spaces) while keeping every experiment exercised.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.tensor import GemmSpec
+from repro.tuning import Measurer, SpaceOptions, enumerate_space
+from repro.workloads import suite_specs
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+#: Cap on enumerated spaces for the exhaustive studies (strided, see
+#: SpaceOptions.max_size). Full enumeration changes nothing qualitatively
+#: but multiplies runtime.
+SPACE_OPTIONS = SpaceOptions(max_size=300 if QUICK else 1200)
+E2E_SPACE_OPTIONS = SpaceOptions(max_size=200 if QUICK else 600)
+
+
+def bench_suite_specs():
+    specs = suite_specs()
+    if QUICK:
+        keep = {"MM_BERT_FC1", "MM_RN50_FC", "BMM_BERT_QK", "BMM_BERT_SV", "Conv_RN50_3x3"}
+        specs = [s for s in specs if s.name in keep]
+    return specs
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist one experiment's table and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{'=' * 72}\n{text}\n[written to {path}]")
+
+
+@pytest.fixture(scope="session")
+def measurer() -> Measurer:
+    """One shared compile-and-simulate cache for the whole bench session."""
+    return Measurer(via_ir=False)
+
+
+@pytest.fixture(scope="session")
+def suite_spaces(measurer):
+    """Enumerated (capped) space per suite operator."""
+    return {spec.name: enumerate_space(spec, options=SPACE_OPTIONS) for spec in bench_suite_specs()}

@@ -1,0 +1,56 @@
+"""Pipelining transformer attention: the workloads that motivate ALCOP.
+
+Compiles BERT's attention and feed-forward operators with and without
+automatic pipelining, reports per-operator gains, and renders the
+pipeline timeline (the quantitative version of the paper's Figs. 2/3)
+for the most latency-bound operator.
+
+Run:  python examples/attention_pipelining.py
+"""
+
+from repro.baselines import tvm_compiler
+from repro.core import AlcopCompiler
+from repro.gpusim import format_timeline, simulate_kernel
+from repro.perfmodel import timing_spec_from_config
+from repro.tuning import Measurer, SpaceOptions
+from repro.workloads import get_operator
+
+OPS = ["MM_BERT_QKV", "MM_BERT_FC1", "MM_BERT_FC2", "BMM_BERT_QK", "BMM_BERT_SV"]
+
+
+def main() -> None:
+    measurer = Measurer()
+    options = SpaceOptions(max_size=400)
+    alcop = AlcopCompiler(measurer=measurer, space_options=options)
+    tvm = tvm_compiler(measurer=measurer, space_options=options)
+
+    print(f"{'operator':14s} | {'TVM (us)':>9s} | {'ALCOP (us)':>10s} | {'speedup':>7s} | best schedule")
+    results = {}
+    for name in OPS:
+        spec = get_operator(name)
+        a = alcop.compile(spec)
+        t = tvm.compile(spec)
+        results[name] = (t.latency_us, a)
+        print(
+            f"{name:14s} | {t.latency_us:9.1f} | {a.latency_us:10.1f} | "
+            f"{t.latency_us / a.latency_us:7.2f} | {a.config}"
+        )
+
+    # Timeline of the biggest winner, before and after pipelining.
+    best_op = max(results, key=lambda k: results[k][0] / results[k][1].latency_us)
+    spec = get_operator(best_op)
+    compiled = results[best_op][1]
+    print(f"\npipeline timeline for {best_op} ({compiled.config}):")
+    with_pipe = simulate_kernel(
+        timing_spec_from_config(spec, compiled.config), collect_trace=True
+    )
+    print(format_timeline(with_pipe.trace))
+    no_pipe_cfg = compiled.config.with_stages(1, 1)
+    without = simulate_kernel(timing_spec_from_config(spec, no_pipe_cfg), collect_trace=True)
+    print(f"\nsame tiling without pipelining ({no_pipe_cfg}):")
+    print(format_timeline(without.trace))
+    print(f"\nstall removal: {without.latency_us:.1f}us -> {with_pipe.latency_us:.1f}us")
+
+
+if __name__ == "__main__":
+    main()

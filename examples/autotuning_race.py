@@ -1,0 +1,52 @@
+"""Schedule-tuning methods head to head (paper Table II / Fig. 13).
+
+Races the four tuners — Grid-Search, XGB, Analytical-only, and ALCOP's
+Model-Assisted XGB — on one operator against the simulator ground truth
+and prints the best-in-k-trials curves.
+
+Run:  python examples/autotuning_race.py
+"""
+
+from repro.tuning import (
+    AnalyticalOnlyTuner,
+    GridSearchTuner,
+    Measurer,
+    ModelAssistedXGBTuner,
+    SpaceOptions,
+    XGBTuner,
+    enumerate_space,
+)
+from repro.workloads import get_operator
+
+BUDGETS = [4, 8, 10, 16, 25, 50]
+
+
+def main() -> None:
+    spec = get_operator("MM_BERT_FC1")
+    space = enumerate_space(spec, options=SpaceOptions(max_size=600))
+    measurer = Measurer()
+    best_cfg, best = measurer.best(spec, space)
+    print(f"operator {spec.name}: space of {len(space)} schedules")
+    print(f"exhaustive best: {best:.1f}us with {best_cfg}\n")
+
+    print(f"{'trials':>7s} | " + " | ".join(
+        f"{n:>18s}" for n in ("Grid-Search", "XGB", "Analytical-only", "Model-Assisted")
+    ))
+    tuners = [
+        GridSearchTuner(spec, space, measurer=measurer, seed=0),
+        XGBTuner(spec, space, measurer=measurer, seed=0),
+        AnalyticalOnlyTuner(spec, space, measurer=measurer, seed=0),
+        ModelAssistedXGBTuner(spec, space, measurer=measurer, seed=0),
+    ]
+    histories = [t.tune(max(BUDGETS)) for t in tuners]
+    for k in BUDGETS:
+        row = [h.normalized_curve([k], best)[0] for h in histories]
+        print(f"{k:7d} | " + " | ".join(f"{v:18.2f}" for v in row))
+
+    print("\n(1.00 = found the exhaustive-search optimum)")
+    winner = histories[3]
+    print(f"Model-Assisted XGB best schedule after 50 trials: {winner.best_config_at(50)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Convolution through implicit GEMM, compiled with automatic pipelining.
+
+Demonstrates (1) functional correctness of a pipelined implicit-GEMM conv
+kernel against a direct convolution reference, and (2) the performance
+effect of pipelining on a ResNet-50 3x3 convolution, including how the
+im2col footprint ratio feeds the L2/DRAM working-set model.
+
+Run:  python examples/conv_implicit_gemm.py
+"""
+
+import numpy as np
+
+from repro.baselines import tvm_compiler
+from repro.core import AlcopCompiler
+from repro.ops import Conv2dShape, conv2d_spec, im2col, reference_conv2d
+from repro.schedule import TileConfig
+from repro.tuning import Measurer, SpaceOptions
+
+
+def correctness_demo() -> None:
+    print("-- functional check: pipelined implicit-GEMM conv vs direct conv --")
+    shape = Conv2dShape(n=2, c=8, h=6, w=6, k=16, r=3, s=3, padding=1)
+    spec = conv2d_spec("demo_conv", shape)  # GEMM 72 x 16 x 72
+    cfg = TileConfig(8, 8, 8, warp_m=4, warp_n=4, chunk_k=4, smem_stages=3, reg_stages=2)
+    kernel = AlcopCompiler().build(spec, cfg)
+
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((2, 8, 6, 6)).astype(np.float16)
+    w = rng.standard_normal((16, 8, 3, 3)).astype(np.float16)
+
+    from repro.interp import run_kernel
+
+    cols = im2col(x, shape)
+    out = run_kernel(kernel, {"A": cols, "B": w.reshape(16, -1)}, mode="pipeline")["C"]
+    got = out.reshape(2, shape.p, shape.q, 16).transpose(0, 3, 1, 2)
+    ref = reference_conv2d(x, w, shape)
+    err = np.abs(got.astype(np.float32) - ref.astype(np.float32)).max()
+    print(f"  max abs error vs direct convolution: {err:.4f}")
+    assert err < 0.5
+
+
+def performance_demo() -> None:
+    print("\n-- performance: ResNet-50 3x3 conv (implicit GEMM) --")
+    shape = Conv2dShape(n=16, c=128, h=28, w=28, k=128, r=3, s=3, padding=1)
+    spec = conv2d_spec("rn50_conv3x3", shape)
+    print(f"  GEMM view: M={spec.m} N={spec.n} K={spec.k}, "
+          f"im2col footprint ratio = {spec.a_footprint_ratio:.2f}")
+
+    measurer = Measurer()
+    options = SpaceOptions(max_size=400)
+    a = AlcopCompiler(measurer=measurer, space_options=options).compile(spec)
+    t = tvm_compiler(measurer=measurer, space_options=options).compile(spec)
+    print(f"  TVM   : {t.latency_us:7.1f} us  {t.config}")
+    print(f"  ALCOP : {a.latency_us:7.1f} us  {a.config}")
+    print(f"  speedup {t.latency_us / a.latency_us:.2f}x; "
+          f"DRAM fraction {a.sim.dram_fraction:.2f} (patch re-reads hit L2)")
+
+
+if __name__ == "__main__":
+    correctness_demo()
+    performance_demo()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Offline environments without the ``wheel`` package cannot build PEP-517
+editable installs; this shim lets ``pip install -e . --no-build-isolation
+--no-use-pep517`` (or ``python setup.py develop``) work there. All project
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""ALCOP reproduction: automatic load-compute pipelining for AI-GPU tensor
+programs (MLSys 2023).
+
+Quick start::
+
+    from repro import AlcopCompiler, matmul_spec
+
+    compiler = AlcopCompiler()
+    kernel = compiler.compile(matmul_spec("my_mm", 1024, 1024, 1024))
+    print(kernel.latency_us, kernel.config)
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.ir` — chunk-granularity tensor IR;
+* :mod:`repro.tensor` / :mod:`repro.schedule` — tensor graph and schedule
+  transformation (pipelining detection rules, Sec. II);
+* :mod:`repro.codegen` / :mod:`repro.transform` — lowering and the
+  pipelining program transformation (Sec. III);
+* :mod:`repro.interp` — functional + pipeline-semantics interpreters;
+* :mod:`repro.gpusim` — the simulated A100 evaluation platform;
+* :mod:`repro.perfmodel` / :mod:`repro.tuning` — analytical model and the
+  auto-tuners (Sec. IV);
+* :mod:`repro.ops` / :mod:`repro.workloads` / :mod:`repro.models` —
+  operators, the Fig. 10 suite and the Table III model zoo;
+* :mod:`repro.baselines` — TVM-like, XLA-like and library baselines;
+* :mod:`repro.core` — the top-level ALCOP compiler driver (Fig. 4).
+"""
+
+from .core.compiler import AlcopCompiler, CompiledKernel
+from .gpusim.config import A100, GpuSpec
+from .ops.bmm import bmm_spec
+from .ops.conv2d import Conv2dShape, conv2d_spec
+from .ops.matmul import matmul_spec
+from .schedule.config import TileConfig
+from .tensor.operation import GemmSpec
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "AlcopCompiler",
+    "CompiledKernel",
+    "A100",
+    "GpuSpec",
+    "bmm_spec",
+    "Conv2dShape",
+    "conv2d_spec",
+    "matmul_spec",
+    "TileConfig",
+    "GemmSpec",
+    "__version__",
+]

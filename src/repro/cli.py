@@ -1,0 +1,194 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+``compile``   search + pipeline + time one GEMM/BMM problem, with baselines;
+``ir``        print the lowered and pipelined IR for a fixed schedule;
+``tune``      run one tuning method and report the best-in-k curve;
+``suite``     TVM-vs-ALCOP speedups over the paper's operator suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .gpusim.config import A100, H100, V100, GpuSpec
+
+_GPUS = {"a100": A100, "h100": H100, "v100": V100}
+
+
+def _add_problem_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--m", type=int, required=True)
+    p.add_argument("--n", type=int, required=True)
+    p.add_argument("--k", type=int, required=True)
+    p.add_argument("--batch", type=int, default=1)
+    p.add_argument("--gpu", choices=sorted(_GPUS), default="a100")
+    p.add_argument("--space", type=int, default=600, help="design-space cap (strided)")
+
+
+def _spec(args):
+    from .tensor.operation import GemmSpec
+
+    return GemmSpec("cli", batch=args.batch, m=args.m, n=args.n, k=args.k)
+
+
+def _cmd_compile(args) -> int:
+    from .baselines.tvm_like import tvm_compiler
+    from .core.compiler import AlcopCompiler
+    from .tuning.measure import Measurer
+    from .tuning.space import SpaceOptions
+
+    spec = _spec(args)
+    gpu = _GPUS[args.gpu]
+    measurer = Measurer(gpu, via_ir=False)
+    options = SpaceOptions(max_size=args.space)
+    alcop = AlcopCompiler(gpu=gpu, variant=args.variant, measurer=measurer, space_options=options).compile(spec)
+    tvm = tvm_compiler(gpu=gpu, measurer=measurer, space_options=options).compile(spec)
+    print(f"problem : {spec.m}x{spec.n}x{spec.k} batch={spec.batch} on {gpu.name}")
+    print(f"{args.variant:8s}: {alcop.latency_us:9.1f} us  {alcop.tflops:7.1f} TFLOP/s  {alcop.config}")
+    print(f"tvm     : {tvm.latency_us:9.1f} us  {tvm.tflops:7.1f} TFLOP/s  {tvm.config}")
+    print(f"speedup : {tvm.latency_us / alcop.latency_us:.2f}x")
+    return 0
+
+
+def _cmd_ir(args) -> int:
+    from .core.compiler import AlcopCompiler
+    from .ir.printer import format_kernel
+    from .schedule.config import TileConfig
+
+    vals = [int(x) for x in args.config.split(",")]
+    if len(vals) != 8:
+        print("--config expects bm,bn,bk,wm,wn,ck,smem_stages,reg_stages", file=sys.stderr)
+        return 2
+    cfg = TileConfig(vals[0], vals[1], vals[2], warp_m=vals[3], warp_n=vals[4],
+                     chunk_k=vals[5], smem_stages=vals[6], reg_stages=vals[7])
+    kernel = AlcopCompiler(gpu=_GPUS[args.gpu]).build(_spec(args), cfg)
+    print(format_kernel(kernel))
+    return 0
+
+
+def _cmd_cuda(args) -> int:
+    from .codegen import emit_cuda
+    from .core.compiler import AlcopCompiler
+    from .schedule.config import TileConfig
+
+    vals = [int(x) for x in args.config.split(",")]
+    if len(vals) != 8:
+        print("--config expects bm,bn,bk,wm,wn,ck,smem_stages,reg_stages", file=sys.stderr)
+        return 2
+    cfg = TileConfig(vals[0], vals[1], vals[2], warp_m=vals[3], warp_n=vals[4],
+                     chunk_k=vals[5], smem_stages=vals[6], reg_stages=vals[7])
+    kernel = AlcopCompiler(gpu=_GPUS[args.gpu]).build(_spec(args), cfg)
+    source = emit_cuda(kernel)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(source)
+        print(f"wrote {len(source.splitlines())} lines to {args.out}")
+    else:
+        print(source)
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from .tuning.measure import Measurer
+    from .tuning.record import save_history
+    from .tuning.space import SpaceOptions, enumerate_space
+    from .tuning.tuners import (
+        AnalyticalOnlyTuner,
+        GridSearchTuner,
+        ModelAssistedXGBTuner,
+        RandomSearchTuner,
+        XGBTuner,
+    )
+
+    methods = {
+        "grid": GridSearchTuner,
+        "random": RandomSearchTuner,
+        "xgb": XGBTuner,
+        "analytical": AnalyticalOnlyTuner,
+        "model-assisted-xgb": ModelAssistedXGBTuner,
+    }
+    spec = _spec(args)
+    gpu = _GPUS[args.gpu]
+    measurer = Measurer(gpu, via_ir=False)
+    space = enumerate_space(spec, gpu, options=SpaceOptions(max_size=args.space))
+    _, best = measurer.best(spec, space)
+    tuner = methods[args.method](spec, space, measurer=measurer, gpu=gpu, seed=args.seed)
+    history = tuner.tune(args.trials)
+    print(f"space: {len(space)} schedules; exhaustive best {best:.1f} us")
+    for k in (1, 2, 4, 8, 16, 32, args.trials):
+        if k <= args.trials:
+            print(f"  best-in-{k:<3d}: {history.normalized_curve([k], best)[0]:.3f}")
+    print(f"best schedule: {history.best_config_at(args.trials)}")
+    if args.out:
+        save_history(history, args.out)
+        print(f"log written to {args.out}")
+    return 0
+
+
+def _cmd_suite(args) -> int:
+    from .tuning.measure import Measurer
+    from .tuning.space import SpaceOptions, enumerate_space, restrict_space
+    from .workloads.suite import OPERATOR_SUITE
+
+    gpu = _GPUS[args.gpu]
+    measurer = Measurer(gpu, via_ir=False)
+    options = SpaceOptions(max_size=args.space)
+    names = args.ops.split(",") if args.ops else list(OPERATOR_SUITE)
+    print(f"{'operator':16s} | {'TVM (us)':>9s} | {'ALCOP (us)':>10s} | {'speedup':>7s}")
+    for name in names:
+        spec = OPERATOR_SUITE[name]
+        space = enumerate_space(spec, gpu, options=options)
+        _, tvm = measurer.best(spec, restrict_space(space, "tvm"))
+        _, alcop = measurer.best(spec, restrict_space(space, "alcop"))
+        print(f"{name:16s} | {tvm:9.1f} | {alcop:10.1f} | {tvm / alcop:7.2f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro.cli", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="search + pipeline + time one problem")
+    _add_problem_args(p)
+    p.add_argument("--variant", default="alcop",
+                   choices=["alcop", "alcop-no-ml", "alcop-no-ml-no-ms", "tvm-db", "tvm"])
+    p.set_defaults(fn=_cmd_compile)
+
+    p = sub.add_parser("ir", help="print pipelined IR for a fixed schedule")
+    _add_problem_args(p)
+    p.add_argument("--config", required=True, help="bm,bn,bk,wm,wn,ck,smem_stages,reg_stages")
+    p.set_defaults(fn=_cmd_ir)
+
+    p = sub.add_parser("cuda", help="emit CUDA C++ for a fixed schedule")
+    _add_problem_args(p)
+    p.add_argument("--config", required=True, help="bm,bn,bk,wm,wn,ck,smem_stages,reg_stages")
+    p.add_argument("--out", default=None, help="write the .cu source here")
+    p.set_defaults(fn=_cmd_cuda)
+
+    p = sub.add_parser("tune", help="run one tuning method")
+    _add_problem_args(p)
+    p.add_argument("--method", default="model-assisted-xgb",
+                   choices=["grid", "random", "xgb", "analytical", "model-assisted-xgb"])
+    p.add_argument("--trials", type=int, default=50)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None, help="write a JSON tuning log here")
+    p.set_defaults(fn=_cmd_tune)
+
+    p = sub.add_parser("suite", help="TVM vs ALCOP over the operator suite")
+    p.add_argument("--gpu", choices=sorted(_GPUS), default="a100")
+    p.add_argument("--space", type=int, default=400)
+    p.add_argument("--ops", default=None, help="comma-separated operator names")
+    p.set_defaults(fn=_cmd_suite)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,6 @@
+"""Lowering from schedules to loop-nest IR, plus the CUDA source backend."""
+
+from .cuda import CudaEmitError, emit_cuda
+from .lower import LoweringError, lower
+
+__all__ = ["CudaEmitError", "emit_cuda", "LoweringError", "lower"]

@@ -1,0 +1,15 @@
+"""ALCOP core: the top-level automatic-pipelining compiler (paper Fig. 4)
+and the split-K extension."""
+
+from .compiler import VARIANTS, AlcopCompiler, CompiledKernel
+from .splitk import SplitKCompiled, SplitKCompiler, build_reduce_kernel, reduce_latency_us
+
+__all__ = [
+    "VARIANTS",
+    "AlcopCompiler",
+    "CompiledKernel",
+    "SplitKCompiled",
+    "SplitKCompiler",
+    "build_reduce_kernel",
+    "reduce_latency_us",
+]

@@ -1,0 +1,145 @@
+"""GPU hardware descriptions for the timing simulator.
+
+:data:`A100` approximates an NVIDIA A100-SXM4-40GB — the paper's evaluation
+platform. Only parameters that influence load-compute pipelining behaviour
+are modelled: tensor-core throughput, the DRAM/L2/shared-memory bandwidth
+and latency ladder, and the occupancy-limiting resources.
+
+All times are in **microseconds**, all sizes in bytes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["GpuSpec", "A100", "A100_NO_ASYNC"]
+
+
+@dataclasses.dataclass(frozen=True)
+class GpuSpec:
+    """Hardware parameters consumed by the simulator and analytical model."""
+
+    name: str
+    num_sms: int
+    #: fp16 tensor-core throughput of one SM (FLOP/us = MFLOP/s).
+    tc_flops_per_sm: float
+    #: DRAM bandwidth (bytes/us) and read latency (us).
+    dram_bw: float
+    dram_latency: float
+    dram_write_latency: float
+    #: L2 bandwidth (bytes/us), latency (us) and capacity (bytes).
+    l2_bw: float
+    l2_latency: float
+    l2_size: int
+    #: shared-memory bandwidth of one SM (bytes/us) and access latency (us).
+    smem_bw_per_sm: float
+    smem_latency: float
+    #: occupancy limits.
+    smem_per_sm: int
+    max_smem_per_tb: int
+    regs_per_sm: int
+    max_regs_per_thread: int
+    max_threads_per_sm: int
+    max_tb_per_sm: int
+    #: per-instruction issue overhead (us) and per-barrier overhead (us).
+    issue_overhead: float
+    sync_overhead: float
+    #: issue cost of one 16x16x16 mma instruction (us, per SM after the four
+    #: sub-partition schedulers are accounted). Small warp tiles execute
+    #: many more mma instructions per FLOP and pay proportionally.
+    mma_issue_cost: float = 0.0
+    #: whether the hardware supports asynchronous global->shared copies
+    #: (``cp.async``); pre-Ampere GPUs do not, which is why the paper's
+    #: evaluation requires Ampere.
+    has_async_copy: bool = True
+
+    @property
+    def tc_flops_total(self) -> float:
+        return self.tc_flops_per_sm * self.num_sms
+
+
+#: NVIDIA A100-SXM4-40GB (approximate public numbers).
+#: 312 TFLOP/s fp16 tensor core, 1555 GB/s HBM2, ~4.8 TB/s L2, 40 MB L2,
+#: 108 SMs, 164 KB smem/SM, 64K regs/SM. Bandwidths converted to bytes/us.
+A100 = GpuSpec(
+    name="A100-SXM4-40GB",
+    num_sms=108,
+    tc_flops_per_sm=312e6 / 108,  # FLOP per us per SM
+    dram_bw=1.555e6,  # bytes per us
+    dram_latency=0.45,
+    dram_write_latency=0.35,
+    l2_bw=4.8e6,
+    l2_latency=0.18,
+    l2_size=40 * 1024 * 1024,
+    smem_bw_per_sm=128 * 1410,  # 128 B/cycle @ 1.41 GHz -> bytes/us
+    smem_latency=0.022,
+    smem_per_sm=164 * 1024,
+    max_smem_per_tb=163 * 1024,
+    regs_per_sm=65536,
+    max_regs_per_thread=255,
+    max_threads_per_sm=2048,
+    max_tb_per_sm=32,
+    issue_overhead=0.004,
+    sync_overhead=0.015,
+    mma_issue_cost=0.0004,
+    has_async_copy=True,
+)
+
+#: The same chip with ``cp.async`` disabled — used in tests to exercise the
+#: pre-Ampere rule-1 path (no asynchronous copies, no pipelining).
+A100_NO_ASYNC = dataclasses.replace(A100, name="A100-no-async", has_async_copy=False)
+
+#: NVIDIA V100-SXM2-16GB (Volta): the pre-Ampere generation the paper's
+#: evaluation excludes — no asynchronous copy hardware, so automatic
+#: pipelining cannot be compiled at all. 125 TFLOP/s fp16 tensor core,
+#: 900 GB/s HBM2, 80 SMs, 96 KB smem/SM, 6 MB L2.
+V100 = GpuSpec(
+    name="V100-SXM2-16GB",
+    num_sms=80,
+    tc_flops_per_sm=125e6 / 80,
+    dram_bw=0.9e6,
+    dram_latency=0.5,
+    dram_write_latency=0.4,
+    l2_bw=2.5e6,
+    l2_latency=0.2,
+    l2_size=6 * 1024 * 1024,
+    smem_bw_per_sm=128 * 1380,
+    smem_latency=0.025,
+    smem_per_sm=96 * 1024,
+    max_smem_per_tb=96 * 1024,
+    regs_per_sm=65536,
+    max_regs_per_thread=255,
+    max_threads_per_sm=2048,
+    max_tb_per_sm=32,
+    issue_overhead=0.004,
+    sync_overhead=0.018,
+    mma_issue_cost=0.0006,
+    has_async_copy=False,
+)
+
+#: An H100-SXM5-like Hopper part: tensor-core throughput grows ~3.2x over
+#: A100 while DRAM bandwidth grows only ~2.2x, widening the compute:memory
+#: gap — the trend the paper argues makes pipelining ever more essential.
+H100 = GpuSpec(
+    name="H100-SXM5-80GB",
+    num_sms=132,
+    tc_flops_per_sm=989e6 / 132,
+    dram_bw=3.35e6,
+    dram_latency=0.4,
+    dram_write_latency=0.3,
+    l2_bw=8.0e6,
+    l2_latency=0.16,
+    l2_size=50 * 1024 * 1024,
+    smem_bw_per_sm=128 * 1830,
+    smem_latency=0.02,
+    smem_per_sm=228 * 1024,
+    max_smem_per_tb=227 * 1024,
+    regs_per_sm=65536,
+    max_regs_per_thread=255,
+    max_threads_per_sm=2048,
+    max_tb_per_sm=32,
+    issue_overhead=0.003,
+    sync_overhead=0.012,
+    mma_issue_cost=0.0002,
+    has_async_copy=True,
+)

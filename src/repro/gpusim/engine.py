@@ -1,0 +1,275 @@
+"""The kernel timing engine: a per-SM discrete-event pipeline simulation.
+
+One *wave* of co-resident threadblocks on a single representative SM is
+simulated event-by-event (all SMs execute the same program on symmetric
+tiles, so one SM with its fair bandwidth share represents the machine). A
+threadblock is one sequential process — exactly like the instruction stream
+of the transformed kernel:
+
+* prologue: issue the first ``smem_stages - 1`` asynchronous chunk copies;
+* each outer iteration: issue the copy for iteration ``ko + stages - 1``,
+  wait for chunk ``ko`` to arrive, run the inner (register-level) pipeline
+  on the SM's tensor-core server, release the stage;
+* epilogue: write the output tile through DRAM.
+
+Asynchronous copies are posted to FIFO bandwidth servers (L2 and DRAM with
+a working-set-derived DRAM fraction) and complete in the background; the
+pipeline depth manifests as slack between a copy's issue and its wait —
+precisely the mechanism ALCOP exploits. Contention between co-resident
+threadblocks (``N_mplx``), wave quantization, bank conflicts and exposed
+shared-memory latency are modelled here but deliberately *not* in the
+analytical model, which keeps the model's best-in-top-k below 100% as in
+the paper.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional, Tuple
+
+from .config import A100, GpuSpec
+from .events import FifoServer, Simulator
+from .occupancy import CompileError, tb_per_sm
+from .spec import KernelTimingSpec
+
+__all__ = ["SimResult", "simulate_kernel", "simulate_wave"]
+
+#: Fixed kernel launch overhead (us).
+_LAUNCH_OVERHEAD = 3.0
+#: Bank-conflict slowdown of shared-memory traffic without swizzling.
+_BANK_CONFLICT_FACTOR = 1.8
+#: Stagger between threadblock starts on one SM (us) — breaks ties
+#: deterministically, like staggered warp scheduling on hardware.
+_TB_STAGGER = 0.01
+#: Fraction of the register-staged store (LDG+STS) cost that is exposed on
+#: the SM's issue/shared-memory ports when copies are not cp.async; the
+#: remainder overlaps with math under warp scheduling.
+_STORE_THROUGH_FACTOR = 0.5
+
+
+@dataclasses.dataclass
+class SimResult:
+    """Outcome of simulating one kernel launch."""
+
+    latency_us: float
+    tb_per_sm: int
+    waves: int
+    wave_latency_us: float
+    tail_latency_us: float
+    dram_fraction: float
+    total_flops: int
+    trace: Optional[List[Tuple[int, str, float, float]]] = None
+
+    @property
+    def tflops(self) -> float:
+        """Achieved throughput in TFLOP/s."""
+        return self.total_flops / self.latency_us / 1e6
+
+
+def _dram_fraction(ts: KernelTimingSpec, gpu: GpuSpec, wave_tbs: int) -> float:
+    """Fraction of the wave's load traffic that misses L2 and hits DRAM.
+
+    Derived from the working set of one threadblock-batch, as in the
+    paper's memory latency model: tiles sharing a row re-use the A chunk,
+    tiles sharing a column re-use the B chunk.
+    """
+    if ts.a_chunk_bytes + ts.b_chunk_bytes == 0:
+        return 1.0
+    tiles_per_batch = ts.m_tiles * ts.n_tiles
+    covered = min(wave_tbs, ts.grid)
+    batches_covered = max(1, -(-covered // tiles_per_batch))
+    # Raster order: n (column) index varies fastest.
+    unique_a_tiles = min(covered, -(-covered // ts.n_tiles) if ts.n_tiles else covered)
+    unique_b_tiles = min(covered, ts.n_tiles * batches_covered)
+    requested = covered * (ts.a_chunk_bytes + ts.b_chunk_bytes)
+    unique = (
+        unique_a_tiles * ts.a_chunk_bytes * ts.a_footprint_ratio
+        + unique_b_tiles * ts.b_chunk_bytes * ts.b_footprint_ratio
+    )
+    # If the live working set overflows L2, re-reads also go to DRAM.
+    resident = unique * (ts.smem_stages + 1)
+    if resident > gpu.l2_size:
+        return 1.0
+    return min(1.0, unique / requested)
+
+
+def simulate_wave(
+    ts: KernelTimingSpec,
+    gpu: GpuSpec,
+    n_tb_on_sm: int,
+    active_sms: int,
+    collect_trace: bool = False,
+    outer_extent: Optional[int] = None,
+) -> Tuple[float, float, Optional[list]]:
+    """Simulate one wave on a representative SM.
+
+    Returns ``(wave_latency, dram_fraction, trace)``.
+    """
+    E_o = outer_extent if outer_extent is not None else ts.outer_extent
+    E_i = ts.inner_extent
+    S = ts.smem_stages
+    wave_tbs = n_tb_on_sm * active_sms
+    dram_frac = _dram_fraction(ts, gpu, wave_tbs)
+
+    l2_rate = gpu.l2_bw / active_sms  # bytes/us available to this SM's TBs
+    dram_rate = gpu.dram_bw / active_sms
+    mem_latency = gpu.l2_latency + dram_frac * (gpu.dram_latency - gpu.l2_latency)
+
+    bank = 1.0 if ts.swizzle else _BANK_CONFLICT_FACTOR
+    t_load = ts.frag_bytes_tb * bank / gpu.smem_bw_per_sm
+    # One hmma.16816-class instruction covers 2*16^3 FLOPs; its issue slots
+    # are not free, which caps achievable utilization below nominal peak.
+    mma_ops = ts.flops_chunk_tb / (2 * 16 * 16 * 16)
+    t_math = ts.flops_chunk_tb / gpu.tc_flops_per_sm + mma_ops * gpu.mma_issue_cost
+    # Without cp.async, global->shared copies stage through registers
+    # (LDG + STS): the store half occupies the SM's shared-memory ports and
+    # issue slots, contending with compute. cp.async bypasses this path —
+    # a real Ampere advantage of asynchronous copies.
+    if ts.async_smem_copy:
+        t_store_through = 0.0
+    else:
+        t_store_through = _STORE_THROUGH_FACTOR * ts.smem_chunk_bytes * bank / gpu.smem_bw_per_sm
+    if ts.reg_stages >= 2:
+        # Register double-buffering overlaps the fragment load (and its
+        # latency) with the previous chunk's math.
+        inner_service = max(t_load, t_math) + gpu.issue_overhead
+    else:
+        inner_service = t_load + gpu.smem_latency + t_math + 2 * gpu.issue_overhead
+
+    sim = Simulator()
+    l2_server = FifoServer("l2")
+    dram_server = FifoServer("dram")
+    math_server = FifoServer("tensorcore")
+    trace: Optional[list] = [] if collect_trace else None
+    finish: Dict[int, float] = {}
+
+    def issue_chunk(now: float) -> float:
+        """Post one outer chunk's copies; returns their completion time."""
+        done = 0.0
+        for nbytes in (ts.a_chunk_bytes, ts.b_chunk_bytes):
+            if nbytes <= 0:
+                continue
+            t_l2 = l2_server.request(now, nbytes / l2_rate)
+            t_dram = dram_server.request(now, nbytes * dram_frac / dram_rate)
+            done = max(done, t_l2, t_dram)
+        return done + mem_latency
+
+    def tb_process(tb_idx: int):
+        smem_done: Dict[int, float] = {}
+        # Prologue: the first S-1 chunks are issued ahead of the loop.
+        for p in range(S - 1):
+            smem_done[p] = issue_chunk(sim.now)
+            yield ("delay", 2 * gpu.issue_overhead)
+        if ts.reg_stages >= 2 and S >= 2:
+            # Hoisted inner-pipeline prologue (holistic pipeline): one
+            # fragment load after the first chunk lands.
+            yield ("wait_until", smem_done[0])
+            yield ("delay", t_load + gpu.smem_latency)
+        for ko in range(E_o):
+            issue_at = sim.now
+            smem_done[ko + S - 1] = issue_chunk(sim.now)
+            yield ("delay", 2 * gpu.issue_overhead)
+            wait_start = sim.now
+            yield ("wait_until", smem_done[ko])
+            if trace is not None:
+                trace.append((tb_idx, f"smem_wait[{ko}]", wait_start, sim.now))
+            if t_store_through > 0.0:
+                # Register-staged stores into shared memory occupy the SM.
+                done = math_server.request(sim.now, t_store_through)
+                yield ("wait_until", done)
+            if ts.reg_stages >= 2 and S == 1:
+                # Recursive (non-fused) inner pipeline refills each chunk.
+                yield ("delay", t_load + gpu.smem_latency)
+            use_start = sim.now
+            for ki in range(E_i):
+                done = math_server.request(sim.now, inner_service)
+                yield ("wait_until", done)
+            if trace is not None:
+                trace.append((tb_idx, f"use[{ko}]", use_start, sim.now))
+            yield ("delay", gpu.sync_overhead)
+        # Epilogue write-back.
+        ep_start = sim.now
+        t_dram = dram_server.request(sim.now, ts.epilogue_bytes / dram_rate)
+        yield ("wait_until", t_dram + gpu.dram_write_latency)
+        if trace is not None:
+            trace.append((tb_idx, "epilogue", ep_start, sim.now))
+        finish[tb_idx] = sim.now
+
+    for i in range(n_tb_on_sm):
+        sim.add_process(tb_process(i), start_time=i * _TB_STAGGER)
+    sim.run()
+    return max(finish.values()), dram_frac, trace
+
+
+def _wave_latency_extrapolated(
+    ts: KernelTimingSpec,
+    gpu: GpuSpec,
+    n_tb: int,
+    active: int,
+    collect_trace: bool,
+    max_outer_iters: Optional[int],
+) -> Tuple[float, float, Optional[list]]:
+    """Simulate the wave, extrapolating long reduction loops from the
+    steady-state rate measured over two truncated runs."""
+    if max_outer_iters is None or ts.outer_extent <= max_outer_iters:
+        return simulate_wave(ts, gpu, n_tb, active, collect_trace)
+    e_long = max_outer_iters
+    e_short = max(ts.smem_stages + 1, max_outer_iters // 2)
+    t_long, frac, trace = simulate_wave(ts, gpu, n_tb, active, collect_trace, outer_extent=e_long)
+    t_short, _, _ = simulate_wave(ts, gpu, n_tb, active, False, outer_extent=e_short)
+    rate = (t_long - t_short) / (e_long - e_short)
+    return t_long + rate * (ts.outer_extent - e_long), frac, trace
+
+
+def simulate_kernel(
+    ts: KernelTimingSpec,
+    gpu: GpuSpec = A100,
+    collect_trace: bool = False,
+    max_outer_iters: Optional[int] = 64,
+) -> SimResult:
+    """Simulate a full kernel launch; raises :class:`CompileError` when the
+    kernel cannot be built or launched on ``gpu``."""
+    ts.validate()
+    if ts.async_smem_copy and not gpu.has_async_copy:
+        raise CompileError(
+            f"{gpu.name} lacks asynchronous copy hardware (cp.async); the "
+            "pipelined kernel cannot be compiled for it"
+        )
+    occ = tb_per_sm(gpu, ts.smem_bytes_per_tb, ts.regs_per_thread, ts.threads_per_tb)
+
+    tbs_per_wave = occ * gpu.num_sms
+    full_waves = ts.grid // tbs_per_wave
+    remainder = ts.grid - full_waves * tbs_per_wave
+
+    wave_lat = 0.0
+    dram_frac = 1.0
+    trace = None
+    if full_waves:
+        wave_lat, dram_frac, trace = _wave_latency_extrapolated(
+            ts, gpu, occ, gpu.num_sms, collect_trace, max_outer_iters
+        )
+
+    tail_lat = 0.0
+    if remainder:
+        tail_occ = min(occ, -(-remainder // gpu.num_sms))
+        tail_active = min(gpu.num_sms, -(-remainder // tail_occ))
+        tail_lat, tail_frac, tail_trace = _wave_latency_extrapolated(
+            ts, gpu, tail_occ, tail_active, collect_trace and trace is None, max_outer_iters
+        )
+        if trace is None:
+            trace = tail_trace
+        if not full_waves:
+            dram_frac = tail_frac
+
+    latency = _LAUNCH_OVERHEAD + full_waves * wave_lat + tail_lat
+    return SimResult(
+        latency_us=latency,
+        tb_per_sm=occ,
+        waves=full_waves + (1 if remainder else 0),
+        wave_latency_us=wave_lat,
+        tail_latency_us=tail_lat,
+        dram_fraction=dram_frac,
+        total_flops=ts.total_flops,
+        trace=trace,
+    )

@@ -1,0 +1,86 @@
+"""A minimal deterministic discrete-event scheduler.
+
+Processes are Python generators that yield scheduling commands:
+
+* ``("delay", dt)`` — resume the process ``dt`` later;
+* ``("wait_until", t)`` — resume at absolute time ``t`` (immediately if in
+  the past).
+
+Shared hardware resources are :class:`FifoServer` objects: a request made at
+the current simulation time is serviced after all earlier requests
+(store-and-forward pipe with a fixed added latency that does not occupy the
+server). Because the scheduler always resumes the globally earliest
+process, server requests arrive in nondecreasing time order, which keeps
+the FIFO discipline sound without modelling the servers as processes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Generator, Iterable, List, Tuple
+
+__all__ = ["FifoServer", "Simulator"]
+
+
+class FifoServer:
+    """A pipelined bandwidth resource serving requests in arrival order."""
+
+    __slots__ = ("name", "free_at", "busy_time")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.free_at = 0.0
+        self.busy_time = 0.0
+
+    def request(self, now: float, service: float, latency: float = 0.0) -> float:
+        """Post a request at time ``now``; returns its completion time."""
+        if service < 0 or latency < 0:
+            raise ValueError("service and latency must be non-negative")
+        start = max(now, self.free_at)
+        self.free_at = start + service
+        self.busy_time += service
+        return self.free_at + latency
+
+    @property
+    def utilization_until(self) -> float:
+        """Busy time accumulated so far (utilization = busy / horizon)."""
+        return self.busy_time
+
+
+class Simulator:
+    """Run a set of generator processes to completion."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: List[Tuple[float, int, Generator]] = []
+        self._seq = 0
+
+    def add_process(self, proc: Generator, start_time: float = 0.0) -> None:
+        heapq.heappush(self._heap, (start_time, self._seq, proc))
+        self._seq += 1
+
+    def run(self, max_events: int = 10_000_000) -> float:
+        """Advance all processes to completion; returns the final time."""
+        events = 0
+        while self._heap:
+            events += 1
+            if events > max_events:
+                raise RuntimeError(f"simulation exceeded {max_events} events")
+            t, _, proc = heapq.heappop(self._heap)
+            if t < self.now - 1e-12:
+                raise RuntimeError("event scheduled in the past; scheduler bug")
+            self.now = max(self.now, t)
+            try:
+                cmd = next(proc)
+            except StopIteration:
+                continue
+            kind = cmd[0]
+            if kind == "delay":
+                when = self.now + float(cmd[1])
+            elif kind == "wait_until":
+                when = max(self.now, float(cmd[1]))
+            else:
+                raise ValueError(f"unknown scheduler command {cmd!r}")
+            heapq.heappush(self._heap, (when, self._seq, proc))
+            self._seq += 1
+        return self.now

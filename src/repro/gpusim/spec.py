@@ -1,0 +1,224 @@
+"""Extraction of a timing specification from compiled kernel IR.
+
+The simulator does not re-read the schedule knobs — it measures the
+*compiled artifact*. :func:`extract_timing_spec` walks the (possibly
+pipelined) kernel IR and recovers launch geometry, per-iteration data
+movement and compute volumes, loop extents, and pipeline stage counts.
+A mis-transformed kernel therefore yields mis-timed simulation, keeping the
+simulator honest as the ground truth for tuning experiments.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.analysis import enclosing_loops, loop_extent_int, walk_with_path
+from ..ir.buffer import Scope
+from ..ir.stmt import Allocate, ComputeStmt, For, ForKind, Kernel, MemCopy
+from ..schedule.config import TileConfig
+from ..tensor.operation import GemmSpec
+
+__all__ = ["KernelTimingSpec", "extract_timing_spec"]
+
+
+@dataclasses.dataclass
+class KernelTimingSpec:
+    """Everything the timing engine needs to simulate one kernel."""
+
+    name: str
+    grid: int
+    threads_per_tb: int
+    warps_per_tb: int
+    smem_bytes_per_tb: int
+    regs_per_thread: int
+    #: outer (shared-memory level) load-and-use loop
+    outer_extent: int
+    smem_chunk_bytes: int  # bytes copied into shared memory per outer iteration
+    smem_stages: int
+    #: inner (register level) load-and-use loop
+    inner_extent: int
+    frag_bytes_tb: int  # bytes loaded into registers per inner iteration (whole TB)
+    flops_chunk_tb: int  # FLOPs per inner iteration (whole TB)
+    reg_stages: int
+    #: epilogue write-back volume per threadblock
+    epilogue_bytes: int
+    swizzle: bool = True
+    #: problem geometry for the L2 working-set model
+    batch: int = 1
+    m_tiles: int = 1
+    n_tiles: int = 1
+    a_chunk_bytes: int = 0
+    b_chunk_bytes: int = 0
+    a_footprint_ratio: float = 1.0
+    b_footprint_ratio: float = 1.0
+    #: whether the smem copies are hardware asynchronous
+    async_smem_copy: bool = True
+
+    @property
+    def total_flops(self) -> int:
+        return self.flops_chunk_tb * self.inner_extent * self.outer_extent * self.grid
+
+    def validate(self) -> None:
+        if self.grid < 1 or self.outer_extent < 1 or self.inner_extent < 1:
+            raise ValueError("timing spec extents must be positive")
+        if self.smem_stages < 1 or self.reg_stages < 1:
+            raise ValueError("stage counts must be >= 1")
+        if self.flops_chunk_tb <= 0:
+            raise ValueError("kernel performs no compute; nothing to simulate")
+
+
+def _thread_multiplier(path: Tuple) -> int:
+    mult = 1
+    for loop in enclosing_loops(path):
+        if loop.kind is ForKind.THREAD:
+            mult *= loop_extent_int(loop)
+    return mult
+
+
+def extract_timing_spec(kernel: Kernel) -> KernelTimingSpec:
+    """Recover a :class:`KernelTimingSpec` from a lowered kernel."""
+    spec: Optional[GemmSpec] = kernel.attrs.get("spec")
+    config: Optional[TileConfig] = kernel.attrs.get("config")
+
+    grid = 1
+    warps = 1
+    smem_bytes = 0
+    outer_loop: Optional[For] = None
+    inner_loop: Optional[For] = None
+    smem_chunk = 0
+    a_chunk = 0
+    b_chunk = 0
+    frag_bytes = 0
+    flops_chunk = 0
+    epilogue_bytes = 0
+    swizzle = True
+    async_smem = False
+
+    # (depth, loop, bytes, is_a_side, swizzle, is_async) per shared copy;
+    # (depth, loop, bytes) per register copy. Prologue copies sit at a
+    # shallower serial depth than the main-loop copies (or outside any
+    # serial loop entirely) and are dropped in favour of the deepest level.
+    smem_copies = []
+    reg_copies = []
+    for node, path in walk_with_path(kernel.body):
+        if isinstance(node, For):
+            if node.kind is ForKind.BLOCK:
+                grid *= loop_extent_int(node)
+        elif isinstance(node, Allocate):
+            if node.buffer.scope is Scope.SHARED:
+                smem_bytes += node.buffer.size_bytes
+        elif isinstance(node, MemCopy):
+            serial = [l for l in enclosing_loops(path) if l.kind is ForKind.SERIAL]
+            if node.dst.buffer.scope is Scope.SHARED:
+                if not serial:
+                    continue  # hoisted prologue: accounted for by pipeline fill
+                smem_copies.append(
+                    (
+                        len(serial),
+                        serial[-1],
+                        node.bytes,
+                        bool(node.annotations.get("swizzle", True)),
+                        node.is_async,
+                    )
+                )
+            elif node.dst.buffer.scope is Scope.REGISTER:
+                if not serial:
+                    continue
+                reg_copies.append(
+                    (len(serial), serial[-1], node.bytes * _thread_multiplier(path))
+                )
+            elif node.dst.buffer.scope is Scope.GLOBAL:
+                # DRAM sees the *output* bytes (the accumulator is wider).
+                epilogue_bytes += node.dst.size_bytes * _thread_multiplier(path)
+        elif isinstance(node, ComputeStmt) and node.flops > 0:
+            serial = [l for l in enclosing_loops(path) if l.kind is ForKind.SERIAL]
+            if not serial:
+                raise ValueError("compute statement outside any serial loop")
+            flops_chunk += node.flops * _thread_multiplier(path)
+
+    if not smem_copies:
+        raise ValueError("kernel has no shared-memory load-and-use loop")
+    if not reg_copies:
+        raise ValueError("kernel has no register-level load-and-use loop")
+    if flops_chunk == 0:
+        raise ValueError("kernel performs no tensor-core compute")
+
+    smem_depth = max(c[0] for c in smem_copies)
+    for depth, loop, nbytes, sw, is_async in smem_copies:
+        if depth != smem_depth:
+            continue
+        if outer_loop is None:
+            outer_loop = loop
+        elif outer_loop is not loop:
+            raise ValueError("shared-memory copies span multiple serial loops")
+        smem_chunk += nbytes
+        swizzle = sw
+        async_smem = async_smem or is_async
+        # Heuristic operand split for the working-set model: the first copy
+        # loads operand A, the second operand B.
+        if a_chunk == 0:
+            a_chunk = nbytes
+        else:
+            b_chunk += nbytes
+
+    reg_depth = max(c[0] for c in reg_copies)
+    for depth, loop, nbytes in reg_copies:
+        if depth != reg_depth:
+            continue
+        if inner_loop is None:
+            inner_loop = loop
+        elif inner_loop is not loop:
+            raise ValueError("register copies span multiple serial loops")
+        frag_bytes += nbytes
+
+    # Stage counts from the published pipeline groups (1 = not pipelined).
+    smem_stages = 1
+    reg_stages = 1
+    for info in kernel.attrs.get("pipeline_groups", []) or []:
+        if info.scope is Scope.SHARED:
+            smem_stages = info.stages
+        elif info.scope is Scope.REGISTER:
+            reg_stages = info.stages
+
+    if config is not None:
+        threads = config.threads_per_block
+        warps = config.warps_per_block
+        # Register budget follows the *realized* stage counts in the IR.
+        effective = config.with_stages(smem_stages, reg_stages)
+        regs = effective.resource_usage(spec.dtype if spec else "float16").regs_per_thread
+        m_tiles = (spec.m // config.block_m) if spec else 1
+        n_tiles = (spec.n // config.block_n) if spec else 1
+    else:
+        threads = 128
+        warps = 4
+        regs = 64
+        m_tiles = n_tiles = 1
+
+    ts = KernelTimingSpec(
+        name=kernel.name,
+        grid=grid,
+        threads_per_tb=threads,
+        warps_per_tb=warps,
+        smem_bytes_per_tb=smem_bytes,
+        regs_per_thread=regs,
+        outer_extent=loop_extent_int(outer_loop),
+        smem_chunk_bytes=smem_chunk,
+        smem_stages=smem_stages,
+        inner_extent=loop_extent_int(inner_loop),
+        frag_bytes_tb=frag_bytes,
+        flops_chunk_tb=flops_chunk,
+        reg_stages=reg_stages,
+        epilogue_bytes=epilogue_bytes,
+        swizzle=swizzle,
+        batch=spec.batch if spec else 1,
+        m_tiles=m_tiles,
+        n_tiles=n_tiles,
+        a_chunk_bytes=a_chunk,
+        b_chunk_bytes=b_chunk,
+        a_footprint_ratio=spec.a_footprint_ratio if spec else 1.0,
+        b_footprint_ratio=spec.b_footprint_ratio if spec else 1.0,
+        async_smem_copy=async_smem,
+    )
+    ts.validate()
+    return ts

@@ -1,0 +1,51 @@
+"""Timeline trace utilities: render per-threadblock pipeline activity.
+
+Used by the ablation benches and examples to visualize how multi-stage /
+multi-level pipelining removes stalls — the quantitative counterpart of
+the paper's Figs. 2 and 3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+__all__ = ["stall_time", "format_timeline"]
+
+TraceEvent = Tuple[int, str, float, float]
+
+
+def stall_time(trace: List[TraceEvent]) -> Dict[int, float]:
+    """Total time each threadblock spent blocked in ``smem_wait`` events."""
+    out: Dict[int, float] = {}
+    for tb, name, start, end in trace:
+        if name.startswith("smem_wait"):
+            out[tb] = out.get(tb, 0.0) + (end - start)
+    return out
+
+
+def format_timeline(trace: List[TraceEvent], width: int = 72) -> str:
+    """Render an ASCII Gantt chart: one row per (threadblock, activity kind).
+
+    ``#`` marks compute (``use``), ``.`` marks waiting on data
+    (``smem_wait``), ``=`` marks the epilogue write.
+    """
+    if not trace:
+        return "(empty trace)"
+    t_end = max(e[3] for e in trace)
+    if t_end <= 0:
+        return "(zero-length trace)"
+    scale = width / t_end
+    rows: Dict[Tuple[int, str], List[str]] = {}
+    glyph = {"use": "#", "smem_wait": ".", "epilogue": "="}
+    for tb, name, start, end in trace:
+        kind = name.split("[")[0]
+        key = (tb, kind)
+        row = rows.setdefault(key, [" "] * width)
+        a = min(width - 1, int(start * scale))
+        b = min(width, max(a + 1, int(end * scale)))
+        for i in range(a, b):
+            row[i] = glyph.get(kind, "?")
+    lines = [f"timeline ({t_end:.1f} us total; '#'=compute '.'=stall '='=epilogue)"]
+    for (tb, kind) in sorted(rows):
+        lines.append(f"  tb{tb} {kind:9s} |{''.join(rows[(tb, kind)])}|")
+    return "\n".join(lines)

@@ -1,0 +1,5 @@
+"""IR interpreters (eager reference semantics and pipeline semantics)."""
+
+from .executor import InterpreterError, PipelineHazardError, run_kernel
+
+__all__ = ["InterpreterError", "PipelineHazardError", "run_kernel"]

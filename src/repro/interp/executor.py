@@ -1,0 +1,317 @@
+"""IR interpreters: functional (eager) and pipeline-semantics execution.
+
+Two execution modes over real numpy data:
+
+* ``eager`` — asynchronous copies complete immediately and pipeline sync
+  primitives are no-ops. This is the *reference semantics* of the
+  untransformed IR.
+
+* ``pipeline`` — asynchronous copies into pipelined buffers are **staged**:
+  their writes are buffered per pipeline group and only become visible when
+  a ``consumer_wait`` applies the oldest committed batch, faithfully
+  modelling CUDA's ``cuda::pipeline`` (producer_acquire / producer_commit /
+  consumer_wait / consumer_release). On-chip buffers start filled with NaN,
+  so any read that on hardware would see stale or not-yet-arrived data
+  poisons the output instead of silently succeeding. Capacity violations
+  and waits on empty pipelines raise :class:`PipelineHazardError` — in a
+  single thread of control they correspond to device-side deadlocks.
+
+Barrier semantics mirror hardware: shared-memory pipelines are
+threadblock-wide (one barrier per threadblock regardless of how many warps
+execute the statement), while register pipelines are private to each warp.
+The interpreter realizes this by keying each sync statement's effect on the
+values of the non-``threadIdx`` loop variables for shared scope, and on all
+loop variables for register scope.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..ir.buffer import Buffer, BufferRegion, Scope
+from ..ir.expr import Var, evaluate
+from ..ir.stmt import (
+    Allocate,
+    ComputeStmt,
+    For,
+    ForKind,
+    IfThenElse,
+    Kernel,
+    MemCopy,
+    PipelineSync,
+    SeqStmt,
+    Stmt,
+    SyncKind,
+)
+from ..tensor.operation import ELEMENTWISE_FNS
+
+__all__ = ["InterpreterError", "PipelineHazardError", "run_kernel"]
+
+_NP_DTYPE = {
+    "float16": np.float16,
+    "float32": np.float32,
+    "float64": np.float64,
+    "int8": np.int8,
+    "int32": np.int32,
+}
+
+
+class InterpreterError(Exception):
+    """Generic interpretation failure (bad IR reaching the executor)."""
+
+
+class PipelineHazardError(InterpreterError):
+    """A pipeline protocol violation that would deadlock or corrupt data on
+    hardware: acquire beyond capacity, wait on an empty pipeline, release
+    without a waited batch, or an async copy outside any pipeline group."""
+
+
+class _GroupState:
+    """Runtime state of one pipeline group instance (one threadblock for
+    shared scope; one warp for register scope)."""
+
+    __slots__ = ("stages", "pending", "pending_open", "committed", "applied_unreleased")
+
+    def __init__(self, stages: int) -> None:
+        self.stages = stages
+        self.pending: List[Tuple[np.ndarray, Tuple, np.ndarray]] = []
+        self.pending_open = False
+        self.committed: List[List[Tuple[np.ndarray, Tuple, np.ndarray]]] = []
+        self.applied_unreleased = 0
+
+    @property
+    def occupied(self) -> int:
+        return len(self.committed) + self.applied_unreleased + (1 if self.pending_open else 0)
+
+
+class _Executor:
+    def __init__(self, kernel: Kernel, arrays: Dict[Buffer, np.ndarray], mode: str) -> None:
+        self.kernel = kernel
+        self.arrays = arrays
+        self.mode = mode
+        self.env: Dict[Var, int] = {}
+        self.kinds: Dict[Var, ForKind] = {}
+        # Pipeline bookkeeping (pipeline mode only).
+        self.buffer_group: Dict[Buffer, object] = {}
+        self.group_scope: Dict[int, Scope] = {}
+        self.group_stages: Dict[int, int] = {}
+        self.states: Dict[Tuple, _GroupState] = {}
+        self.fired: set = set()
+        if mode == "pipeline":
+            for info in kernel.attrs.get("pipeline_groups", []) or []:
+                for b in info.buffers:
+                    self.buffer_group[b] = info
+                self.group_scope[id(info)] = info.scope
+                self.group_stages[id(info)] = info.stages
+
+    # ------------------------------------------------------------------ keys
+    def _context_key(self, scope: Scope) -> Tuple:
+        """Identity of the executing threadblock (shared scope) or warp
+        (register scope)."""
+        include_thread = scope is Scope.REGISTER
+        items = []
+        for var, value in self.env.items():
+            kind = self.kinds[var]
+            if kind is ForKind.BLOCK or (include_thread and kind is ForKind.THREAD):
+                items.append((var.name, value))
+        return tuple(sorted(items))
+
+    def _barrier_key(self, stmt: PipelineSync, scope: Scope) -> Tuple:
+        """Fire-once identity of a sync statement execution: hardware
+        barriers execute once per threadblock (shared) / per warp (register)
+        per surrounding sequential iteration."""
+        include_thread = scope is Scope.REGISTER
+        items = []
+        for var, value in self.env.items():
+            kind = self.kinds[var]
+            if kind is ForKind.THREAD and not include_thread:
+                continue
+            items.append((var.name, value))
+        return (id(stmt), tuple(sorted(items)))
+
+    def _state_for(self, info) -> _GroupState:
+        key = (id(info), self._context_key(info.scope))
+        st = self.states.get(key)
+        if st is None:
+            st = _GroupState(info.stages)
+            self.states[key] = st
+        return st
+
+    # ------------------------------------------------------------------ data
+    def _region_index(self, region: BufferRegion) -> Tuple:
+        """Concrete numpy index: extent-1 dims are squeezed to ints so
+        compute functions see the natural fragment rank."""
+        idx = []
+        last = len(region.offsets) - 1
+        for axis, (off_expr, ext, dim) in enumerate(
+            zip(region.offsets, region.extents, region.buffer.shape)
+        ):
+            off = evaluate(off_expr, self.env)
+            if off < 0 or off + ext > dim:
+                raise InterpreterError(
+                    f"region [{off}, {off + ext}) out of bounds for dim {dim} "
+                    f"of {region.buffer.name}"
+                )
+            # Squeeze unit dims so compute fns see natural fragment ranks —
+            # but keep the last axis a slice, or an all-unit region would
+            # collapse to a 0-d scalar instead of a mutable view.
+            if ext == 1 and axis != last:
+                idx.append(off)
+            else:
+                idx.append(slice(off, off + ext))
+        return tuple(idx)
+
+    def _view(self, region: BufferRegion) -> np.ndarray:
+        return self.arrays[region.buffer][self._region_index(region)]
+
+    # ------------------------------------------------------------------ stmts
+    def exec(self, stmt: Stmt) -> None:
+        if isinstance(stmt, SeqStmt):
+            for s in stmt.stmts:
+                self.exec(s)
+        elif isinstance(stmt, For):
+            extent = evaluate(stmt.extent, self.env)
+            self.kinds[stmt.var] = stmt.kind
+            for i in range(extent):
+                self.env[stmt.var] = i
+                self.exec(stmt.body)
+            del self.env[stmt.var]
+            del self.kinds[stmt.var]
+        elif isinstance(stmt, IfThenElse):
+            if evaluate(stmt.cond, self.env):
+                self.exec(stmt.then_body)
+            elif stmt.else_body is not None:
+                self.exec(stmt.else_body)
+        elif isinstance(stmt, Allocate):
+            arr = np.empty(stmt.buffer.shape, dtype=_NP_DTYPE[stmt.buffer.dtype])
+            if arr.dtype.kind == "f":
+                arr.fill(np.nan)  # stale reads must poison, not pass
+            else:
+                arr.fill(-(2**30))
+            self.arrays[stmt.buffer] = arr
+            self.exec(stmt.body)
+            del self.arrays[stmt.buffer]
+        elif isinstance(stmt, MemCopy):
+            self._exec_copy(stmt)
+        elif isinstance(stmt, ComputeStmt):
+            out = self._view(stmt.out)
+            ins = [self._view(r) for r in stmt.inputs]
+            if stmt.fn is None:
+                raise InterpreterError(f"compute statement {stmt.kind!r} has no semantics fn")
+            stmt.fn(out, *ins)
+        elif isinstance(stmt, PipelineSync):
+            self._exec_sync(stmt)
+        else:
+            raise InterpreterError(f"unknown statement {type(stmt).__name__}")
+
+    def _exec_copy(self, stmt: MemCopy) -> None:
+        src = self._view(stmt.src)
+        fused = stmt.annotations.get("fused_fn")
+        if fused is not None:
+            for fn_name in (fused,) if isinstance(fused, str) else fused:
+                src = ELEMENTWISE_FNS[fn_name](src)
+        dst_arr = self.arrays[stmt.dst.buffer]
+        dst_idx = self._region_index(stmt.dst)
+        data = np.asarray(src).reshape(dst_arr[dst_idx].shape).astype(dst_arr.dtype)
+
+        if self.mode == "pipeline" and stmt.is_async:
+            info = self.buffer_group.get(stmt.dst.buffer)
+            if info is None:
+                raise PipelineHazardError(
+                    f"asynchronous copy into {stmt.dst.buffer.name} which is "
+                    "not part of any pipeline group; did the pipelining pass run?"
+                )
+            st = self._state_for(info)
+            if not st.pending_open:
+                raise PipelineHazardError(
+                    f"async copy into {stmt.dst.buffer.name} outside a "
+                    "producer_acquire/commit window"
+                )
+            st.pending.append((dst_arr, dst_idx, data))
+        else:
+            dst_arr[dst_idx] = data
+
+    def _exec_sync(self, stmt: PipelineSync) -> None:
+        if self.mode != "pipeline":
+            return
+        info = self.buffer_group.get(stmt.buffer)
+        if info is None:
+            raise PipelineHazardError(
+                f"sync on {stmt.buffer.name} which is not part of any pipeline group"
+            )
+        key = self._barrier_key(stmt, info.scope)
+        if key in self.fired:
+            return  # a TB-wide barrier executed by another warp
+        self.fired.add(key)
+        st = self._state_for(info)
+        if stmt.kind is SyncKind.PRODUCER_ACQUIRE:
+            if st.occupied >= st.stages:
+                raise PipelineHazardError(
+                    f"producer_acquire on {stmt.buffer.name}: all "
+                    f"{st.stages} stages occupied; device would deadlock"
+                )
+            st.pending_open = True
+            st.pending = []
+        elif stmt.kind is SyncKind.PRODUCER_COMMIT:
+            if not st.pending_open:
+                raise PipelineHazardError(
+                    f"producer_commit on {stmt.buffer.name} without a matching acquire"
+                )
+            st.committed.append(st.pending)
+            st.pending = []
+            st.pending_open = False
+        elif stmt.kind is SyncKind.CONSUMER_WAIT:
+            if not st.committed:
+                raise PipelineHazardError(
+                    f"consumer_wait on {stmt.buffer.name} with no committed "
+                    "batch; device would deadlock"
+                )
+            for arr, idx, data in st.committed.pop(0):
+                arr[idx] = data
+            st.applied_unreleased += 1
+        elif stmt.kind is SyncKind.CONSUMER_RELEASE:
+            if st.applied_unreleased <= 0:
+                raise PipelineHazardError(
+                    f"consumer_release on {stmt.buffer.name} without a waited batch"
+                )
+            st.applied_unreleased -= 1
+
+
+def run_kernel(
+    kernel: Kernel,
+    inputs: Dict[str, np.ndarray],
+    mode: str = "eager",
+) -> Dict[str, np.ndarray]:
+    """Execute ``kernel`` on numpy inputs and return all parameter arrays.
+
+    Parameters
+    ----------
+    kernel:
+        A lowered (and possibly pipelined) kernel.
+    inputs:
+        Arrays for input parameters, keyed by buffer name. Output parameters
+        may be omitted; they are allocated and NaN-filled.
+    mode:
+        ``"eager"`` or ``"pipeline"`` (see module docstring).
+    """
+    if mode not in ("eager", "pipeline"):
+        raise ValueError(f"unknown mode {mode!r}")
+    arrays: Dict[Buffer, np.ndarray] = {}
+    for param in kernel.params:
+        dtype = _NP_DTYPE[param.dtype]
+        if param.name in inputs:
+            arr = np.asarray(inputs[param.name], dtype=dtype)
+            if arr.shape != param.shape:
+                raise InterpreterError(
+                    f"input {param.name} has shape {arr.shape}, expected {param.shape}"
+                )
+            arrays[param] = arr.copy()
+        else:
+            arr = np.empty(param.shape, dtype=dtype)
+            arr.fill(np.nan if arr.dtype.kind == "f" else -(2**30))
+            arrays[param] = arr
+    ex = _Executor(kernel, arrays, mode)
+    ex.exec(kernel.body)
+    return {p.name: arrays[p] for p in kernel.params}

@@ -1,0 +1,92 @@
+"""Chunk-granularity tensor IR: expressions, buffers, statements, tooling.
+
+This package is the substrate the ALCOP pipelining transformation operates
+on — the reproduction's stand-in for TVM's TensorIR. See ``DESIGN.md``.
+"""
+
+from .buffer import Buffer, BufferRegion, Scope, DTYPE_BYTES
+from .expr import (
+    BinOp,
+    Expr,
+    FloatImm,
+    IntImm,
+    Var,
+    as_expr,
+    const,
+    evaluate,
+    floordiv,
+    floormod,
+    free_vars,
+    imax,
+    imin,
+    simplify,
+    struct_equal,
+    substitute,
+)
+from .stmt import (
+    Allocate,
+    ComputeStmt,
+    For,
+    ForKind,
+    IfThenElse,
+    Kernel,
+    MemCopy,
+    PipelineSync,
+    SeqStmt,
+    Stmt,
+    SyncKind,
+    seq,
+)
+from .visitor import StmtMutator, StmtVisitor, post_order_visit, pre_order_find
+from .printer import format_kernel, format_stmt
+from .validate import ValidationError, validate_kernel, validate_stmt
+from .builder import IRBuilder
+
+__all__ = [
+    # buffer
+    "Buffer",
+    "BufferRegion",
+    "Scope",
+    "DTYPE_BYTES",
+    # expr
+    "BinOp",
+    "Expr",
+    "FloatImm",
+    "IntImm",
+    "Var",
+    "as_expr",
+    "const",
+    "evaluate",
+    "floordiv",
+    "floormod",
+    "free_vars",
+    "imax",
+    "imin",
+    "simplify",
+    "struct_equal",
+    "substitute",
+    # stmt
+    "Allocate",
+    "ComputeStmt",
+    "For",
+    "ForKind",
+    "IfThenElse",
+    "Kernel",
+    "MemCopy",
+    "PipelineSync",
+    "SeqStmt",
+    "Stmt",
+    "SyncKind",
+    "seq",
+    # tooling
+    "StmtMutator",
+    "StmtVisitor",
+    "post_order_visit",
+    "pre_order_find",
+    "format_kernel",
+    "format_stmt",
+    "ValidationError",
+    "validate_kernel",
+    "validate_stmt",
+    "IRBuilder",
+]

@@ -1,0 +1,171 @@
+"""IR analysis helpers shared by passes, validation and the simulator."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
+
+from .buffer import Buffer, BufferRegion
+from .expr import Expr, IntImm, Var, free_vars
+from .stmt import (
+    Allocate,
+    ComputeStmt,
+    For,
+    IfThenElse,
+    Kernel,
+    MemCopy,
+    PipelineSync,
+    SeqStmt,
+    Stmt,
+)
+
+__all__ = [
+    "walk_with_path",
+    "collect",
+    "collect_allocates",
+    "collect_copies",
+    "collect_computes",
+    "collect_syncs",
+    "buffers_read",
+    "buffers_written",
+    "loop_extent_int",
+    "enclosing_loops",
+    "count_nodes",
+    "stmt_regions_read",
+    "stmt_regions_written",
+]
+
+
+def walk_with_path(stmt: Stmt, _path: Tuple[Stmt, ...] = ()) -> Iterator[Tuple[Stmt, Tuple[Stmt, ...]]]:
+    """Yield ``(node, path)`` for every statement, pre-order.
+
+    ``path`` is the tuple of ancestor statements from the root down to (but
+    excluding) the node itself.
+    """
+    yield stmt, _path
+    child_path = _path + (stmt,)
+    if isinstance(stmt, For):
+        yield from walk_with_path(stmt.body, child_path)
+    elif isinstance(stmt, SeqStmt):
+        for s in stmt.stmts:
+            yield from walk_with_path(s, child_path)
+    elif isinstance(stmt, IfThenElse):
+        yield from walk_with_path(stmt.then_body, child_path)
+        if stmt.else_body is not None:
+            yield from walk_with_path(stmt.else_body, child_path)
+    elif isinstance(stmt, Allocate):
+        yield from walk_with_path(stmt.body, child_path)
+
+
+def collect(stmt: Stmt, pred: Callable[[Stmt], bool]) -> List[Stmt]:
+    """All statements satisfying ``pred``, pre-order."""
+    return [node for node, _ in walk_with_path(stmt) if pred(node)]
+
+
+def collect_allocates(stmt: Stmt) -> List[Allocate]:
+    return [s for s in collect(stmt, lambda n: isinstance(n, Allocate))]  # type: ignore[misc]
+
+
+def collect_copies(stmt: Stmt) -> List[MemCopy]:
+    return [s for s in collect(stmt, lambda n: isinstance(n, MemCopy))]  # type: ignore[misc]
+
+
+def collect_computes(stmt: Stmt) -> List[ComputeStmt]:
+    return [s for s in collect(stmt, lambda n: isinstance(n, ComputeStmt))]  # type: ignore[misc]
+
+
+def collect_syncs(stmt: Stmt) -> List[PipelineSync]:
+    return [s for s in collect(stmt, lambda n: isinstance(n, PipelineSync))]  # type: ignore[misc]
+
+
+def stmt_regions_read(stmt: Stmt) -> List[BufferRegion]:
+    """Regions read by a leaf statement (non-recursive)."""
+    if isinstance(stmt, MemCopy):
+        return [stmt.src]
+    if isinstance(stmt, ComputeStmt):
+        regions = list(stmt.inputs)
+        if stmt.annotations.get("accumulate", True):
+            regions.append(stmt.out)
+        return regions
+    return []
+
+
+def stmt_regions_written(stmt: Stmt) -> List[BufferRegion]:
+    """Regions written by a leaf statement (non-recursive)."""
+    if isinstance(stmt, MemCopy):
+        return [stmt.dst]
+    if isinstance(stmt, ComputeStmt):
+        return [stmt.out]
+    return []
+
+
+def buffers_read(stmt: Stmt) -> Set[Buffer]:
+    """All buffers read anywhere under ``stmt``."""
+    out: Set[Buffer] = set()
+    for node, _ in walk_with_path(stmt):
+        for r in stmt_regions_read(node):
+            out.add(r.buffer)
+    return out
+
+
+def buffers_written(stmt: Stmt) -> Set[Buffer]:
+    """All buffers written anywhere under ``stmt``."""
+    out: Set[Buffer] = set()
+    for node, _ in walk_with_path(stmt):
+        for r in stmt_regions_written(node):
+            out.add(r.buffer)
+    return out
+
+
+def loop_extent_int(loop: For) -> int:
+    """The loop extent as an int; raises if it is not a constant."""
+    if isinstance(loop.extent, IntImm):
+        return loop.extent.value
+    raise ValueError(
+        f"loop {loop.var.name} has a non-constant extent {loop.extent!r}; "
+        "this compiler requires static loop bounds"
+    )
+
+
+def enclosing_loops(path: Tuple[Stmt, ...]) -> List[For]:
+    """The ``For`` ancestors in a path, outermost first."""
+    return [s for s in path if isinstance(s, For)]
+
+
+def count_nodes(stmt: Stmt) -> int:
+    """Total number of statement nodes (used in tests and pass budgets)."""
+    return sum(1 for _ in walk_with_path(stmt))
+
+
+def loop_var_map(stmt: Stmt) -> Dict[Var, For]:
+    """Map each loop variable to its ``For`` node. Raises on duplicates."""
+    out: Dict[Var, For] = {}
+    for node, _ in walk_with_path(stmt):
+        if isinstance(node, For):
+            if node.var in out:
+                raise ValueError(f"loop variable {node.var.name} bound twice")
+            out[node.var] = node
+    return out
+
+
+def kernel_flops(kernel: Kernel) -> int:
+    """Total FLOPs executed by a kernel, assuming constant loop extents."""
+
+    def rec(stmt: Stmt, mult: int) -> int:
+        if isinstance(stmt, For):
+            return rec(stmt.body, mult * loop_extent_int(stmt))
+        if isinstance(stmt, SeqStmt):
+            return sum(rec(s, mult) for s in stmt.stmts)
+        if isinstance(stmt, IfThenElse):
+            # Conservative: count the then-branch (guards in pipelined code
+            # fire on a subset of iterations; FLOPs live outside guards).
+            total = rec(stmt.then_body, mult)
+            if stmt.else_body is not None:
+                total += rec(stmt.else_body, mult)
+            return total
+        if isinstance(stmt, Allocate):
+            return rec(stmt.body, mult)
+        if isinstance(stmt, ComputeStmt):
+            return stmt.flops * mult
+        return 0
+
+    return rec(kernel.body, 1)

@@ -1,0 +1,121 @@
+"""A small imperative builder for constructing IR in lowering code and tests.
+
+Example
+-------
+>>> from repro.ir import builder, buffer
+>>> b = builder.IRBuilder()
+>>> A = buffer.Buffer("A", (8, 8))
+>>> with b.allocate(buffer.Buffer("A_sh", (4, 4), scope=buffer.Scope.SHARED)) as A_sh:
+...     with b.serial_for("ko", 2) as ko:
+...         b.copy(A_sh.full_region(), A.region((ko * 4, 4), (0, 4)), is_async=True)
+>>> stmt = b.finish()
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, List, Optional
+
+from .buffer import Buffer, BufferRegion
+from .expr import Var
+from .stmt import (
+    Allocate,
+    ComputeStmt,
+    For,
+    ForKind,
+    IfThenElse,
+    MemCopy,
+    PipelineSync,
+    SeqStmt,
+    Stmt,
+    SyncKind,
+    seq,
+)
+
+__all__ = ["IRBuilder"]
+
+
+class _Frame:
+    """One open structural scope collecting child statements."""
+
+    def __init__(self, close) -> None:
+        self.stmts: List[Stmt] = []
+        self.close = close
+
+
+class IRBuilder:
+    """Collects statements into nested scopes; ``finish`` returns the tree."""
+
+    def __init__(self) -> None:
+        self._frames: List[_Frame] = [_Frame(close=None)]
+
+    # -- scopes --------------------------------------------------------------
+    @contextlib.contextmanager
+    def for_loop(self, name: str, extent, kind: ForKind = ForKind.SERIAL, annotations=None):
+        var = Var(name)
+        frame = _Frame(close=lambda body: For(var, extent, body, kind, annotations))
+        self._frames.append(frame)
+        try:
+            yield var
+        finally:
+            self._pop_frame()
+
+    def serial_for(self, name: str, extent, annotations=None):
+        return self.for_loop(name, extent, ForKind.SERIAL, annotations)
+
+    def block_for(self, name: str, extent):
+        return self.for_loop(name, extent, ForKind.BLOCK)
+
+    def thread_for(self, name: str, extent):
+        return self.for_loop(name, extent, ForKind.THREAD)
+
+    def unrolled_for(self, name: str, extent):
+        return self.for_loop(name, extent, ForKind.UNROLLED)
+
+    @contextlib.contextmanager
+    def allocate(self, buf: Buffer, attrs: Optional[Dict[str, object]] = None):
+        frame = _Frame(close=lambda body: Allocate(buf, body, attrs))
+        self._frames.append(frame)
+        try:
+            yield buf
+        finally:
+            self._pop_frame()
+
+    @contextlib.contextmanager
+    def if_then(self, cond):
+        frame = _Frame(close=lambda body: IfThenElse(cond, body))
+        self._frames.append(frame)
+        try:
+            yield
+        finally:
+            self._pop_frame()
+
+    # -- leaves ---------------------------------------------------------------
+    def emit(self, stmt: Stmt) -> None:
+        self._frames[-1].stmts.append(stmt)
+
+    def copy(self, dst: BufferRegion, src: BufferRegion, is_async: bool = False, **annotations) -> None:
+        self.emit(MemCopy(dst, src, is_async=is_async, annotations=annotations or None))
+
+    def compute(self, kind: str, out: BufferRegion, inputs, fn=None, flops: int = 0, **ann) -> None:
+        self.emit(ComputeStmt(kind, out, inputs, fn=fn, flops=flops, annotations=ann or None))
+
+    def sync(self, buf: Buffer, kind: SyncKind) -> None:
+        self.emit(PipelineSync(buf, kind))
+
+    # -- assembly -------------------------------------------------------------
+    def _pop_frame(self) -> None:
+        frame = self._frames.pop()
+        if not frame.stmts:
+            raise ValueError("scope closed without emitting any statement")
+        body = seq(*frame.stmts)
+        self._frames[-1].stmts.append(frame.close(body))
+
+    def finish(self) -> Stmt:
+        """Return the assembled tree; the builder must be back at top level."""
+        if len(self._frames) != 1:
+            raise RuntimeError(f"{len(self._frames) - 1} scope(s) still open")
+        frame = self._frames[0]
+        if not frame.stmts:
+            raise ValueError("no statements were emitted")
+        return seq(*frame.stmts)

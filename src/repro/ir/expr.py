@@ -1,0 +1,419 @@
+"""Scalar expression IR.
+
+This module implements the integer/float scalar expression language used in
+loop bounds and buffer indices, mirroring the role of ``tir.PrimExpr`` in TVM.
+Expressions are immutable trees built from :class:`Var`, :class:`IntImm`,
+:class:`FloatImm` and :class:`BinOp`.
+
+Python operators on :class:`Expr` build new nodes with on-the-fly constant
+folding, so ``(ko + 2) % 3`` written in pass code produces exactly the index
+expressions shown in Fig. 7 of the ALCOP paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, Mapping, Union
+
+__all__ = [
+    "Expr",
+    "Var",
+    "IntImm",
+    "FloatImm",
+    "BinOp",
+    "const",
+    "as_expr",
+    "evaluate",
+    "substitute",
+    "free_vars",
+    "simplify",
+    "struct_equal",
+    "floordiv",
+    "floormod",
+    "imin",
+    "imax",
+]
+
+ExprLike = Union["Expr", int, float]
+
+
+class Expr:
+    """Base class for all scalar expressions.
+
+    Expressions are immutable; arithmetic operators return new trees with
+    constant folding applied eagerly (e.g. ``IntImm(2) + IntImm(3)`` folds to
+    ``IntImm(5)`` and ``x * 1`` folds to ``x``).
+    """
+
+    __slots__ = ()
+
+    # -- arithmetic ---------------------------------------------------------
+    def __add__(self, other: ExprLike) -> "Expr":
+        return _binop("add", self, as_expr(other))
+
+    def __radd__(self, other: ExprLike) -> "Expr":
+        return _binop("add", as_expr(other), self)
+
+    def __sub__(self, other: ExprLike) -> "Expr":
+        return _binop("sub", self, as_expr(other))
+
+    def __rsub__(self, other: ExprLike) -> "Expr":
+        return _binop("sub", as_expr(other), self)
+
+    def __mul__(self, other: ExprLike) -> "Expr":
+        return _binop("mul", self, as_expr(other))
+
+    def __rmul__(self, other: ExprLike) -> "Expr":
+        return _binop("mul", as_expr(other), self)
+
+    def __floordiv__(self, other: ExprLike) -> "Expr":
+        return _binop("floordiv", self, as_expr(other))
+
+    def __rfloordiv__(self, other: ExprLike) -> "Expr":
+        return _binop("floordiv", as_expr(other), self)
+
+    def __mod__(self, other: ExprLike) -> "Expr":
+        return _binop("floormod", self, as_expr(other))
+
+    def __rmod__(self, other: ExprLike) -> "Expr":
+        return _binop("floormod", as_expr(other), self)
+
+    def __neg__(self) -> "Expr":
+        return _binop("sub", IntImm(0), self)
+
+    # -- comparisons (return Expr, so use struct_equal for identity) --------
+    def lt(self, other: ExprLike) -> "Expr":
+        return _binop("lt", self, as_expr(other))
+
+    def le(self, other: ExprLike) -> "Expr":
+        return _binop("le", self, as_expr(other))
+
+    def gt(self, other: ExprLike) -> "Expr":
+        return _binop("gt", self, as_expr(other))
+
+    def ge(self, other: ExprLike) -> "Expr":
+        return _binop("ge", self, as_expr(other))
+
+    def equal(self, other: ExprLike) -> "Expr":
+        return _binop("eq", self, as_expr(other))
+
+    def not_equal(self, other: ExprLike) -> "Expr":
+        return _binop("ne", self, as_expr(other))
+
+    def logical_and(self, other: ExprLike) -> "Expr":
+        return _binop("and", self, as_expr(other))
+
+    def logical_or(self, other: ExprLike) -> "Expr":
+        return _binop("or", self, as_expr(other))
+
+
+class IntImm(Expr):
+    """Integer immediate."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int) -> None:
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise TypeError(f"IntImm requires an int, got {value!r}")
+        self.value = value
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+
+class FloatImm(Expr):
+    """Floating-point immediate (used only in cost annotations)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float) -> None:
+        self.value = float(value)
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+class Var(Expr):
+    """A named scalar variable (loop iteration variable or parameter).
+
+    Identity-based: two ``Var`` objects with the same name are distinct
+    variables. Names exist for printing only.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("Var requires a non-empty name")
+        self.name = name
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+_OP_FUNCS: Dict[str, Callable[[int, int], int]] = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "floordiv": lambda a, b: a // b,
+    "floormod": lambda a, b: a % b,
+    "min": min,
+    "max": max,
+    "lt": lambda a, b: int(a < b),
+    "le": lambda a, b: int(a <= b),
+    "gt": lambda a, b: int(a > b),
+    "ge": lambda a, b: int(a >= b),
+    "eq": lambda a, b: int(a == b),
+    "ne": lambda a, b: int(a != b),
+    "and": lambda a, b: int(bool(a) and bool(b)),
+    "or": lambda a, b: int(bool(a) or bool(b)),
+}
+
+_OP_SYMBOLS: Dict[str, str] = {
+    "add": "+",
+    "sub": "-",
+    "mul": "*",
+    "floordiv": "//",
+    "floormod": "%",
+    "lt": "<",
+    "le": "<=",
+    "gt": ">",
+    "ge": ">=",
+    "eq": "==",
+    "ne": "!=",
+    "and": "&&",
+    "or": "||",
+}
+
+
+class BinOp(Expr):
+    """Binary operation node. ``op`` is one of the keys of ``_OP_FUNCS``."""
+
+    __slots__ = ("op", "a", "b")
+
+    def __init__(self, op: str, a: Expr, b: Expr) -> None:
+        if op not in _OP_FUNCS:
+            raise ValueError(f"unknown binary op {op!r}")
+        self.op = op
+        self.a = a
+        self.b = b
+
+    def __repr__(self) -> str:
+        if self.op in ("min", "max"):
+            return f"{self.op}({self.a!r}, {self.b!r})"
+        return f"({self.a!r} {_OP_SYMBOLS[self.op]} {self.b!r})"
+
+
+def const(value: int) -> IntImm:
+    """Create an integer immediate."""
+    return IntImm(value)
+
+
+def as_expr(value: ExprLike) -> Expr:
+    """Coerce a Python number into an :class:`Expr` (identity on Expr)."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        return IntImm(int(value))
+    if isinstance(value, int):
+        return IntImm(value)
+    if isinstance(value, float):
+        return FloatImm(value)
+    raise TypeError(f"cannot convert {value!r} to Expr")
+
+
+def _binop(op: str, a: Expr, b: Expr) -> Expr:
+    """Build a binary op with eager constant folding and identity rules."""
+    # Constant folding.
+    if isinstance(a, IntImm) and isinstance(b, IntImm):
+        if op in ("floordiv", "floormod") and b.value == 0:
+            raise ZeroDivisionError(f"{op} by zero in constant fold")
+        return IntImm(_OP_FUNCS[op](a.value, b.value))
+    # Identity simplifications (integers only; they keep pass output tidy).
+    if op == "add":
+        if isinstance(a, IntImm) and a.value == 0:
+            return b
+        if isinstance(b, IntImm) and b.value == 0:
+            return a
+    elif op == "sub":
+        if isinstance(b, IntImm) and b.value == 0:
+            return a
+    elif op == "mul":
+        if isinstance(a, IntImm):
+            if a.value == 0:
+                return IntImm(0)
+            if a.value == 1:
+                return b
+        if isinstance(b, IntImm):
+            if b.value == 0:
+                return IntImm(0)
+            if b.value == 1:
+                return a
+    elif op == "floordiv":
+        if isinstance(b, IntImm) and b.value == 1:
+            return a
+        if isinstance(a, IntImm) and a.value == 0:
+            return IntImm(0)
+    elif op == "floormod":
+        if isinstance(b, IntImm) and b.value == 1:
+            return IntImm(0)
+        if isinstance(a, IntImm) and a.value == 0:
+            return IntImm(0)
+    return BinOp(op, a, b)
+
+
+def floordiv(a: ExprLike, b: ExprLike) -> Expr:
+    """Floor division node (Python ``//`` semantics)."""
+    return _binop("floordiv", as_expr(a), as_expr(b))
+
+
+def floormod(a: ExprLike, b: ExprLike) -> Expr:
+    """Floor modulo node (Python ``%`` semantics)."""
+    return _binop("floormod", as_expr(a), as_expr(b))
+
+
+def imin(a: ExprLike, b: ExprLike) -> Expr:
+    """Minimum of two expressions."""
+    return _binop("min", as_expr(a), as_expr(b))
+
+
+def imax(a: ExprLike, b: ExprLike) -> Expr:
+    """Maximum of two expressions."""
+    return _binop("max", as_expr(a), as_expr(b))
+
+
+def evaluate(expr: ExprLike, env: Mapping[Var, int]) -> int:
+    """Evaluate ``expr`` to a Python number under variable bindings ``env``.
+
+    Raises ``KeyError`` if a free variable is unbound.
+    """
+    expr = as_expr(expr)
+    if isinstance(expr, IntImm):
+        return expr.value
+    if isinstance(expr, FloatImm):
+        return expr.value
+    if isinstance(expr, Var):
+        try:
+            return env[expr]
+        except KeyError:
+            raise KeyError(f"unbound variable {expr.name!r} during evaluation") from None
+    if isinstance(expr, BinOp):
+        a = evaluate(expr.a, env)
+        b = evaluate(expr.b, env)
+        if expr.op in ("floordiv", "floormod") and b == 0:
+            raise ZeroDivisionError(f"{expr.op} by zero evaluating {expr!r}")
+        return _OP_FUNCS[expr.op](a, b)
+    raise TypeError(f"cannot evaluate {expr!r}")
+
+
+def substitute(expr: ExprLike, mapping: Mapping[Var, ExprLike]) -> Expr:
+    """Substitute variables in ``expr`` according to ``mapping``.
+
+    Re-folds constants as it rebuilds, so substituting concrete values
+    simplifies the tree.
+    """
+    expr = as_expr(expr)
+    if isinstance(expr, Var):
+        if expr in mapping:
+            return as_expr(mapping[expr])
+        return expr
+    if isinstance(expr, (IntImm, FloatImm)):
+        return expr
+    if isinstance(expr, BinOp):
+        a = substitute(expr.a, mapping)
+        b = substitute(expr.b, mapping)
+        if a is expr.a and b is expr.b:
+            return expr
+        return _binop(expr.op, a, b)
+    raise TypeError(f"cannot substitute into {expr!r}")
+
+
+def free_vars(expr: ExprLike) -> set:
+    """Return the set of :class:`Var` nodes appearing in ``expr``."""
+    out: set = set()
+
+    def walk(e: Expr) -> None:
+        if isinstance(e, Var):
+            out.add(e)
+        elif isinstance(e, BinOp):
+            walk(e.a)
+            walk(e.b)
+
+    walk(as_expr(expr))
+    return out
+
+
+def _iter_sum_terms(expr: Expr) -> Iterator[Expr]:
+    """Yield the addends of a (possibly nested) sum."""
+    if isinstance(expr, BinOp) and expr.op == "add":
+        yield from _iter_sum_terms(expr.a)
+        yield from _iter_sum_terms(expr.b)
+    else:
+        yield expr
+
+
+def simplify(expr: ExprLike) -> Expr:
+    """Light-weight algebraic simplifier.
+
+    Applies constant folding bottom-up plus a few rewrite rules that matter
+    for index expressions produced by the pipelining pass:
+
+    * ``(x % n) % n  -> x % n``
+    * ``(x % n) // n -> 0``
+    * constant-term gathering in sums: ``(x + 1) + 2 -> x + 3``
+    """
+    expr = as_expr(expr)
+    if not isinstance(expr, BinOp):
+        return expr
+    a = simplify(expr.a)
+    b = simplify(expr.b)
+    rebuilt = _binop(expr.op, a, b)
+    if not isinstance(rebuilt, BinOp):
+        return rebuilt
+    a, b, op = rebuilt.a, rebuilt.b, rebuilt.op
+
+    if op == "floormod" and isinstance(b, IntImm):
+        # (x % n) % n -> x % n
+        if isinstance(a, BinOp) and a.op == "floormod" and isinstance(a.b, IntImm):
+            if a.b.value == b.value:
+                return a
+    if op == "floordiv" and isinstance(b, IntImm) and b.value > 0:
+        # (x % n) // n -> 0   for 0 <= x % n < n
+        if isinstance(a, BinOp) and a.op == "floormod" and isinstance(a.b, IntImm):
+            if a.b.value == b.value:
+                return IntImm(0)
+    if op == "add":
+        # Gather constant addends: rebuild sum with a single trailing IntImm.
+        terms = list(_iter_sum_terms(rebuilt))
+        const_total = sum(t.value for t in terms if isinstance(t, IntImm))
+        sym_terms = [t for t in terms if not isinstance(t, IntImm)]
+        if len(sym_terms) < len(terms) - 1 or (
+            len(sym_terms) == len(terms) - 1 and isinstance(terms[-1], IntImm) is False
+        ):
+            out: Expr
+            if not sym_terms:
+                return IntImm(const_total)
+            out = sym_terms[0]
+            for t in sym_terms[1:]:
+                out = _binop("add", out, t)
+            if const_total != 0:
+                out = _binop("add", out, IntImm(const_total))
+            return out
+    return rebuilt
+
+
+def struct_equal(a: ExprLike, b: ExprLike) -> bool:
+    """Structural equality of two expression trees (Var compared by identity)."""
+    a = as_expr(a)
+    b = as_expr(b)
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, IntImm):
+        return a.value == b.value  # type: ignore[union-attr]
+    if isinstance(a, FloatImm):
+        return a.value == b.value  # type: ignore[union-attr]
+    if isinstance(a, Var):
+        return a is b
+    if isinstance(a, BinOp):
+        assert isinstance(b, BinOp)
+        return a.op == b.op and struct_equal(a.a, b.a) and struct_equal(a.b, b.b)
+    raise TypeError(f"unknown expr {a!r}")

@@ -1,0 +1,79 @@
+"""Pretty-printer producing text in the style of the paper's Fig. 7."""
+
+from __future__ import annotations
+
+from .stmt import (
+    Allocate,
+    ComputeStmt,
+    For,
+    ForKind,
+    IfThenElse,
+    Kernel,
+    MemCopy,
+    PipelineSync,
+    SeqStmt,
+    Stmt,
+)
+
+__all__ = ["format_stmt", "format_kernel"]
+
+_FOR_PREFIX = {
+    ForKind.SERIAL: "for",
+    ForKind.BLOCK: "parallel[blockIdx] for",
+    ForKind.THREAD: "parallel[threadIdx] for",
+    ForKind.UNROLLED: "unrolled for",
+    ForKind.VECTORIZED: "vectorized for",
+}
+
+
+def _region(r) -> str:
+    parts = []
+    for off, ext in zip(r.offsets, r.extents):
+        parts.append(f"{off!r}" if ext == 1 else f"{off!r}:+{ext}")
+    return f"{r.buffer.name}[{', '.join(parts)}]"
+
+
+def _lines(stmt: Stmt, indent: int, out: list) -> None:
+    pad = "  " * indent
+    if isinstance(stmt, SeqStmt):
+        for s in stmt.stmts:
+            _lines(s, indent, out)
+    elif isinstance(stmt, For):
+        ann = f"  # {stmt.annotations}" if stmt.annotations else ""
+        out.append(f"{pad}{_FOR_PREFIX[stmt.kind]} {stmt.var.name} in 0..{stmt.extent!r}:{ann}")
+        _lines(stmt.body, indent + 1, out)
+    elif isinstance(stmt, IfThenElse):
+        out.append(f"{pad}if {stmt.cond!r}:")
+        _lines(stmt.then_body, indent + 1, out)
+        if stmt.else_body is not None:
+            out.append(f"{pad}else:")
+            _lines(stmt.else_body, indent + 1, out)
+    elif isinstance(stmt, Allocate):
+        attrs = f"  # {stmt.attrs}" if stmt.attrs else ""
+        shape = "][".join(str(s) for s in stmt.buffer.shape)
+        out.append(f"{pad}alloc {stmt.buffer.name}[{shape}] @{stmt.buffer.scope.value}{attrs}")
+        _lines(stmt.body, indent, out)
+    elif isinstance(stmt, MemCopy):
+        op = "async_memcpy" if stmt.is_async else "memcpy"
+        out.append(f"{pad}{op}({_region(stmt.dst)}, {_region(stmt.src)})")
+    elif isinstance(stmt, ComputeStmt):
+        ins = ", ".join(_region(r) for r in stmt.inputs)
+        out.append(f"{pad}{stmt.kind}({_region(stmt.out)}, {ins})")
+    elif isinstance(stmt, PipelineSync):
+        out.append(f"{pad}{stmt.buffer.name}.{stmt.kind.value}()")
+    else:
+        raise TypeError(f"unknown stmt {type(stmt).__name__}")
+
+
+def format_stmt(stmt: Stmt) -> str:
+    """Render a statement tree as indented pseudo-code."""
+    out: list = []
+    _lines(stmt, 0, out)
+    return "\n".join(out)
+
+
+def format_kernel(kernel: Kernel) -> str:
+    """Render a kernel with its signature."""
+    params = ", ".join(repr(p) for p in kernel.params)
+    header = f"kernel {kernel.name}({params}):"
+    return header + "\n" + format_stmt(kernel.body)

@@ -1,0 +1,102 @@
+"""IR well-formedness validation.
+
+``validate_kernel`` checks the structural invariants every pass must
+preserve. It is cheap enough to run after every transformation in tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from .buffer import Buffer
+from .expr import Var, free_vars
+from .stmt import (
+    Allocate,
+    ComputeStmt,
+    For,
+    IfThenElse,
+    Kernel,
+    MemCopy,
+    PipelineSync,
+    SeqStmt,
+    Stmt,
+)
+
+__all__ = ["ValidationError", "validate_kernel", "validate_stmt"]
+
+
+class ValidationError(Exception):
+    """Raised when an IR tree violates a structural invariant."""
+
+
+def _check(cond: bool, msg: str) -> None:
+    if not cond:
+        raise ValidationError(msg)
+
+
+def validate_stmt(stmt: Stmt, visible_buffers: Set[Buffer], bound_vars: Set[Var]) -> None:
+    """Recursively validate a statement subtree.
+
+    Invariants checked:
+
+    * every buffer referenced by a region is a parameter or allocated in an
+      enclosing :class:`Allocate`;
+    * every variable in region offsets / loop extents / conditions is bound
+      by an enclosing :class:`For`;
+    * loop variables are not rebound;
+    * ``PipelineSync`` references a visible buffer;
+    * region ranks already match their buffers (enforced by constructors).
+    """
+    if isinstance(stmt, For):
+        _check(stmt.var not in bound_vars, f"loop var {stmt.var.name} rebound")
+        for v in free_vars(stmt.extent):
+            _check(v in bound_vars, f"unbound var {v.name} in extent of loop {stmt.var.name}")
+        validate_stmt(stmt.body, visible_buffers, bound_vars | {stmt.var})
+    elif isinstance(stmt, SeqStmt):
+        for s in stmt.stmts:
+            validate_stmt(s, visible_buffers, bound_vars)
+    elif isinstance(stmt, IfThenElse):
+        for v in free_vars(stmt.cond):
+            _check(v in bound_vars, f"unbound var {v.name} in condition")
+        validate_stmt(stmt.then_body, visible_buffers, bound_vars)
+        if stmt.else_body is not None:
+            validate_stmt(stmt.else_body, visible_buffers, bound_vars)
+    elif isinstance(stmt, Allocate):
+        _check(
+            stmt.buffer not in visible_buffers,
+            f"buffer {stmt.buffer.name} allocated twice",
+        )
+        stages = stmt.attrs.get("pipeline_stages")
+        if stages is not None:
+            _check(
+                isinstance(stages, int) and stages >= 1,
+                f"pipeline_stages on {stmt.buffer.name} must be a positive int",
+            )
+        validate_stmt(stmt.body, visible_buffers | {stmt.buffer}, bound_vars)
+    elif isinstance(stmt, (MemCopy, ComputeStmt)):
+        regions = []
+        if isinstance(stmt, MemCopy):
+            regions = [stmt.dst, stmt.src]
+        else:
+            regions = [stmt.out, *stmt.inputs]
+        for r in regions:
+            _check(
+                r.buffer in visible_buffers,
+                f"region references buffer {r.buffer.name} not visible here",
+            )
+            for v in r.free_vars():
+                _check(v in bound_vars, f"unbound var {v.name} in region of {r.buffer.name}")
+    elif isinstance(stmt, PipelineSync):
+        _check(
+            stmt.buffer in visible_buffers,
+            f"sync references buffer {stmt.buffer.name} not visible here",
+        )
+    else:
+        raise ValidationError(f"unknown statement type {type(stmt).__name__}")
+
+
+def validate_kernel(kernel: Kernel) -> None:
+    """Validate a complete kernel; raises :class:`ValidationError` on failure."""
+    names: List[str] = [p.name for p in kernel.params]
+    _check(len(names) == len(set(names)), f"duplicate parameter names in {names}")
+    validate_stmt(kernel.body, set(kernel.params), set())

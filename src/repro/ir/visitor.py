@@ -1,0 +1,191 @@
+"""Visitors and mutators over the statement IR.
+
+:class:`StmtVisitor` walks a tree calling ``visit_<nodetype>`` hooks;
+:class:`StmtMutator` rebuilds a tree bottom-up, preserving node identity when
+nothing changed (so unchanged subtrees are shared, which keeps passes cheap
+and makes "did anything change" checks trivial).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .stmt import (
+    Allocate,
+    ComputeStmt,
+    For,
+    IfThenElse,
+    Kernel,
+    MemCopy,
+    PipelineSync,
+    SeqStmt,
+    Stmt,
+)
+
+__all__ = ["StmtVisitor", "StmtMutator", "post_order_visit", "pre_order_find"]
+
+
+class StmtVisitor:
+    """Read-only traversal. Override ``visit_*`` methods; call ``visit``."""
+
+    def visit(self, stmt: Stmt) -> None:
+        method = getattr(self, f"visit_{type(stmt).__name__.lower()}", None)
+        if method is not None:
+            method(stmt)
+        else:
+            self.generic_visit(stmt)
+
+    def generic_visit(self, stmt: Stmt) -> None:
+        """Visit children of ``stmt``."""
+        if isinstance(stmt, For):
+            self.visit(stmt.body)
+        elif isinstance(stmt, SeqStmt):
+            for s in stmt.stmts:
+                self.visit(s)
+        elif isinstance(stmt, IfThenElse):
+            self.visit(stmt.then_body)
+            if stmt.else_body is not None:
+                self.visit(stmt.else_body)
+        elif isinstance(stmt, Allocate):
+            self.visit(stmt.body)
+        elif isinstance(stmt, (MemCopy, ComputeStmt, PipelineSync)):
+            pass
+        else:
+            raise TypeError(f"unknown stmt {type(stmt).__name__}")
+
+    # Default hooks simply recurse; subclasses override the ones they need
+    # and are expected to call generic_visit (or visit children manually).
+    def visit_for(self, stmt: For) -> None:
+        self.generic_visit(stmt)
+
+    def visit_seqstmt(self, stmt: SeqStmt) -> None:
+        self.generic_visit(stmt)
+
+    def visit_ifthenelse(self, stmt: IfThenElse) -> None:
+        self.generic_visit(stmt)
+
+    def visit_allocate(self, stmt: Allocate) -> None:
+        self.generic_visit(stmt)
+
+    def visit_memcopy(self, stmt: MemCopy) -> None:
+        pass
+
+    def visit_computestmt(self, stmt: ComputeStmt) -> None:
+        pass
+
+    def visit_pipelinesync(self, stmt: PipelineSync) -> None:
+        pass
+
+
+class StmtMutator:
+    """Rebuild a statement tree. Override ``visit_*``; each must return a
+    :class:`Stmt` (or ``None`` to delete the node where a deletion makes
+    sense — inside a :class:`SeqStmt`)."""
+
+    def visit(self, stmt: Stmt) -> Optional[Stmt]:
+        method = getattr(self, f"visit_{type(stmt).__name__.lower()}", None)
+        if method is not None:
+            return method(stmt)
+        return self.generic_visit(stmt)
+
+    def generic_visit(self, stmt: Stmt) -> Optional[Stmt]:
+        if isinstance(stmt, For):
+            body = self.visit(stmt.body)
+            if body is None:
+                return None
+            if body is stmt.body:
+                return stmt
+            return stmt.with_body(body)
+        if isinstance(stmt, SeqStmt):
+            new_stmts = []
+            changed = False
+            for s in stmt.stmts:
+                ns = self.visit(s)
+                if ns is not s:
+                    changed = True
+                if ns is not None:
+                    new_stmts.append(ns)
+            if not changed:
+                return stmt
+            if not new_stmts:
+                return None
+            if len(new_stmts) == 1:
+                return new_stmts[0]
+            return SeqStmt(new_stmts)
+        if isinstance(stmt, IfThenElse):
+            then_body = self.visit(stmt.then_body)
+            else_body = self.visit(stmt.else_body) if stmt.else_body is not None else None
+            if then_body is stmt.then_body and else_body is stmt.else_body:
+                return stmt
+            if then_body is None:
+                if else_body is None:
+                    return None
+                raise ValueError("cannot delete then-branch while keeping else-branch")
+            return IfThenElse(stmt.cond, then_body, else_body)
+        if isinstance(stmt, Allocate):
+            body = self.visit(stmt.body)
+            if body is None:
+                return None
+            if body is stmt.body:
+                return stmt
+            return stmt.with_body(body)
+        if isinstance(stmt, (MemCopy, ComputeStmt, PipelineSync)):
+            return stmt
+        raise TypeError(f"unknown stmt {type(stmt).__name__}")
+
+    def visit_for(self, stmt: For) -> Optional[Stmt]:
+        return self.generic_visit(stmt)
+
+    def visit_seqstmt(self, stmt: SeqStmt) -> Optional[Stmt]:
+        return self.generic_visit(stmt)
+
+    def visit_ifthenelse(self, stmt: IfThenElse) -> Optional[Stmt]:
+        return self.generic_visit(stmt)
+
+    def visit_allocate(self, stmt: Allocate) -> Optional[Stmt]:
+        return self.generic_visit(stmt)
+
+    def visit_memcopy(self, stmt: MemCopy) -> Optional[Stmt]:
+        return stmt
+
+    def visit_computestmt(self, stmt: ComputeStmt) -> Optional[Stmt]:
+        return stmt
+
+    def visit_pipelinesync(self, stmt: PipelineSync) -> Optional[Stmt]:
+        return stmt
+
+    def mutate_kernel(self, kernel: Kernel) -> Kernel:
+        body = self.visit(kernel.body)
+        if body is None:
+            raise ValueError("mutator deleted the whole kernel body")
+        if body is kernel.body:
+            return kernel
+        return kernel.with_body(body)
+
+
+def post_order_visit(stmt: Stmt, fn: Callable[[Stmt], None]) -> None:
+    """Call ``fn`` on every statement in post-order."""
+
+    class _V(StmtVisitor):
+        def visit(self, s: Stmt) -> None:
+            self.generic_visit(s)
+            fn(s)
+
+    _V().visit(stmt)
+
+
+def pre_order_find(stmt: Stmt, pred: Callable[[Stmt], bool]) -> Optional[Stmt]:
+    """Return the first statement (pre-order) satisfying ``pred``."""
+    found: list = []
+
+    class _V(StmtVisitor):
+        def visit(self, s: Stmt) -> None:
+            if found:
+                return
+            if pred(s):
+                found.append(s)
+                return
+            self.generic_visit(s)
+
+    _V().visit(stmt)
+    return found[0] if found else None

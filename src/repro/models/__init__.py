@@ -1,0 +1,29 @@
+"""End-to-end model graphs and latency estimation (paper Table III)."""
+
+from .graph import GemmOp, ModelGraph
+from .runtime import Backend, ModelLatency, estimate_model_latency, roofline_fallback_latency
+from .zoo import (
+    MODEL_ZOO,
+    build_bert,
+    build_bert_large,
+    build_gpt2,
+    build_resnet18,
+    build_resnet50,
+    build_vgg16,
+)
+
+__all__ = [
+    "GemmOp",
+    "ModelGraph",
+    "Backend",
+    "ModelLatency",
+    "estimate_model_latency",
+    "roofline_fallback_latency",
+    "MODEL_ZOO",
+    "build_bert",
+    "build_bert_large",
+    "build_gpt2",
+    "build_resnet18",
+    "build_resnet50",
+    "build_vgg16",
+]

@@ -1,0 +1,56 @@
+"""Model graphs: the operator inventory of one DNN inference pass."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+from ..ops.elementwise import MemoryBoundOp
+from ..tensor.operation import GemmSpec
+
+__all__ = ["GemmOp", "ModelGraph"]
+
+
+@dataclasses.dataclass(frozen=True)
+class GemmOp:
+    """One GEMM-family operator appearing ``count`` times in the model."""
+
+    spec: GemmSpec
+    count: int = 1
+    kind: str = "matmul"  # matmul | bmm | conv
+
+
+@dataclasses.dataclass
+class ModelGraph:
+    """A model as the multiset of its operators.
+
+    End-to-end latency is dominated by GEMM-family kernels (where
+    pipelining applies) plus bandwidth-bound elementwise/normalization
+    kernels (identical across TVM-family backends, cheaper under XLA's
+    fusion). This is the level at which the paper's Table III compares
+    compilers.
+    """
+
+    name: str
+    gemm_ops: List[GemmOp] = dataclasses.field(default_factory=list)
+    memory_ops: List[MemoryBoundOp] = dataclasses.field(default_factory=list)
+
+    def add_gemm(self, spec: GemmSpec, count: int = 1, kind: str = "matmul") -> None:
+        self.gemm_ops.append(GemmOp(spec=spec, count=count, kind=kind))
+
+    def add_memory_op(self, op: MemoryBoundOp) -> None:
+        self.memory_ops.append(op)
+
+    @property
+    def total_gemm_flops(self) -> int:
+        return sum(op.spec.flops * op.count for op in self.gemm_ops)
+
+    @property
+    def n_kernels(self) -> int:
+        return sum(op.count for op in self.gemm_ops) + sum(m.count for m in self.memory_ops)
+
+    def __repr__(self) -> str:
+        return (
+            f"ModelGraph({self.name}: {len(self.gemm_ops)} unique gemm ops, "
+            f"{self.total_gemm_flops / 1e9:.1f} GFLOP)"
+        )

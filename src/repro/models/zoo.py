@@ -1,0 +1,177 @@
+"""The six evaluation models of paper Table III.
+
+BERT, BERT-Large and GPT-2 use standard transformer dimensions; the
+vision models use their published convolution stacks at inference batch
+sizes typical of the paper's era (16 for ResNets, 8 for VGG). Shapes feed
+the implicit-GEMM compiler; layers it cannot tile (the 3-channel stem
+convolution, tiny classifier GEMMs) are costed through a roofline fallback
+identical across TVM-family backends.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from ..ops.bmm import bmm_spec
+from ..ops.conv2d import Conv2dShape, conv2d_spec
+from ..ops.elementwise import MemoryBoundOp
+from ..ops.matmul import matmul_spec
+from .graph import ModelGraph
+
+__all__ = [
+    "build_bert",
+    "build_bert_large",
+    "build_gpt2",
+    "build_resnet18",
+    "build_resnet50",
+    "build_vgg16",
+    "MODEL_ZOO",
+]
+
+_F16 = 2  # bytes per element
+
+
+def _transformer(
+    name: str, layers: int, hidden: int, heads: int, seq: int, batch: int = 1
+) -> ModelGraph:
+    g = ModelGraph(name)
+    m = batch * seq
+    head_dim = hidden // heads
+    ffn = 4 * hidden
+    g.add_gemm(matmul_spec(f"{name}_QKV", m, 3 * hidden, hidden), count=layers)
+    g.add_gemm(matmul_spec(f"{name}_ATTN_OUT", m, hidden, hidden), count=layers)
+    g.add_gemm(matmul_spec(f"{name}_FC1", m, ffn, hidden), count=layers)
+    g.add_gemm(matmul_spec(f"{name}_FC2", m, hidden, ffn), count=layers)
+    g.add_gemm(bmm_spec(f"{name}_QK", batch * heads, seq, seq, head_dim), count=layers, kind="bmm")
+    g.add_gemm(bmm_spec(f"{name}_SV", batch * heads, seq, head_dim, seq), count=layers, kind="bmm")
+
+    act_bytes = m * hidden * _F16
+    # Two layer norms per layer: read activation (+params), write normalized.
+    g.add_memory_op(MemoryBoundOp("layernorm", 2 * act_bytes, act_bytes, count=2 * layers))
+    # Softmax over attention scores.
+    score_bytes = batch * heads * seq * seq * _F16
+    g.add_memory_op(MemoryBoundOp("softmax", score_bytes, score_bytes, count=layers))
+    # GELU on the FFN intermediate.
+    ffn_bytes = m * ffn * _F16
+    g.add_memory_op(MemoryBoundOp("gelu", ffn_bytes, ffn_bytes, count=layers))
+    # Two residual additions per layer.
+    g.add_memory_op(MemoryBoundOp("residual", 2 * act_bytes, act_bytes, count=2 * layers))
+    return g
+
+
+def build_bert() -> ModelGraph:
+    """BERT-base: 12 layers, hidden 768, 12 heads, seq 512."""
+    return _transformer("BERT", layers=12, hidden=768, heads=12, seq=512)
+
+
+def build_bert_large() -> ModelGraph:
+    """BERT-Large: 24 layers, hidden 1024, 16 heads, seq 512."""
+    return _transformer("BERT-Large", layers=24, hidden=1024, heads=16, seq=512)
+
+
+def build_gpt2() -> ModelGraph:
+    """GPT-2 (124M): 12 layers, hidden 768, 12 heads, seq 1024."""
+    return _transformer("GPT-2", layers=12, hidden=768, heads=12, seq=1024)
+
+
+def _add_conv(g: ModelGraph, name: str, shape: Conv2dShape, count: int = 1) -> None:
+    g.add_gemm(conv2d_spec(name, shape), count=count, kind="conv")
+    out_bytes = shape.n * shape.k * shape.p * shape.q * _F16
+    # BatchNorm + ReLU per convolution (read conv output, write activated).
+    g.add_memory_op(MemoryBoundOp(f"{name}_bn_relu", out_bytes, out_bytes, count=count))
+
+
+def build_resnet18(batch: int = 16) -> ModelGraph:
+    """ResNet-18 at 224x224: basic blocks [2, 2, 2, 2]."""
+    g = ModelGraph("ResNet-18")
+    # Stem: 7x7/2 conv on 3 channels — reduction 147 is untileable, costed
+    # via the roofline fallback path.
+    _add_conv(g, "rn18_stem", Conv2dShape(batch, 3, 224, 224, 64, 7, 7, stride=2, padding=3))
+    stages: List[Tuple[int, int, int]] = [(64, 56, 2), (128, 28, 2), (256, 14, 2), (512, 7, 2)]
+    prev_c = 64
+    for c, hw, blocks in stages:
+        for b in range(blocks):
+            stride = 2 if (b == 0 and c != 64) else 1
+            in_c = prev_c if b == 0 else c
+            in_hw = hw * stride
+            _add_conv(
+                g,
+                f"rn18_{c}_{b}a",
+                Conv2dShape(batch, in_c, in_hw, in_hw, c, 3, 3, stride=stride, padding=1),
+            )
+            _add_conv(g, f"rn18_{c}_{b}b", Conv2dShape(batch, c, hw, hw, c, 3, 3, padding=1))
+            if b == 0 and c != 64:
+                _add_conv(
+                    g,
+                    f"rn18_{c}_down",
+                    Conv2dShape(batch, in_c, in_hw, in_hw, c, 1, 1, stride=2),
+                )
+        prev_c = c
+    g.add_gemm(matmul_spec("rn18_fc", batch, 1000, 512))
+    return g
+
+
+def build_resnet50(batch: int = 16) -> ModelGraph:
+    """ResNet-50 at 224x224: bottleneck blocks [3, 4, 6, 3]."""
+    g = ModelGraph("ResNet-50")
+    _add_conv(g, "rn50_stem", Conv2dShape(batch, 3, 224, 224, 64, 7, 7, stride=2, padding=3))
+    # (mid channels, out channels, spatial, blocks)
+    stages = [(64, 256, 56, 3), (128, 512, 28, 4), (256, 1024, 14, 6), (512, 2048, 7, 3)]
+    prev_c = 64
+    for mid, out, hw, blocks in stages:
+        for b in range(blocks):
+            stride = 2 if (b == 0 and mid != 64) else 1
+            in_c = prev_c if b == 0 else out
+            in_hw = hw * stride
+            _add_conv(g, f"rn50_{mid}_{b}r", Conv2dShape(batch, in_c, in_hw, in_hw, mid, 1, 1))
+            _add_conv(
+                g,
+                f"rn50_{mid}_{b}c",
+                Conv2dShape(batch, mid, in_hw, in_hw, mid, 3, 3, stride=stride, padding=1),
+            )
+            _add_conv(g, f"rn50_{mid}_{b}e", Conv2dShape(batch, mid, hw, hw, out, 1, 1))
+            if b == 0:
+                _add_conv(
+                    g,
+                    f"rn50_{mid}_down",
+                    Conv2dShape(batch, in_c, in_hw, in_hw, out, 1, 1, stride=stride),
+                )
+        prev_c = out
+    g.add_gemm(matmul_spec("rn50_fc", batch, 1000, 2048))
+    return g
+
+
+def build_vgg16(batch: int = 8) -> ModelGraph:
+    """VGG-16 at 224x224: 13 convs + 3 FCs."""
+    g = ModelGraph("VGG-16")
+    plan = [
+        (3, 64, 224),
+        (64, 64, 224),
+        (64, 128, 112),
+        (128, 128, 112),
+        (128, 256, 56),
+        (256, 256, 56),
+        (256, 256, 56),
+        (256, 512, 28),
+        (512, 512, 28),
+        (512, 512, 28),
+        (512, 512, 14),
+        (512, 512, 14),
+        (512, 512, 14),
+    ]
+    for i, (c_in, c_out, hw) in enumerate(plan):
+        _add_conv(g, f"vgg_conv{i}", Conv2dShape(batch, c_in, hw, hw, c_out, 3, 3, padding=1))
+    g.add_gemm(matmul_spec("vgg_fc1", batch, 4096, 25088))
+    g.add_gemm(matmul_spec("vgg_fc2", batch, 4096, 4096))
+    g.add_gemm(matmul_spec("vgg_fc3", batch, 1000, 4096))
+    return g
+
+
+MODEL_ZOO: Dict[str, Callable[[], ModelGraph]] = {
+    "BERT": build_bert,
+    "BERT-Large": build_bert_large,
+    "GPT-2": build_gpt2,
+    "ResNet-18": build_resnet18,
+    "ResNet-50": build_resnet50,
+    "VGG-16": build_vgg16,
+}

@@ -1,0 +1,22 @@
+"""Operator definitions: MatMul, batched MatMul, Conv2D (implicit GEMM) and
+memory-bound elementwise ops."""
+
+from .bmm import bmm_spec, build_bmm_graph, reference_bmm
+from .conv2d import Conv2dShape, conv2d_spec, im2col, reference_conv2d
+from .elementwise import MemoryBoundOp, memory_bound_latency
+from .matmul import build_matmul_graph, matmul_spec, reference_matmul
+
+__all__ = [
+    "bmm_spec",
+    "build_bmm_graph",
+    "reference_bmm",
+    "Conv2dShape",
+    "conv2d_spec",
+    "im2col",
+    "reference_conv2d",
+    "MemoryBoundOp",
+    "memory_bound_latency",
+    "build_matmul_graph",
+    "matmul_spec",
+    "reference_matmul",
+]

@@ -1,0 +1,33 @@
+"""Batched MatMul: ``C[b, m, n] = sum_k A[b, m, k] * B[b, n, k]``.
+
+Attention score (QK^T) and context (SV) computations in transformers lower
+to this operator; the batch dimension is heads x batch."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..tensor.operation import GemmSpec, Tensor, contraction, placeholder
+
+__all__ = ["bmm_spec", "build_bmm_graph", "reference_bmm"]
+
+
+def bmm_spec(name: str, batch: int, m: int, n: int, k: int, dtype: str = "float16") -> GemmSpec:
+    """A batched matrix multiplication problem."""
+    if batch < 2:
+        raise ValueError("bmm requires batch >= 2; use matmul_spec otherwise")
+    return GemmSpec(name, batch=batch, m=m, n=n, k=k, dtype=dtype)
+
+
+def build_bmm_graph(spec: GemmSpec) -> Tuple[Tensor, Tensor, Tensor]:
+    a = placeholder("A", (spec.batch, spec.m, spec.k), dtype=spec.dtype)
+    b = placeholder("B", (spec.batch, spec.n, spec.k), dtype=spec.dtype)
+    return a, b, contraction(a, b, spec)
+
+
+def reference_bmm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Gold-standard numpy semantics."""
+    out = np.einsum("bmk,bnk->bmn", a.astype(np.float32), b.astype(np.float32))
+    return out.astype(np.float16)

@@ -1,0 +1,118 @@
+"""Conv2D lowered to implicit GEMM (the im2col formulation).
+
+A convolution ``(N, C, H, W) * (K, C, R, S) -> (N, K, P, Q)`` becomes a
+GEMM with ``M = N*P*Q``, ``N = K`` and reduction ``C*R*S`` over the virtual
+im2col matrix. The virtual matrix re-reads overlapping input patches, so
+its DRAM *footprint* is smaller than its size: the :class:`GemmSpec`'s
+``a_footprint_ratio`` records ``unique_input_bytes / im2col_bytes``, which
+the simulator's and the analytical model's L2/DRAM working-set analyses
+consume.
+
+For functional testing, :func:`im2col` materializes the virtual matrix so
+the compiled GEMM kernel can be executed on real data and compared against
+:func:`reference_conv2d`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+import numpy as np
+
+from ..tensor.operation import GemmSpec
+
+__all__ = ["Conv2dShape", "conv2d_spec", "im2col", "reference_conv2d"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Conv2dShape:
+    """NCHW convolution geometry."""
+
+    n: int
+    c: int
+    h: int
+    w: int
+    k: int
+    r: int
+    s: int
+    stride: int = 1
+    padding: int = 0
+
+    def __post_init__(self) -> None:
+        if min(self.n, self.c, self.h, self.w, self.k, self.r, self.s, self.stride) <= 0:
+            raise ValueError("conv2d dims and stride must be positive")
+        if self.padding < 0:
+            raise ValueError("padding must be non-negative")
+        if self.p <= 0 or self.q <= 0:
+            raise ValueError("output spatial size is non-positive")
+
+    @property
+    def p(self) -> int:
+        return (self.h + 2 * self.padding - self.r) // self.stride + 1
+
+    @property
+    def q(self) -> int:
+        return (self.w + 2 * self.padding - self.s) // self.stride + 1
+
+    @property
+    def gemm_m(self) -> int:
+        return self.n * self.p * self.q
+
+    @property
+    def gemm_n(self) -> int:
+        return self.k
+
+    @property
+    def gemm_k(self) -> int:
+        return self.c * self.r * self.s
+
+    @property
+    def footprint_ratio(self) -> float:
+        """unique input bytes / im2col bytes (<= 1; 1 for 1x1 stride-1)."""
+        unique = self.n * self.c * self.h * self.w
+        virtual = self.gemm_m * self.gemm_k
+        return min(1.0, unique / virtual)
+
+
+def conv2d_spec(name: str, shape: Conv2dShape, dtype: str = "float16") -> GemmSpec:
+    """The implicit-GEMM problem of a convolution."""
+    return GemmSpec(
+        name,
+        batch=1,
+        m=shape.gemm_m,
+        n=shape.gemm_n,
+        k=shape.gemm_k,
+        dtype=dtype,
+        a_footprint_ratio=shape.footprint_ratio,
+    )
+
+
+def im2col(x: np.ndarray, shape: Conv2dShape) -> np.ndarray:
+    """Materialize the virtual im2col matrix: ``(N*P*Q, C*R*S)``.
+
+    Row order is (n, p, q); column order is (c, r, s) — matching
+    :func:`reference_conv2d` and the weight layout ``(K, C*R*S)``.
+    """
+    if x.shape != (shape.n, shape.c, shape.h, shape.w):
+        raise ValueError(f"input shape {x.shape} != {(shape.n, shape.c, shape.h, shape.w)}")
+    pad = shape.padding
+    xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    rows = np.empty((shape.n, shape.p, shape.q, shape.c, shape.r, shape.s), dtype=x.dtype)
+    for p in range(shape.p):
+        for q in range(shape.q):
+            hi = p * shape.stride
+            wi = q * shape.stride
+            rows[:, p, q] = xp[:, :, hi : hi + shape.r, wi : wi + shape.s]
+    return rows.reshape(shape.gemm_m, shape.gemm_k)
+
+
+def reference_conv2d(x: np.ndarray, w: np.ndarray, shape: Conv2dShape) -> np.ndarray:
+    """Gold-standard convolution: ``(N, K, P, Q)`` fp16 output."""
+    if w.shape != (shape.k, shape.c, shape.r, shape.s):
+        raise ValueError(f"weight shape {w.shape} != {(shape.k, shape.c, shape.r, shape.s)}")
+    cols = im2col(x, shape).astype(np.float32)
+    wm = w.reshape(shape.k, shape.gemm_k).astype(np.float32)
+    out = cols @ wm.T  # (N*P*Q, K)
+    out = out.reshape(shape.n, shape.p, shape.q, shape.k).transpose(0, 3, 1, 2)
+    return out.astype(np.float16)

@@ -1,0 +1,37 @@
+"""MatMul operator definition: ``C[m, n] = sum_k A[m, k] * B[n, k]``."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..tensor.operation import GemmSpec, Tensor, contraction, elementwise, placeholder
+
+__all__ = ["matmul_spec", "build_matmul_graph", "reference_matmul"]
+
+
+def matmul_spec(name: str, m: int, n: int, k: int, dtype: str = "float16") -> GemmSpec:
+    """A plain (batch-1) matrix multiplication problem."""
+    return GemmSpec(name, batch=1, m=m, n=n, k=k, dtype=dtype)
+
+
+def build_matmul_graph(
+    spec: GemmSpec, a_elementwise: Optional[str] = None, b_elementwise: Optional[str] = None
+) -> Tuple[Tensor, Tensor, Tensor]:
+    """Dataflow graph (A, B, C) for a matmul, optionally with elementwise
+    producers on the operands (the paper's Fig. 5 scenario)."""
+    if spec.batch != 1:
+        raise ValueError("build_matmul_graph requires a batch-1 spec; use bmm for batches")
+    a = placeholder("A", (spec.m, spec.k), dtype=spec.dtype)
+    b = placeholder("B", (spec.n, spec.k), dtype=spec.dtype)
+    if a_elementwise:
+        a = elementwise(a, a_elementwise, name="A_f")
+    if b_elementwise:
+        b = elementwise(b, b_elementwise, name="B_f")
+    return a, b, contraction(a, b, spec)
+
+
+def reference_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Gold-standard numpy semantics (fp32 accumulation, fp16 output)."""
+    return (a.astype(np.float32) @ b.astype(np.float32).T).astype(np.float16)

@@ -1,0 +1,36 @@
+"""Bottleneck-based analysis — the baseline model of paper Sec. V-D.
+
+Takes the maximum of computation, shared-memory loading and device-memory
+loading time assuming *full* utilization of throughput and bandwidth. It is
+deliberately oversimplified in the two ways the paper calls out:
+
+1. it assumes one aggregated compute unit (ignores SM occupancy), and
+2. it is agnostic to latency hiding — pipeline stage counts do not change
+   its prediction at all.
+
+It also performs no launchability checks, so its top-ranked schedules can
+fail to compile (the 'compile fail' marks in Fig. 12).
+"""
+
+from __future__ import annotations
+
+from ..gpusim.config import A100, GpuSpec
+from ..gpusim.spec import KernelTimingSpec
+
+__all__ = ["bottleneck_latency"]
+
+
+def bottleneck_latency(ts: KernelTimingSpec, gpu: GpuSpec = A100) -> float:
+    """Predicted latency (us): max over the three full-utilization terms."""
+    ts.validate()
+    t_compute = ts.total_flops / gpu.tc_flops_total
+    smem_traffic = (ts.smem_chunk_bytes + ts.frag_bytes_tb * ts.inner_extent) * ts.outer_extent
+    t_smem = ts.grid * smem_traffic / (gpu.smem_bw_per_sm * gpu.num_sms)
+    dram_bytes = (
+        ts.grid * ts.smem_chunk_bytes * ts.outer_extent * ts.a_footprint_ratio
+        + ts.grid * ts.epilogue_bytes
+    )
+    # Full-bandwidth assumption, no working-set analysis: every requested
+    # byte is charged to DRAM once (it ignores both L2 hits and misses).
+    t_dram = dram_bytes / gpu.dram_bw
+    return max(t_compute, t_smem, t_dram)

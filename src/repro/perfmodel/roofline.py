@@ -1,0 +1,64 @@
+"""Roofline analysis of GEMM-family operators.
+
+Places an operator on the (arithmetic intensity, throughput) plane of a
+GPU: which side of the ridge point it sits on, the throughput ceiling that
+applies, and the ideal latency at full utilization. Used to reason about
+*why* pipelining helps a shape — compute-bound operators with weak
+inter-tile parallelism are precisely where intra-tile pipelining pays
+(paper Sec. V-A insights) — and by the fallback cost path for operators
+the tiled compiler cannot express.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..gpusim.config import A100, GpuSpec
+from ..tensor.operation import GemmSpec
+
+__all__ = ["RooflineReport", "analyze_operator"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RooflineReport:
+    """An operator's position on the roofline."""
+
+    operator: str
+    #: FLOPs per unique DRAM byte.
+    arithmetic_intensity: float
+    #: intensity at which the machine transitions memory- to compute-bound.
+    ridge_intensity: float
+    #: "compute" or "memory"
+    bound: str
+    #: attainable throughput ceiling (TFLOP/s).
+    ceiling_tflops: float
+    #: latency at exactly the ceiling (us).
+    ideal_latency_us: float
+
+    @property
+    def headroom(self) -> float:
+        """How far (x) the operator sits from the ridge; > 1 means deep in
+        its regime."""
+        if self.bound == "compute":
+            return self.arithmetic_intensity / self.ridge_intensity
+        return self.ridge_intensity / self.arithmetic_intensity
+
+
+def analyze_operator(spec: GemmSpec, gpu: GpuSpec = A100) -> RooflineReport:
+    """Roofline placement of one operator on one GPU."""
+    intensity = spec.arithmetic_intensity
+    ridge = gpu.tc_flops_total / gpu.dram_bw
+    if intensity >= ridge:
+        bound = "compute"
+        ceiling_flops_per_us = gpu.tc_flops_total
+    else:
+        bound = "memory"
+        ceiling_flops_per_us = intensity * gpu.dram_bw
+    return RooflineReport(
+        operator=spec.name,
+        arithmetic_intensity=intensity,
+        ridge_intensity=ridge,
+        bound=bound,
+        ceiling_tflops=ceiling_flops_per_us / 1e6,
+        ideal_latency_us=spec.flops / ceiling_flops_per_us,
+    )

@@ -1,0 +1,93 @@
+"""Aggregate experiment results into a single reproduction report.
+
+``python -m repro.report`` collects the tables that the benchmark suite
+wrote to ``benchmarks/results/`` and assembles one Markdown document with
+the paper-vs-measured summary, suitable for pasting into an issue or
+paper-reproduction registry entry.
+"""
+
+from __future__ import annotations
+
+import datetime
+import pathlib
+import sys
+from typing import Dict, List, Optional
+
+__all__ = ["collect_results", "render_report", "main"]
+
+#: Result files in presentation order: (file stem, paper artifact).
+_SECTIONS = [
+    ("fig1b_motivation", "Fig. 1b — motivating example"),
+    ("fig10_single_op", "Fig. 10 — single-operator speedups"),
+    ("table3_end_to_end", "Table III — end-to-end models"),
+    ("fig11_vs_library", "Fig. 11 — versus vendor libraries"),
+    ("fig12_model_accuracy", "Fig. 12 — performance-model accuracy"),
+    ("fig13_search_efficiency", "Fig. 13 — search efficiency"),
+    ("ablation_stages_levels", "Ablation — stages x levels (Figs. 2/3)"),
+    ("ablation_gpu_generations", "Ablation — GPU generations"),
+    ("ablation_splitk", "Ablation — split-K extension"),
+]
+
+
+def collect_results(results_dir: pathlib.Path) -> Dict[str, str]:
+    """Read every known result table that exists under ``results_dir``."""
+    out: Dict[str, str] = {}
+    for stem, _ in _SECTIONS:
+        path = results_dir / f"{stem}.txt"
+        if path.exists():
+            out[stem] = path.read_text().rstrip()
+    return out
+
+
+def render_report(results: Dict[str, str], timestamp: Optional[str] = None) -> str:
+    """Render collected tables as one Markdown document."""
+    stamp = timestamp or datetime.datetime.now().isoformat(timespec="seconds")
+    lines: List[str] = [
+        "# ALCOP reproduction report",
+        "",
+        f"Generated {stamp} from `benchmarks/results/`. "
+        "Regenerate the inputs with `pytest benchmarks/ --benchmark-only`; "
+        "see EXPERIMENTS.md for the paper-vs-measured discussion.",
+        "",
+    ]
+    missing: List[str] = []
+    for stem, title in _SECTIONS:
+        if stem not in results:
+            missing.append(title)
+            continue
+        lines.append(f"## {title}")
+        lines.append("")
+        lines.append("```")
+        lines.append(results[stem])
+        lines.append("```")
+        lines.append("")
+    if missing:
+        lines.append("## Not yet generated")
+        lines.append("")
+        for title in missing:
+            lines.append(f"* {title}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    results_dir = pathlib.Path(argv[0]) if argv else (
+        pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "results"
+    )
+    out_path = pathlib.Path(argv[1]) if len(argv) > 1 else None
+    results = collect_results(results_dir)
+    if not results:
+        print(f"no result tables found under {results_dir}", file=sys.stderr)
+        return 1
+    report = render_report(results)
+    if out_path:
+        out_path.write_text(report)
+        print(f"wrote {out_path} ({len(report.splitlines())} lines)")
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,61 @@
+"""Automatic scheduler: builds the canonical pipelined GEMM schedule.
+
+This is the "schedule transformation" stage in the ALCOP architecture
+(Fig. 4): given a contraction graph and a :class:`TileConfig`, it applies
+``cache_read``, ``tile``, ``pipeline`` and ``inline`` in the
+paper-prescribed order, silently skipping buffers that fail the
+applicability rules (Sec. II-A).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..ir.buffer import Scope
+from ..tensor.operation import ElementwiseOp, Tensor
+from .config import TileConfig
+from .schedule import Schedule
+
+__all__ = ["auto_schedule"]
+
+
+def auto_schedule(output: Tensor, config: TileConfig) -> Schedule:
+    """Build the standard two-level cached, optionally pipelined schedule.
+
+    Per operand: ``global -> shared -> register`` cache reads, then tiling,
+    then pipelining at the levels whose stage count in ``config`` is >= 2,
+    then inlining of any elementwise producers (after pipelining, so fusion
+    takes the pipeline-preserving route of Fig. 5 case 2).
+    """
+    sch = Schedule(output)
+    if sch.contraction is None:
+        raise ValueError("auto_schedule requires a contraction output")
+
+    smem_bufs: List[Tensor] = []
+    reg_bufs: List[Tensor] = []
+    for side in ("a", "b"):
+        tail = sch.chain(side)[-1]
+        smem = sch.cache_read(tail, Scope.SHARED)
+        reg = sch.cache_read(smem, Scope.REGISTER)
+        smem_bufs.append(smem)
+        reg_bufs.append(reg)
+
+    sch.tile(config)
+
+    if config.smem_stages >= 2:
+        for buf in smem_bufs:
+            sch.pipeline(buf, config.smem_stages, strict=False)
+    if config.reg_stages >= 2:
+        for buf in reg_bufs:
+            sch.pipeline(buf, config.reg_stages, strict=False)
+
+    # Inline elementwise producers last (pipeline < inline, Sec. II-B).
+    for side in ("a", "b"):
+        for t in list(sch.chain(side)):
+            if isinstance(t.op, ElementwiseOp):
+                sch.inline(t)
+
+    # Fuse any output-side elementwise chain into the epilogue write-back.
+    sch.fuse_epilogue()
+
+    return sch

@@ -1,0 +1,152 @@
+"""Schedule (tiling + pipelining) configuration and its resource math.
+
+:class:`TileConfig` is the knob vector the auto-tuner searches over
+(paper Sec. IV): threadblock tile, warp tile, register chunk, and the
+pipeline stage counts for the shared-memory and register levels.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterator, Tuple
+
+from ..ir.buffer import DTYPE_BYTES
+from ..tensor.operation import GemmSpec
+
+__all__ = ["TileConfig", "ResourceUsage", "WARP_SIZE"]
+
+WARP_SIZE = 32
+
+#: Registers reserved per thread for addressing, predicates and loop state.
+_BASE_REGS_PER_THREAD = 40
+#: Bytes per register.
+_REG_BYTES = 4
+
+
+@dataclasses.dataclass(frozen=True)
+class ResourceUsage:
+    """Per-threadblock resource consumption of a schedule."""
+
+    smem_bytes: int
+    regs_per_thread: int
+    threads: int
+
+    @property
+    def regs_per_block(self) -> int:
+        return self.regs_per_thread * self.threads
+
+
+@dataclasses.dataclass(frozen=True)
+class TileConfig:
+    """A complete schedule parameterization for a GEMM-family kernel.
+
+    Attributes
+    ----------
+    block_m, block_n, block_k:
+        Threadblock output tile (``TB_tile`` in the paper's Fig. 7).
+    warp_m, warp_n:
+        Warp output tile; ``(block_m // warp_m) * (block_n // warp_n)`` warps
+        cooperate in one threadblock.
+    chunk_k:
+        Register-level reduction chunk (``Warp_tile_k``); the inner
+        load-and-use loop runs ``block_k // chunk_k`` iterations.
+    smem_stages:
+        Pipeline stages of the shared-memory load-and-use loop. ``1`` means
+        no pipelining, ``2`` is double-buffering, ``>= 3`` is multi-stage.
+    reg_stages:
+        Pipeline stages of the register-level loop (``1`` or ``2``).
+    swizzle:
+        Whether shared-memory swizzling is applied to kill bank conflicts
+        (both ALCOP and the baselines enable it in the paper's evaluation).
+    """
+
+    block_m: int
+    block_n: int
+    block_k: int
+    warp_m: int
+    warp_n: int
+    chunk_k: int
+    smem_stages: int = 1
+    reg_stages: int = 1
+    swizzle: bool = True
+
+    def __post_init__(self) -> None:
+        for field in ("block_m", "block_n", "block_k", "warp_m", "warp_n", "chunk_k"):
+            v = getattr(self, field)
+            if not isinstance(v, int) or v <= 0:
+                raise ValueError(f"TileConfig.{field} must be a positive int, got {v!r}")
+        if self.block_m % self.warp_m != 0:
+            raise ValueError(f"block_m={self.block_m} not divisible by warp_m={self.warp_m}")
+        if self.block_n % self.warp_n != 0:
+            raise ValueError(f"block_n={self.block_n} not divisible by warp_n={self.warp_n}")
+        if self.block_k % self.chunk_k != 0:
+            raise ValueError(f"block_k={self.block_k} not divisible by chunk_k={self.chunk_k}")
+        if self.smem_stages < 1 or self.smem_stages > 8:
+            raise ValueError(f"smem_stages must be in [1, 8], got {self.smem_stages}")
+        if self.reg_stages not in (1, 2):
+            raise ValueError(f"reg_stages must be 1 or 2, got {self.reg_stages}")
+
+    # -- derived geometry ----------------------------------------------------
+    @property
+    def warps_per_block(self) -> int:
+        return (self.block_m // self.warp_m) * (self.block_n // self.warp_n)
+
+    @property
+    def threads_per_block(self) -> int:
+        return self.warps_per_block * WARP_SIZE
+
+    @property
+    def reg_loop_extent(self) -> int:
+        """Iterations of the inner (register-level) load-and-use loop."""
+        return self.block_k // self.chunk_k
+
+    def grid_size(self, spec: GemmSpec) -> int:
+        """Number of threadblocks launched for ``spec`` (ceil division)."""
+        tiles_m = -(-spec.m // self.block_m)
+        tiles_n = -(-spec.n // self.block_n)
+        return spec.batch * tiles_m * tiles_n
+
+    def smem_loop_extent(self, spec: GemmSpec) -> int:
+        """Iterations of the outer (shared-memory-level) load-and-use loop."""
+        return -(-spec.k // self.block_k)
+
+    # -- resource usage --------------------------------------------------------
+    def resource_usage(self, dtype: str = "float16") -> ResourceUsage:
+        """Shared memory and register consumption of one threadblock.
+
+        Matches the occupancy-limiting quantities the paper's scheduling
+        policy considers (Sec. IV-A).
+        """
+        eb = DTYPE_BYTES[dtype]
+        smem_per_stage = (self.block_m + self.block_n) * self.block_k * eb
+        smem = smem_per_stage * self.smem_stages
+        # Accumulator fragments: fp32 accumulation, one warp owns warp_m*warp_n.
+        accum_regs = (self.warp_m * self.warp_n * 4) // (_REG_BYTES * WARP_SIZE)
+        # Operand fragments at the register level, double-buffered if staged.
+        frag_bytes = (self.warp_m + self.warp_n) * self.chunk_k * eb * self.reg_stages
+        frag_regs = -(-frag_bytes // (_REG_BYTES * WARP_SIZE))
+        regs = _BASE_REGS_PER_THREAD + accum_regs + frag_regs
+        return ResourceUsage(
+            smem_bytes=smem,
+            regs_per_thread=regs,
+            threads=self.threads_per_block,
+        )
+
+    # -- helpers ----------------------------------------------------------------
+    def with_stages(self, smem_stages: int, reg_stages: int) -> "TileConfig":
+        """The same tiling with different pipeline stage counts."""
+        return dataclasses.replace(self, smem_stages=smem_stages, reg_stages=reg_stages)
+
+    def key(self) -> Tuple:
+        """Hashable identity used for caching compiled/simulated results."""
+        return dataclasses.astuple(self)
+
+    def as_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    def __str__(self) -> str:
+        return (
+            f"TB({self.block_m}x{self.block_n}x{self.block_k})"
+            f"/W({self.warp_m}x{self.warp_n}x{self.chunk_k})"
+            f"/S({self.smem_stages},{self.reg_stages})"
+        )

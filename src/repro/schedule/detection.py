@@ -1,0 +1,123 @@
+"""Pipeline-applicable buffer detection — the three rules of paper Sec. II-A.
+
+Given a schedule and a candidate buffer tensor, :func:`check_pipelinable`
+evaluates:
+
+* **Rule 1 (async producer).** The buffer must be produced by an
+  *asynchronous-capable* memory copy: a pure ``cache_read`` whose source
+  scope is the hardware async source of the buffer's scope (global → shared
+  for ``cp.async``; shared → register for non-blocking register loads). A
+  copy with an elementwise function fused into it computes while copying and
+  is rejected (Fig. 5, case 1).
+
+* **Rule 2 (sequential load-and-use loop).** The buffer must be filled and
+  re-used inside a *sequential* loop — the tiled reduction loop. A buffer
+  filled exactly once (reduction loop of extent 1, or a non-reduction
+  operand such as a stencil halo tile) is rejected.
+
+* **Rule 3 (synchronization position match).** On hardware with scope-based
+  barriers, all pipelined buffers in one scope must share their barrier
+  positions: same pipelined loop level and same stage count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Optional
+
+from ..ir.buffer import Scope
+from ..tensor.operation import CacheReadOp, Tensor
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .schedule import Schedule
+
+__all__ = ["PipelineCheck", "check_pipelinable", "RULE_ASYNC", "RULE_SEQ_LOOP", "RULE_SYNC_POS"]
+
+RULE_ASYNC = "rule1-async-producer"
+RULE_SEQ_LOOP = "rule2-sequential-loop"
+RULE_SYNC_POS = "rule3-sync-position"
+
+
+@dataclasses.dataclass(frozen=True)
+class PipelineCheck:
+    """Outcome of the applicability rules for one buffer."""
+
+    ok: bool
+    rule: Optional[str] = None
+    message: str = ""
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.ok
+
+
+def _fail(rule: str, message: str) -> PipelineCheck:
+    return PipelineCheck(False, rule, message)
+
+
+def check_pipelinable(sch: "Schedule", tensor: Tensor, stages: int) -> PipelineCheck:
+    """Evaluate all three rules for pipelining ``tensor`` with ``stages``."""
+    if stages < 2:
+        return _fail(RULE_ASYNC, f"stages={stages} does not form a pipeline (need >= 2)")
+
+    # ---- Rule 1: produced by an asynchronous memory copy --------------------
+    if not isinstance(tensor.op, CacheReadOp):
+        return _fail(
+            RULE_ASYNC,
+            f"{tensor.name} is produced by {type(tensor.op).__name__}, not a memory copy",
+        )
+    if not tensor.op.is_pure_copy:
+        return _fail(
+            RULE_ASYNC,
+            f"{tensor.name} is produced by a copy with fused compute "
+            f"({tensor.op.fused_fn_name}); the copy is not asynchronous",
+        )
+    expected_src = tensor.scope.async_source
+    if expected_src is None:
+        return _fail(
+            RULE_ASYNC,
+            f"scope {tensor.scope.value} has no asynchronous copy path",
+        )
+    source = sch.producer_of(tensor)
+    if source is None or source.scope is not expected_src:
+        got = source.scope.value if source is not None else "none"
+        return _fail(
+            RULE_ASYNC,
+            f"{tensor.name} copies from scope {got}, but async copies into "
+            f"{tensor.scope.value} require source scope {expected_src.value}",
+        )
+
+    # ---- Rule 2: produced inside a sequential load-and-use loop -------------
+    if sch.tile_config is None:
+        return _fail(RULE_SEQ_LOOP, "tiling has not been applied; no loop structure to inspect")
+    if not sch.feeds_contraction_operand(tensor):
+        return _fail(
+            RULE_SEQ_LOOP,
+            f"{tensor.name} does not feed a reduction operand; it is filled "
+            "and used once (no sequential load-and-use loop)",
+        )
+    extent = sch.load_loop_extent(tensor)
+    if extent <= 1:
+        return _fail(
+            RULE_SEQ_LOOP,
+            f"load-and-use loop of {tensor.name} has extent {extent}; the "
+            "buffer is produced outside a sequential loop",
+        )
+
+    # ---- Rule 3: synchronization positions must match within a scope --------
+    for other, other_stages in sch.pipeline_marks.items():
+        if other is tensor or other.scope is not tensor.scope:
+            continue
+        if sch.pipeline_level(other) != sch.level_of(tensor):
+            return _fail(
+                RULE_SYNC_POS,
+                f"{tensor.name} and {other.name} share scope "
+                f"{tensor.scope.value} but pipeline at different loops; "
+                "scope-based barriers cannot be placed",
+            )
+        if other_stages != stages:
+            return _fail(
+                RULE_SYNC_POS,
+                f"{tensor.name} requests {stages} stages but {other.name} in "
+                f"the same scope has {other_stages}; barrier positions differ",
+            )
+    return PipelineCheck(True)

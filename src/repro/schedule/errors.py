@@ -1,0 +1,20 @@
+"""Schedule-level error types."""
+
+__all__ = ["ScheduleError", "OrderingError", "PipelineRejected"]
+
+
+class ScheduleError(Exception):
+    """Base class for schedule construction errors."""
+
+
+class OrderingError(ScheduleError):
+    """A primitive was applied in an order that violates Sec. II-B."""
+
+
+class PipelineRejected(ScheduleError):
+    """A buffer failed the pipelining applicability rules (Sec. II-A)."""
+
+    def __init__(self, rule: str, message: str) -> None:
+        super().__init__(f"[{rule}] {message}")
+        self.rule = rule
+        self.message = message

@@ -1,0 +1,55 @@
+"""Ordering of schedule transformations (paper Sec. II-B).
+
+The paper fixes the order in which pipelining composes with the three
+pre-existing transformations:
+
+* **cache-read ≺ pipeline** — pipelining applies to buffers that cache-read
+  creates. Enforced structurally: :meth:`Schedule.pipeline` only accepts
+  cache-read buffers (rule 1), and :meth:`Schedule.cache_read` refuses to
+  run once pipeline marks exist.
+* **tile ≺ pipeline** — rule 2 inspects the tiled loop sketch, so
+  :meth:`Schedule.tile` refuses to run after pipelining and pipelining fails
+  when no tiling is recorded.
+* **pipeline ≺ inline** — inlining an elementwise producer into a copy makes
+  the copy non-asynchronous (Fig. 5 case 1). :meth:`Schedule.inline` applied
+  *after* pipelining instead fuses the function into the consumer
+  (case 2), keeping the copy asynchronous.
+
+:data:`RECOMMENDED_ORDER` documents the canonical sequence the automatic
+scheduler (:mod:`repro.schedule.auto`) follows.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .schedule import Schedule
+
+__all__ = ["RECOMMENDED_ORDER", "verify_log_order"]
+
+RECOMMENDED_ORDER: Tuple[str, ...] = ("cache_read", "tile", "pipeline", "inline")
+
+
+def verify_log_order(sch: Schedule) -> List[str]:
+    """Check a schedule's applied-primitive log against the canonical order.
+
+    Returns a list of violation messages (empty when the order is sound).
+    This is a diagnostic used by tests and by the compiler's debug mode; the
+    hard constraints are enforced eagerly by the primitives themselves.
+    """
+    rank = {name: i for i, name in enumerate(RECOMMENDED_ORDER)}
+    violations: List[str] = []
+    last_rank = -1
+    last_name = None
+    for entry in sch.log:
+        name = entry[0]
+        r = rank.get(name)
+        if r is None:
+            continue
+        if r < last_rank:
+            violations.append(
+                f"{name} applied after {last_name}; canonical order is "
+                + " < ".join(RECOMMENDED_ORDER)
+            )
+        last_rank, last_name = max(last_rank, r), name
+    return violations

@@ -1,0 +1,44 @@
+"""Schedule auto-tuning (paper Sec. IV): design space, measurement harness,
+cost-model features, boosted trees, simulated annealing, and the four
+tuning methods of Table II."""
+
+from .features import FEATURE_NAMES, featurize, featurize_batch
+from .gbt import GradientBoostedTrees, RegressionTree
+from .measure import FAILED, Measurer
+from .record import TrialRecord, TuneHistory, best_in_top_k
+from .sa import SimulatedAnnealingSampler
+from .space import SUBSPACES, SpaceOptions, enumerate_space, restrict_space
+from .tuners import (
+    AnalyticalOnlyTuner,
+    GridSearchTuner,
+    ModelAssistedXGBTuner,
+    RandomSearchTuner,
+    Tuner,
+    XGBTuner,
+    analytical_rank,
+)
+
+__all__ = [
+    "FEATURE_NAMES",
+    "featurize",
+    "featurize_batch",
+    "GradientBoostedTrees",
+    "RegressionTree",
+    "FAILED",
+    "Measurer",
+    "TrialRecord",
+    "TuneHistory",
+    "best_in_top_k",
+    "SimulatedAnnealingSampler",
+    "SUBSPACES",
+    "SpaceOptions",
+    "enumerate_space",
+    "restrict_space",
+    "AnalyticalOnlyTuner",
+    "GridSearchTuner",
+    "ModelAssistedXGBTuner",
+    "RandomSearchTuner",
+    "Tuner",
+    "XGBTuner",
+    "analytical_rank",
+]

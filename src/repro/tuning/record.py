@@ -1,0 +1,106 @@
+"""Tuning trial records, best-in-k metrics (paper Secs. V-D/V-E), and
+JSON persistence of tuning sessions (AutoTVM-style log files)."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import pathlib
+from typing import List, Optional, Sequence, Union
+
+from ..schedule.config import TileConfig
+
+__all__ = ["TrialRecord", "TuneHistory", "best_in_top_k", "save_history", "load_history"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TrialRecord:
+    """One measured trial. ``latency_us`` is ``inf`` for compile failures."""
+
+    trial: int
+    config: TileConfig
+    latency_us: float
+
+    @property
+    def failed(self) -> bool:
+        return math.isinf(self.latency_us)
+
+
+class TuneHistory:
+    """Ordered record of measured trials from one tuning session."""
+
+    def __init__(self) -> None:
+        self.records: List[TrialRecord] = []
+
+    def append(self, config: TileConfig, latency_us: float) -> None:
+        self.records.append(TrialRecord(len(self.records), config, latency_us))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def best_latency_at(self, k: int) -> float:
+        """Best latency among the first ``k`` trials (inf if all failed)."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        window = self.records[:k]
+        if not window:
+            return math.inf
+        return min(r.latency_us for r in window)
+
+    def best_config_at(self, k: int) -> Optional[TileConfig]:
+        window = self.records[:k]
+        if not window:
+            return None
+        best = min(window, key=lambda r: r.latency_us)
+        return None if best.failed else best.config
+
+    def normalized_curve(self, ks: Sequence[int], exhaustive_best_us: float) -> List[float]:
+        """best-in-k performance relative to the exhaustive optimum
+        (1.0 = matched the best schedule in the whole space; 0.0 = nothing
+        valid found yet)."""
+        out = []
+        for k in ks:
+            b = self.best_latency_at(k)
+            out.append(0.0 if math.isinf(b) else exhaustive_best_us / b)
+        return out
+
+
+def save_history(history: TuneHistory, path: Union[str, pathlib.Path]) -> None:
+    """Persist a tuning session as a JSON log (one object per trial)."""
+    payload = []
+    for r in history.records:
+        payload.append(
+            {
+                "trial": r.trial,
+                "latency_us": "inf" if math.isinf(r.latency_us) else r.latency_us,
+                "config": r.config.as_dict(),
+            }
+        )
+    pathlib.Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_history(path: Union[str, pathlib.Path]) -> TuneHistory:
+    """Reload a tuning session saved by :func:`save_history`."""
+    payload = json.loads(pathlib.Path(path).read_text())
+    history = TuneHistory()
+    for entry in payload:
+        latency = entry["latency_us"]
+        history.append(
+            TileConfig(**entry["config"]),
+            math.inf if latency == "inf" else float(latency),
+        )
+    return history
+
+
+def best_in_top_k(
+    ranked_latencies: Sequence[float], k: int, exhaustive_best_us: float
+) -> float:
+    """Best performance within the top-k model-ranked schedules, normalized
+    to the exhaustive optimum (the Fig. 12 metric). ``ranked_latencies`` are
+    *measured* latencies in model-rank order; ``inf`` marks compile fails."""
+    window = [x for x in ranked_latencies[:k]]
+    if not window:
+        return 0.0
+    best = min(window)
+    return 0.0 if math.isinf(best) else exhaustive_best_us / best

@@ -1,0 +1,125 @@
+"""Schedule design space enumeration.
+
+The space spans the knobs of :class:`TileConfig`: threadblock tile, warp
+tile, register chunk and both pipeline stage counts. Baseline compilers use
+restricted sub-spaces of the same enumeration (paper Sec. V-A):
+
+* ``vanilla TVM``            — ``smem_stages == reg_stages == 1``;
+* ``TVM-DB``                 — manual double-buffering, ``(2, 1)``;
+* ``ALCOP w/o ML & MS``      — two-stage single-level, ``smem <= 2``;
+* ``ALCOP w/o ML``           — multi-stage single-level, ``reg == 1``;
+* ``ALCOP``                  — the full space.
+
+Configurations that cannot launch (register overflow, over-sized shared
+memory) are *kept* in the enumeration: real compilers only discover these
+failures when building the kernel, which is exactly the 'compile fail'
+phenomenon of Fig. 12. Use ``launchable_only=True`` to pre-filter.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, List, Optional, Sequence
+
+from ..gpusim.config import A100, GpuSpec
+from ..gpusim.occupancy import CompileError, check_launchable
+from ..schedule.config import TileConfig
+from ..tensor.operation import GemmSpec
+
+__all__ = ["SpaceOptions", "enumerate_space", "SUBSPACES", "restrict_space"]
+
+_BLOCK_MN = (16, 32, 64, 128, 256)
+_BLOCK_K = (16, 32, 64)
+_WARP_MN = (16, 32, 64)
+_CHUNK_K = (8, 16, 32)
+
+
+@dataclasses.dataclass(frozen=True)
+class SpaceOptions:
+    """Bounds of the enumeration."""
+
+    max_smem_stages: int = 4
+    max_reg_stages: int = 2
+    max_warps: int = 8
+    max_threads: int = 512
+    launchable_only: bool = False
+    #: deterministic strided subsampling cap (None = full space); used by
+    #: end-to-end studies where per-op exhaustive sweeps are unnecessary.
+    max_size: "int | None" = None
+
+
+def enumerate_space(
+    spec: GemmSpec,
+    gpu: GpuSpec = A100,
+    options: Optional[SpaceOptions] = None,
+) -> List[TileConfig]:
+    """All candidate schedules for ``spec``, in deterministic grid order."""
+    opt = options or SpaceOptions()
+    out: List[TileConfig] = []
+    for bm in _BLOCK_MN:
+        if spec.m % bm:
+            continue
+        for bn in _BLOCK_MN:
+            if spec.n % bn:
+                continue
+            for bk in _BLOCK_K:
+                if spec.k % bk:
+                    continue
+                for wm in _WARP_MN:
+                    if bm % wm:
+                        continue
+                    for wn in _WARP_MN:
+                        if bn % wn:
+                            continue
+                        warps = (bm // wm) * (bn // wn)
+                        if warps > opt.max_warps or warps * 32 > opt.max_threads:
+                            continue
+                        for ck in _CHUNK_K:
+                            if bk % ck:
+                                continue
+                            for ss in range(1, opt.max_smem_stages + 1):
+                                for rs in range(1, opt.max_reg_stages + 1):
+                                    cfg = TileConfig(
+                                        bm, bn, bk, warp_m=wm, warp_n=wn, chunk_k=ck,
+                                        smem_stages=ss, reg_stages=rs,
+                                    )
+                                    if opt.launchable_only and not _launchable(cfg, spec, gpu):
+                                        continue
+                                    out.append(cfg)
+    if not out:
+        raise ValueError(
+            f"design space for {spec.name} ({spec.m}x{spec.n}x{spec.k}) is "
+            "empty; the problem dimensions admit no candidate tiles"
+        )
+    if opt.max_size is not None and len(out) > opt.max_size:
+        stride = -(-len(out) // opt.max_size)
+        out = out[::stride]
+    return out
+
+
+def _launchable(cfg: TileConfig, spec: GemmSpec, gpu: GpuSpec) -> bool:
+    res = cfg.resource_usage(spec.dtype)
+    try:
+        check_launchable(gpu, res.smem_bytes, res.regs_per_thread, res.threads)
+    except CompileError:
+        return False
+    return True
+
+
+#: Named sub-spaces implementing the paper's compiler variants.
+SUBSPACES = {
+    "tvm": lambda c: c.smem_stages == 1 and c.reg_stages == 1,
+    "tvm-db": lambda c: c.smem_stages <= 2 and c.reg_stages == 1,
+    "alcop-no-ml-no-ms": lambda c: c.smem_stages <= 2 and c.reg_stages == 1,
+    "alcop-no-ml": lambda c: c.reg_stages == 1,
+    "alcop": lambda c: True,
+}
+
+
+def restrict_space(space: Sequence[TileConfig], variant: str) -> List[TileConfig]:
+    """Filter an enumerated space down to a named compiler variant."""
+    try:
+        pred = SUBSPACES[variant]
+    except KeyError:
+        raise ValueError(f"unknown variant {variant!r}; choose from {sorted(SUBSPACES)}")
+    return [c for c in space if pred(c)]

@@ -1,0 +1,5 @@
+"""The paper's operator benchmark suite."""
+
+from .suite import OPERATOR_SUITE, get_operator, suite_specs
+
+__all__ = ["OPERATOR_SUITE", "get_operator", "suite_specs"]

@@ -1,0 +1,93 @@
+"""Detailed behaviour tests for the library and XLA-like baselines."""
+
+import pytest
+
+from repro.baselines import LIBRARY_CATALOG, LibraryKernels, XlaLikeCompiler
+from repro.gpusim import simulate_kernel
+from repro.gpusim.occupancy import CompileError
+from repro.ops import Conv2dShape, bmm_spec, conv2d_spec, matmul_spec
+from repro.perfmodel import timing_spec_from_config
+from repro.workloads import suite_specs
+
+
+class TestLibraryDispatch:
+    def test_dispatch_covers_most_suite_shapes(self):
+        lib = LibraryKernels()
+        covered = 0
+        for spec in suite_specs():
+            try:
+                lib.dispatch(spec)
+                covered += 1
+            except CompileError:
+                pass
+        assert covered >= len(suite_specs()) - 1
+
+    def test_dispatch_is_best_of_catalog(self):
+        lib = LibraryKernels()
+        spec = matmul_spec("m", 1024, 1024, 1024)
+        picked = lib.dispatch(spec)
+        picked_lat = simulate_kernel(timing_spec_from_config(spec, picked)).latency_us
+        for cfg in LIBRARY_CATALOG:
+            if spec.m % cfg.block_m or spec.n % cfg.block_n or spec.k % cfg.block_k:
+                continue
+            try:
+                lat = simulate_kernel(timing_spec_from_config(spec, cfg)).latency_us
+            except CompileError:
+                continue
+            assert picked_lat <= lat + 1e-9
+
+    def test_uplift_applied(self):
+        lib = LibraryKernels()
+        spec = matmul_spec("m", 1024, 1024, 1024)
+        cfg = lib.dispatch(spec)
+        raw = simulate_kernel(timing_spec_from_config(spec, cfg)).latency_us
+        assert lib.gemm_latency(spec) < raw
+
+    def test_deterministic(self):
+        spec = matmul_spec("m", 512, 512, 512)
+        assert LibraryKernels().gemm_latency(spec) == LibraryKernels().gemm_latency(spec)
+
+    def test_batched_shapes_supported(self):
+        lib = LibraryKernels()
+        assert lib.gemm_latency(bmm_spec("b", 12, 512, 64, 512)) > 0
+
+
+class TestXlaDetail:
+    def test_pick_tile_divides(self):
+        xla = XlaLikeCompiler()
+        spec = matmul_spec("m", 512, 768, 3072)
+        cfg = xla.pick_tile(spec)
+        assert spec.m % cfg.block_m == 0
+        assert spec.n % cfg.block_n == 0
+
+    def test_never_pipelined(self):
+        xla = XlaLikeCompiler()
+        for spec in (matmul_spec("m", 512, 512, 512), bmm_spec("b", 12, 512, 64, 512)):
+            cfg = xla.pick_tile(spec)
+            assert cfg.smem_stages == 1 and cfg.reg_stages == 1
+
+    def test_conv_pays_fixed_overhead(self):
+        xla = XlaLikeCompiler()
+        conv = conv2d_spec("c", Conv2dShape(16, 128, 28, 28, 128, 3, 3, padding=1))
+        base = xla._own_path_latency(conv)
+        assert xla.gemm_latency(conv) == pytest.approx(base + 8.0)
+
+    def test_small_conv_hit_harder_relatively(self):
+        """The fixed overhead dominates small convolutions (ResNet-18's
+        profile) and amortizes on large ones (VGG's profile)."""
+        xla = XlaLikeCompiler()
+        small = conv2d_spec("s", Conv2dShape(16, 256, 7, 7, 512, 3, 3, padding=1))
+        large = conv2d_spec("l", Conv2dShape(16, 128, 56, 56, 128, 3, 3, padding=1))
+        rel_small = xla.gemm_latency(small) / xla._own_path_latency(small)
+        rel_large = xla.gemm_latency(large) / xla._own_path_latency(large)
+        assert rel_small > rel_large
+
+    def test_fusion_factor_below_tvm(self):
+        from repro.core import AlcopCompiler
+
+        assert XlaLikeCompiler.elementwise_factor < AlcopCompiler.elementwise_factor
+
+    def test_no_menu_tile_raises(self):
+        xla = XlaLikeCompiler()
+        with pytest.raises(CompileError):
+            xla.pick_tile(matmul_spec("odd", 48, 48, 48))

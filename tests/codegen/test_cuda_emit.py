@@ -1,0 +1,117 @@
+"""Structural tests for the CUDA source backend."""
+
+import re
+
+import pytest
+
+from repro.codegen import CudaEmitError, emit_cuda, lower
+from repro.schedule import TileConfig, auto_schedule
+from repro.tensor import GemmSpec, contraction, placeholder
+from repro.transform import apply_pipelining
+
+
+def build(m=64, n=64, k=128, batch=1, ss=3, rs=2, pipelined=True):
+    spec = GemmSpec("cu", batch, m, n, k)
+    a_shape = (batch, m, k) if batch > 1 else (m, k)
+    b_shape = (batch, n, k) if batch > 1 else (n, k)
+    a = placeholder("A", a_shape)
+    b = placeholder("B", b_shape)
+    c = contraction(a, b, spec)
+    cfg = TileConfig(32, 32, 32, warp_m=16, warp_n=16, chunk_k=16, smem_stages=ss, reg_stages=rs)
+    kernel = lower(auto_schedule(c, cfg))
+    if pipelined:
+        kernel = apply_pipelining(kernel)
+    return kernel
+
+
+class TestStructure:
+    def test_braces_balanced(self):
+        src = emit_cuda(build())
+        assert src.count("{") == src.count("}")
+        assert src.count("(") == src.count(")")
+
+    def test_kernel_signature(self):
+        src = emit_cuda(build())
+        assert 'extern "C" __global__ void gemm_cu(' in src
+        assert "const half* __restrict__ A" in src
+        assert "half* __restrict__ C" in src
+
+    def test_deterministic(self):
+        assert emit_cuda(build()) == emit_cuda(build())
+
+    def test_block_bindings(self):
+        src = emit_cuda(build())
+        assert "blockIdx.x" in src and "blockIdx.y" in src
+
+    def test_batched_uses_third_grid_dim(self):
+        src = emit_cuda(build(batch=2, m=32, n=32, k=64))
+        assert "blockIdx.z" in src
+
+    def test_warp_vars_declared_before_use(self):
+        src = emit_cuda(build())
+        for name in ("wm", "wn", "ki", "ko"):
+            decl = re.search(rf"(const )?int {name}\b", src)
+            assert decl, name
+
+
+class TestPipelineMapping:
+    def test_cp_async_only_when_pipelined(self):
+        piped = emit_cuda(build(ss=3))
+        plain = emit_cuda(build(ss=1, rs=1))
+        assert "cuda::memcpy_async" in piped
+        assert "cuda::memcpy_async" not in plain
+        assert "cooperative copy" in plain
+
+    def test_pipeline_object_created_once_per_group(self):
+        src = emit_cuda(build())
+        assert src.count("cuda::make_pipeline()") == 1  # one smem group
+        assert "3-stage pipeline over {A_shared, B_shared}" in src
+
+    def test_all_four_primitives_emitted(self):
+        src = emit_cuda(build())
+        for call in ("producer_acquire", "producer_commit", "consumer_wait", "consumer_release"):
+            assert call in src, call
+
+    def test_consumer_sync_has_barrier(self):
+        src = emit_cuda(build())
+        assert "consumer_wait(); __syncthreads();" in src
+
+    def test_register_pipeline_is_scheduling_comment(self):
+        src = emit_cuda(build(rs=2))
+        assert "// reg-pipeline" in src
+
+    def test_shifted_indices_in_source(self):
+        src = emit_cuda(build())
+        assert "(ko + 2) % 3" in src  # stage roll of the 3-stage pipeline
+        assert "(ko + ((ki + 1) / 2)) % 3" in src  # fused inner carry
+
+
+class TestIntrinsics:
+    def test_wmma_ops_present(self):
+        src = emit_cuda(build())
+        assert "wmma::load_matrix_sync" in src
+        assert "wmma::mma_sync" in src
+        assert "wmma::store_matrix_sync" in src
+        assert "wmma::fill_fragment" in src
+
+    def test_shared_memory_accounting(self):
+        src = emit_cuda(build(ss=3))
+        # two 3-stage 32x32 fp16 buffers = 2 * 3 * 2048 bytes
+        assert "// dynamic shared memory: 12288 bytes" in src
+
+    def test_epilogue_fusion_annotated(self):
+        from repro.tensor import elementwise
+
+        spec = GemmSpec("cu_epi", 1, 32, 32, 64)
+        a = placeholder("A", (32, 64))
+        b = placeholder("B", (32, 64))
+        out = elementwise(contraction(a, b, spec), "relu")
+        cfg = TileConfig(16, 16, 16, warp_m=8, warp_n=8, chunk_k=8, smem_stages=2, reg_stages=1)
+        src = emit_cuda(apply_pipelining(lower(auto_schedule(out, cfg))))
+        assert "fused epilogue: ('relu',)" in src
+
+    def test_async_without_group_rejected(self):
+        kernel = build(ss=3)
+        kernel.attrs["pipeline_groups"] = []
+        with pytest.raises(CudaEmitError, match="pipeline"):
+            emit_cuda(kernel)

@@ -1,0 +1,55 @@
+"""Unit tests for the wave working-set (DRAM fraction) model."""
+
+import dataclasses
+
+import pytest
+
+from repro.gpusim import A100
+from repro.gpusim.engine import _dram_fraction
+from repro.perfmodel import timing_spec_from_config
+from repro.schedule import TileConfig
+from repro.tensor import GemmSpec
+
+
+def ts(m=2048, n=2048, k=2048, batch=1, **spec_kw):
+    spec = GemmSpec("t", batch, m, n, k, **spec_kw)
+    cfg = TileConfig(128, 128, 32, warp_m=64, warp_n=64, chunk_k=16)
+    return timing_spec_from_config(spec, cfg)
+
+
+class TestDramFraction:
+    def test_bounded(self):
+        f = _dram_fraction(ts(), A100, wave_tbs=216)
+        assert 0.0 < f <= 1.0
+
+    def test_single_tb_all_unique(self):
+        # One threadblock shares nothing: every byte is unique.
+        assert _dram_fraction(ts(), A100, wave_tbs=1) == pytest.approx(1.0)
+
+    def test_reuse_grows_with_wave(self):
+        small = _dram_fraction(ts(), A100, wave_tbs=16)
+        large = _dram_fraction(ts(), A100, wave_tbs=216)
+        assert large < small
+
+    def test_footprint_ratio_scales_unique_bytes(self):
+        dense = _dram_fraction(ts(), A100, wave_tbs=216)
+        conv = _dram_fraction(ts(a_footprint_ratio=0.1), A100, wave_tbs=216)
+        assert conv < dense
+
+    def test_l2_overflow_forces_full_dram(self):
+        spec = dataclasses.replace(A100, l2_size=1024)
+        assert _dram_fraction(ts(), spec, wave_tbs=216) == 1.0
+
+    def test_wave_capped_by_grid(self):
+        t = ts(m=256, n=256)  # grid = 4
+        assert _dram_fraction(t, A100, wave_tbs=10_000) == _dram_fraction(t, A100, wave_tbs=4)
+
+    def test_no_load_traffic_degenerates_to_one(self):
+        t = dataclasses.replace(ts(), a_chunk_bytes=0, b_chunk_bytes=0)
+        assert _dram_fraction(t, A100, wave_tbs=216) == 1.0
+
+    def test_batched_b_not_shared_across_batches(self):
+        """Per-batch operands reduce cross-tile reuse of B."""
+        flat = _dram_fraction(ts(m=512, n=512), A100, wave_tbs=64)
+        batched = _dram_fraction(ts(m=512, n=512, batch=16), A100, wave_tbs=64)
+        assert batched >= flat

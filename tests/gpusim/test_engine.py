@@ -1,0 +1,131 @@
+"""Behavioural tests of the timing engine: the simulator must exhibit the
+qualitative phenomena the paper builds on."""
+
+import dataclasses
+
+import pytest
+
+from repro.gpusim import A100, A100_NO_ASYNC, CompileError, simulate_kernel
+from repro.gpusim.trace import format_timeline, stall_time
+from repro.perfmodel import timing_spec_from_config
+from repro.schedule import TileConfig
+from repro.tensor import GemmSpec
+
+
+def ts_for(m=2048, n=2048, k=2048, bm=128, bn=128, bk=32, wm=64, wn=64, ck=16, ss=1, rs=1, **spec_kw):
+    spec = GemmSpec("t", 1, m, n, k, **spec_kw)
+    cfg = TileConfig(bm, bn, bk, warp_m=wm, warp_n=wn, chunk_k=ck, smem_stages=ss, reg_stages=rs)
+    return timing_spec_from_config(spec, cfg)
+
+
+class TestPipeliningEffects:
+    def test_pipelining_speeds_up_large_tiles(self):
+        base = simulate_kernel(ts_for(ss=1, rs=1)).latency_us
+        piped = simulate_kernel(ts_for(ss=4, rs=2)).latency_us
+        assert piped < base * 0.85
+
+    def test_multi_stage_beats_double_buffering(self):
+        """On latency-bound shapes (small output, long reduction) two
+        stages cannot hide the copy round trip, but three can (Fig. 2)."""
+        kw = dict(m=512, n=768, k=3072, bm=64, bn=64, bk=32, wm=32, wn=32, ck=16)
+        db = simulate_kernel(ts_for(**kw, ss=2, rs=1)).latency_us
+        ms = simulate_kernel(ts_for(**kw, ss=3, rs=1)).latency_us
+        assert ms < db * 0.95
+
+    def test_multi_level_helps(self):
+        single = simulate_kernel(ts_for(ss=4, rs=1)).latency_us
+        multi = simulate_kernel(ts_for(ss=4, rs=2)).latency_us
+        assert multi < single
+
+    def test_small_tiles_gain_little_from_pipelining(self):
+        """Abundant inter-tile parallelism already hides latency (Fig. 1b)."""
+        small_base = simulate_kernel(ts_for(bm=32, bn=32, wm=32, wn=32, ss=1)).latency_us
+        small_pipe = simulate_kernel(ts_for(bm=32, bn=32, wm=32, wn=32, ss=4)).latency_us
+        large_base = simulate_kernel(ts_for(bm=256, bn=128, wm=64, wn=64, ss=1)).latency_us
+        large_pipe = simulate_kernel(ts_for(bm=256, bn=128, wm=64, wn=64, ss=4, rs=2)).latency_us
+        small_gain = small_base / small_pipe
+        large_gain = large_base / large_pipe
+        assert large_gain > small_gain
+
+    def test_long_reduction_gains_more(self):
+        """Short reduction axes cannot amortize the pipeline fill (Sec. V-A)."""
+        short_base = simulate_kernel(ts_for(m=512, n=512, k=64, bk=32)).latency_us
+        short_pipe = simulate_kernel(ts_for(m=512, n=512, k=64, bk=32, ss=3, rs=2)).latency_us
+        long_base = simulate_kernel(ts_for(m=512, n=512, k=4096, bk=32)).latency_us
+        long_pipe = simulate_kernel(ts_for(m=512, n=512, k=4096, bk=32, ss=3, rs=2)).latency_us
+        assert long_base / long_pipe > short_base / short_pipe
+
+    def test_stall_time_shrinks_with_stages(self):
+        t1 = simulate_kernel(ts_for(bm=256, bn=128, wm=64, wn=64, ss=1), collect_trace=True)
+        t4 = simulate_kernel(ts_for(bm=256, bn=128, wm=64, wn=64, ss=4, rs=2), collect_trace=True)
+        s1 = sum(stall_time(t1.trace).values())
+        s4 = sum(stall_time(t4.trace).values())
+        assert s4 < s1
+
+
+class TestMechanics:
+    def test_wave_count(self):
+        res = simulate_kernel(ts_for())
+        grid = (2048 // 128) ** 2  # 256
+        assert res.waves == -(-grid // (res.tb_per_sm * A100.num_sms))
+
+    def test_latency_scales_with_problem(self):
+        small = simulate_kernel(ts_for(m=1024, n=1024)).latency_us
+        big = simulate_kernel(ts_for(m=2048, n=2048)).latency_us
+        assert big > 2 * small
+
+    def test_tflops_below_peak(self):
+        res = simulate_kernel(ts_for(ss=4, rs=2))
+        assert 0 < res.tflops < 312
+
+    def test_dram_fraction_below_one_with_reuse(self):
+        res = simulate_kernel(ts_for())
+        assert res.dram_fraction < 1.0
+
+    def test_footprint_ratio_reduces_dram_fraction(self):
+        dense = simulate_kernel(ts_for())
+        conv = simulate_kernel(ts_for(a_footprint_ratio=0.2))
+        assert conv.dram_fraction < dense.dram_fraction
+
+    def test_extrapolation_close_to_exact(self):
+        ts = ts_for(k=8192, ss=3, rs=2)
+        exact = simulate_kernel(ts, max_outer_iters=None).latency_us
+        extrap = simulate_kernel(ts, max_outer_iters=48).latency_us
+        assert abs(exact - extrap) / exact < 0.05
+
+    def test_determinism(self):
+        a = simulate_kernel(ts_for(ss=3, rs=2)).latency_us
+        b = simulate_kernel(ts_for(ss=3, rs=2)).latency_us
+        assert a == b
+
+    def test_bank_conflicts_hurt_without_swizzle(self):
+        spec = GemmSpec("t", 1, 2048, 2048, 2048)
+        sw = TileConfig(128, 128, 32, warp_m=64, warp_n=64, chunk_k=16, smem_stages=3, reg_stages=1, swizzle=True)
+        nosw = dataclasses.replace(sw, swizzle=False)
+        t_sw = simulate_kernel(timing_spec_from_config(spec, sw)).latency_us
+        t_no = simulate_kernel(timing_spec_from_config(spec, nosw)).latency_us
+        assert t_no > t_sw
+
+    def test_async_kernel_needs_ampere(self):
+        with pytest.raises(CompileError, match="cp.async"):
+            simulate_kernel(ts_for(ss=3), gpu=A100_NO_ASYNC)
+
+    def test_sync_kernel_runs_on_pre_ampere(self):
+        res = simulate_kernel(ts_for(ss=1), gpu=A100_NO_ASYNC)
+        assert res.latency_us > 0
+
+    def test_unlaunchable_raises(self):
+        ts = ts_for(bm=256, bn=256, bk=64, wm=64, wn=64, ss=4)
+        with pytest.raises(CompileError):
+            simulate_kernel(ts)
+
+
+class TestTrace:
+    def test_timeline_renders(self):
+        res = simulate_kernel(ts_for(ss=3, rs=2), collect_trace=True)
+        text = format_timeline(res.trace)
+        assert "timeline" in text
+        assert "#" in text
+
+    def test_empty_trace(self):
+        assert "empty" in format_timeline([])

@@ -1,0 +1,121 @@
+"""Tests for the discrete-event scheduler core."""
+
+import pytest
+
+from repro.gpusim.events import FifoServer, Simulator
+
+
+class TestFifoServer:
+    def test_idle_server_serves_immediately(self):
+        s = FifoServer("x")
+        assert s.request(now=1.0, service=2.0) == 3.0
+
+    def test_queueing(self):
+        s = FifoServer("x")
+        s.request(0.0, 5.0)
+        assert s.request(1.0, 2.0) == 7.0  # waits for first request
+
+    def test_latency_does_not_occupy_server(self):
+        s = FifoServer("x")
+        t1 = s.request(0.0, 1.0, latency=10.0)
+        t2 = s.request(0.0, 1.0, latency=10.0)
+        assert t1 == 11.0
+        assert t2 == 12.0  # pipelined: only service serializes
+
+    def test_busy_time_accumulates(self):
+        s = FifoServer("x")
+        s.request(0.0, 1.5)
+        s.request(0.0, 2.5)
+        assert s.busy_time == 4.0
+
+    def test_negative_service_rejected(self):
+        with pytest.raises(ValueError):
+            FifoServer("x").request(0.0, -1.0)
+
+
+class TestSimulator:
+    def test_single_process_delay(self):
+        sim = Simulator()
+
+        def proc():
+            yield ("delay", 5.0)
+            yield ("delay", 2.0)
+
+        sim.add_process(proc())
+        assert sim.run() == 7.0
+
+    def test_wait_until_past_is_now(self):
+        sim = Simulator()
+        times = []
+
+        def proc():
+            yield ("delay", 4.0)
+            yield ("wait_until", 1.0)  # already past
+            times.append(sim.now)
+
+        sim.add_process(proc())
+        sim.run()
+        assert times == [4.0]
+
+    def test_two_processes_interleave(self):
+        sim = Simulator()
+        order = []
+
+        def proc(name, dt):
+            yield ("delay", dt)
+            order.append((name, sim.now))
+
+        sim.add_process(proc("slow", 3.0))
+        sim.add_process(proc("fast", 1.0))
+        sim.run()
+        assert order == [("fast", 1.0), ("slow", 3.0)]
+
+    def test_server_contention_via_time_order(self):
+        """The later-starting process must queue behind the earlier one."""
+        sim = Simulator()
+        server = FifoServer("s")
+        done = {}
+
+        def proc(name, start_delay):
+            yield ("delay", start_delay)
+            t = server.request(sim.now, 10.0)
+            yield ("wait_until", t)
+            done[name] = sim.now
+
+        sim.add_process(proc("a", 0.0))
+        sim.add_process(proc("b", 1.0))
+        sim.run()
+        assert done == {"a": 10.0, "b": 20.0}
+
+    def test_unknown_command_rejected(self):
+        sim = Simulator()
+
+        def proc():
+            yield ("sleep", 1.0)
+
+        sim.add_process(proc())
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_event_budget(self):
+        sim = Simulator()
+
+        def forever():
+            while True:
+                yield ("delay", 1.0)
+
+        sim.add_process(forever())
+        with pytest.raises(RuntimeError, match="exceeded"):
+            sim.run(max_events=10)
+
+    def test_start_time_offsets(self):
+        sim = Simulator()
+        seen = []
+
+        def proc():
+            seen.append(sim.now)
+            yield ("delay", 0.0)
+
+        sim.add_process(proc(), start_time=2.5)
+        sim.run()
+        assert seen == [2.5]

@@ -1,0 +1,57 @@
+"""Behavioural tests across GPU generations (V100 / A100 / H100)."""
+
+import pytest
+
+from repro.gpusim import A100, CompileError, H100, V100, simulate_kernel, tb_per_sm
+from repro.perfmodel import predict_latency, timing_spec_from_config
+from repro.schedule import TileConfig
+from repro.tensor import GemmSpec
+
+SPEC = GemmSpec("gen", 1, 1024, 1024, 2048)
+
+
+def ts(ss=1, rs=1):
+    cfg = TileConfig(128, 128, 32, warp_m=64, warp_n=64, chunk_k=16, smem_stages=ss, reg_stages=rs)
+    return timing_spec_from_config(SPEC, cfg)
+
+
+class TestVolta:
+    def test_no_async_pipelined_kernel_fails(self):
+        with pytest.raises(CompileError, match="cp.async"):
+            simulate_kernel(ts(ss=3, rs=2), gpu=V100)
+
+    def test_unpipelined_kernel_runs_slower_than_a100(self):
+        v = simulate_kernel(ts(), gpu=V100).latency_us
+        a = simulate_kernel(ts(), gpu=A100).latency_us
+        assert v > a
+
+    def test_register_pipelining_allowed(self):
+        # Register-level software pipelining predates cp.async.
+        res = simulate_kernel(ts(ss=1, rs=2), gpu=V100)
+        assert res.latency_us > 0
+
+    def test_smaller_smem_budget(self):
+        big = TileConfig(128, 128, 64, warp_m=64, warp_n=64, chunk_k=16, smem_stages=4)
+        r = big.resource_usage()
+        with pytest.raises(CompileError):
+            tb_per_sm(V100, r.smem_bytes, r.regs_per_thread, r.threads)
+
+
+class TestHopper:
+    def test_faster_than_a100(self):
+        h = simulate_kernel(ts(ss=4, rs=2), gpu=H100).latency_us
+        a = simulate_kernel(ts(ss=4, rs=2), gpu=A100).latency_us
+        assert h < a
+
+    def test_wider_compute_memory_gap(self):
+        assert H100.tc_flops_total / H100.dram_bw > A100.tc_flops_total / A100.dram_bw
+
+    def test_analytical_model_works_on_all_generations(self):
+        for gpu in (A100, H100):
+            assert predict_latency(ts(ss=3, rs=2), gpu) > 0
+        assert predict_latency(ts(), V100) > 0
+
+    def test_pipelining_gain_present_on_hopper(self):
+        base = simulate_kernel(ts(), gpu=H100).latency_us
+        piped = simulate_kernel(ts(ss=4, rs=2), gpu=H100).latency_us
+        assert piped < base

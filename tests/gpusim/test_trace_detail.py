@@ -1,0 +1,59 @@
+"""Tests for the timeline trace utilities."""
+
+import pytest
+
+from repro.gpusim import simulate_kernel
+from repro.gpusim.trace import format_timeline, stall_time
+from repro.perfmodel import timing_spec_from_config
+from repro.schedule import TileConfig
+from repro.tensor import GemmSpec
+
+
+def traced(ss=3, rs=2):
+    spec = GemmSpec("t", 1, 512, 512, 2048)
+    cfg = TileConfig(64, 64, 32, warp_m=32, warp_n=32, chunk_k=16, smem_stages=ss, reg_stages=rs)
+    return simulate_kernel(timing_spec_from_config(spec, cfg), collect_trace=True)
+
+
+class TestStallTime:
+    def test_per_tb_accounting(self):
+        res = traced(ss=1, rs=1)
+        stalls = stall_time(res.trace)
+        assert stalls and all(v >= 0 for v in stalls.values())
+
+    def test_only_waits_counted(self):
+        res = traced()
+        total_events = len(res.trace)
+        stalls = stall_time(res.trace)
+        # uses and epilogues exist but contribute nothing
+        assert total_events > len(stalls)
+
+    def test_empty(self):
+        assert stall_time([]) == {}
+
+
+class TestFormatTimeline:
+    def test_rows_per_tb_and_kind(self):
+        res = traced()
+        text = format_timeline(res.trace)
+        assert "tb0 use" in text
+        assert "tb0 smem_wait" in text
+        assert "tb0 epilogue" in text
+
+    def test_glyphs(self):
+        res = traced(ss=1)
+        text = format_timeline(res.trace)
+        assert "#" in text  # compute
+        assert "." in text  # stalls are visible without pipelining
+        assert "=" in text  # epilogue
+
+    def test_width_respected(self):
+        res = traced()
+        for line in format_timeline(res.trace, width=40).splitlines()[1:]:
+            bar = line.split("|")[1]
+            assert len(bar) == 40
+
+    def test_pipelined_has_fewer_stall_glyphs(self):
+        base = format_timeline(traced(ss=1, rs=1).trace, width=60)
+        piped = format_timeline(traced(ss=4, rs=2).trace, width=60)
+        assert piped.count(".") < base.count(".")

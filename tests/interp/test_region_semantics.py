@@ -1,0 +1,90 @@
+"""Fine-grained interpreter semantics: region views, squeezing, dtypes."""
+
+import numpy as np
+import pytest
+
+from repro.interp import InterpreterError, run_kernel
+from repro.ir import Buffer, ComputeStmt, IRBuilder, Kernel, MemCopy, Scope
+
+
+class TestRegionViews:
+    def test_extent_one_dims_squeezed_for_compute(self):
+        """A 3D region with a unit leading extent presents as 2D to fn."""
+        W = Buffer("W", (2, 4, 4))
+        O = Buffer("O", (4, 4))
+        seen = {}
+
+        def grab(out, src):
+            seen["shape"] = src.shape
+            out[...] = src
+
+        body = ComputeStmt(
+            "grab",
+            O.full_region(),
+            [W.region((1, 1), (0, 4), (0, 4))],
+            fn=grab,
+            annotations={"accumulate": False},
+        )
+        w = np.arange(32, dtype=np.float16).reshape(2, 4, 4)
+        out = run_kernel(Kernel("k", [W, O], body), {"W": w})
+        assert seen["shape"] == (4, 4)
+        np.testing.assert_array_equal(out["O"], w[1])
+
+    def test_copy_reshapes_between_ranks(self):
+        """dst and src regions of equal volume but different shapes work."""
+        A = Buffer("A", (16,))
+        B2 = Buffer("B2", (4, 4))
+        body = MemCopy(B2.full_region(), A.full_region())
+        out = run_kernel(Kernel("k", [A, B2], body), {"A": np.arange(16, dtype=np.float16)})
+        np.testing.assert_array_equal(out["B2"].ravel(), np.arange(16))
+
+    def test_out_of_bounds_read_raises(self):
+        A = Buffer("A", (8,))
+        O = Buffer("O", (8,))
+        b = IRBuilder()
+        with b.serial_for("t", 3) as t:
+            b.copy(O.region((0, 4)), A.region((t * 3, 4)))  # t=2 -> [6, 10)
+        with pytest.raises(InterpreterError, match="out of bounds"):
+            run_kernel(Kernel("k", [A, O], b.finish()), {"A": np.zeros(8, dtype=np.float16)})
+
+    def test_out_view_mutation_lands_in_buffer(self):
+        """ComputeStmt's out view must be a real view (no copies)."""
+        O = Buffer("O", (2, 8))
+
+        def write_row(out):
+            out[...] = 7.0
+
+        body = ComputeStmt(
+            "row", O.region((1, 1), (0, 8)), [], fn=write_row, annotations={"accumulate": False}
+        )
+        out = run_kernel(Kernel("k", [O], body), {})
+        np.testing.assert_array_equal(out["O"][1], 7.0)
+        assert np.isnan(out["O"][0].astype(np.float32)).all()  # untouched row stays poisoned
+
+    def test_integer_buffers_use_sentinel_not_nan(self):
+        I32 = Buffer("I", (4,), dtype="int32")
+        out = run_kernel(Kernel("k", [I32], ComputeStmt(
+            "noop", I32.full_region(), [], fn=lambda o: None, annotations={"accumulate": False}
+        )), {})
+        assert (out["I"] == -(2**30)).all()
+
+    def test_accumulator_precision_preserved(self):
+        """fp32 accumulation must not round through fp16 mid-loop."""
+        A = Buffer("A", (1,))
+        O = Buffer("O", (1,), dtype="float32")
+        acc = Buffer("acc", (1,), dtype="float32", scope=Scope.ACCUMULATOR)
+
+        def init(out):
+            out[...] = 2048.0  # fp16 rounds 2048 + 1 -> 2048
+
+        def add_one(out, _):
+            out += 1.0
+
+        b = IRBuilder()
+        with b.allocate(acc):
+            b.compute("init", acc.full_region(), [], fn=init, accumulate=False)
+            with b.serial_for("i", 4):
+                b.compute("inc", acc.full_region(), [A.full_region()], fn=add_one)
+            b.copy(O.full_region(), acc.full_region())
+        out = run_kernel(Kernel("k", [A, O], b.finish()), {"A": np.zeros(1, dtype=np.float16)})
+        assert out["O"][0] == 2052.0

@@ -1,0 +1,123 @@
+"""Tests for the remaining IR analysis helpers."""
+
+import pytest
+
+from repro.ir import (
+    Buffer,
+    ComputeStmt,
+    IRBuilder,
+    IfThenElse,
+    IntImm,
+    Kernel,
+    MemCopy,
+    Scope,
+    SyncKind,
+    Var,
+)
+from repro.ir.analysis import (
+    collect,
+    count_nodes,
+    kernel_flops,
+    loop_var_map,
+    stmt_regions_read,
+    stmt_regions_written,
+)
+from repro.ir.stmt import For
+
+
+class TestRegionAccess:
+    def test_memcopy_reads_src_writes_dst(self):
+        a = Buffer("a", (8,))
+        b = Buffer("b", (8,))
+        c = MemCopy(a.full_region(), b.full_region())
+        assert [r.buffer for r in stmt_regions_read(c)] == [b]
+        assert [r.buffer for r in stmt_regions_written(c)] == [a]
+
+    def test_compute_accumulate_reads_out(self):
+        acc = Buffer("acc", (4,), scope=Scope.ACCUMULATOR)
+        x = Buffer("x", (4,))
+        c = ComputeStmt("mma", acc.full_region(), [x.full_region()])
+        read = {r.buffer for r in stmt_regions_read(c)}
+        assert read == {x, acc}  # accumulation reads the output
+
+    def test_compute_non_accumulate_skips_out(self):
+        acc = Buffer("acc", (4,), scope=Scope.ACCUMULATOR)
+        c = ComputeStmt("fill", acc.full_region(), [], annotations={"accumulate": False})
+        assert stmt_regions_read(c) == []
+
+    def test_sync_touches_nothing(self):
+        from repro.ir import PipelineSync
+
+        s = PipelineSync(Buffer("b", (1,)), SyncKind.PRODUCER_COMMIT)
+        assert stmt_regions_read(s) == [] and stmt_regions_written(s) == []
+
+
+class TestKernelFlops:
+    def _kernel(self, guard=False):
+        A = Buffer("A", (8,))
+        b = IRBuilder()
+        with b.serial_for("i", 4) as i:
+            if guard:
+                with b.if_then(i.equal(0)):
+                    b.compute("mma", A.full_region(), [], fn=lambda o: None, flops=10)
+            else:
+                b.compute("mma", A.full_region(), [], fn=lambda o: None, flops=10)
+        return Kernel("k", [A], b.finish())
+
+    def test_plain_loop(self):
+        assert kernel_flops(self._kernel()) == 40
+
+    def test_guarded_flops_counted_per_iteration(self):
+        # Conservative: guards count as always-taken.
+        assert kernel_flops(self._kernel(guard=True)) == 40
+
+    def test_nested_multiplication(self):
+        A = Buffer("A", (8,))
+        b = IRBuilder()
+        with b.serial_for("i", 3):
+            with b.thread_for("w", 2):
+                b.compute("mma", A.full_region(), [], fn=lambda o: None, flops=5)
+        assert kernel_flops(Kernel("k", [A], b.finish())) == 30
+
+
+class TestLoopVarMap:
+    def test_maps_all(self):
+        A = Buffer("A", (8,))
+        b = IRBuilder()
+        with b.serial_for("i", 2):
+            with b.serial_for("j", 3):
+                b.copy(A.full_region(), A.full_region())
+        m = loop_var_map(b.finish())
+        assert sorted(v.name for v in m) == ["i", "j"]
+        assert {loop.var.name for loop in m.values()} == {"i", "j"}
+
+    def test_duplicate_binding_rejected(self):
+        A = Buffer("A", (8,))
+        i = Var("i")
+        inner = For(i, 2, MemCopy(A.full_region(), A.full_region()))
+        outer = For(Var("o"), 2, inner)
+        from repro.ir.stmt import SeqStmt
+
+        dup = SeqStmt([outer, For(i, 3, MemCopy(A.full_region(), A.full_region()))])
+        with pytest.raises(ValueError, match="bound twice"):
+            loop_var_map(dup)
+
+
+class TestCollect:
+    def test_predicate_collection(self):
+        A = Buffer("A", (8,))
+        b = IRBuilder()
+        with b.serial_for("i", 2):
+            b.copy(A.full_region(), A.full_region())
+            b.copy(A.full_region(), A.full_region())
+        found = collect(b.finish(), lambda s: isinstance(s, MemCopy))
+        assert len(found) == 2
+
+    def test_count_nodes_matches_walk(self):
+        A = Buffer("A", (8,))
+        b = IRBuilder()
+        with b.serial_for("i", 2):
+            with b.if_then(IntImm(1).equal(1)):
+                b.copy(A.full_region(), A.full_region())
+        # For + SeqStmt? (single child collapses) + IfThenElse + MemCopy
+        assert count_nodes(b.finish()) == 3

@@ -1,0 +1,274 @@
+"""Tests for the scalar expression IR."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir import expr as E
+from repro.ir.expr import (
+    BinOp,
+    FloatImm,
+    IntImm,
+    Var,
+    as_expr,
+    evaluate,
+    floordiv,
+    floormod,
+    free_vars,
+    imax,
+    imin,
+    simplify,
+    struct_equal,
+    substitute,
+)
+
+
+class TestConstruction:
+    def test_intimm_value(self):
+        assert IntImm(5).value == 5
+
+    def test_intimm_rejects_bool(self):
+        with pytest.raises(TypeError):
+            IntImm(True)
+
+    def test_intimm_rejects_float(self):
+        with pytest.raises(TypeError):
+            IntImm(1.5)
+
+    def test_var_requires_name(self):
+        with pytest.raises(ValueError):
+            Var("")
+
+    def test_as_expr_int(self):
+        e = as_expr(7)
+        assert isinstance(e, IntImm) and e.value == 7
+
+    def test_as_expr_float(self):
+        e = as_expr(1.5)
+        assert isinstance(e, FloatImm) and e.value == 1.5
+
+    def test_as_expr_identity_on_expr(self):
+        v = Var("x")
+        assert as_expr(v) is v
+
+    def test_as_expr_rejects_str(self):
+        with pytest.raises(TypeError):
+            as_expr("x")
+
+    def test_binop_rejects_unknown_op(self):
+        with pytest.raises(ValueError):
+            BinOp("pow", IntImm(1), IntImm(2))
+
+
+class TestConstantFolding:
+    def test_add_folds(self):
+        e = as_expr(2) + 3
+        assert isinstance(e, IntImm) and e.value == 5
+
+    def test_mul_folds(self):
+        assert (as_expr(4) * 6).value == 24
+
+    def test_floordiv_folds(self):
+        assert (as_expr(7) // 2).value == 3
+
+    def test_floormod_folds(self):
+        assert (as_expr(7) % 3).value == 1
+
+    def test_div_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            as_expr(1) // 0
+
+    def test_add_zero_identity(self):
+        x = Var("x")
+        assert (x + 0) is x
+        assert (0 + x) is x
+
+    def test_mul_one_identity(self):
+        x = Var("x")
+        assert (x * 1) is x
+        assert (1 * x) is x
+
+    def test_mul_zero_annihilates(self):
+        x = Var("x")
+        e = x * 0
+        assert isinstance(e, IntImm) and e.value == 0
+
+    def test_mod_one_is_zero(self):
+        x = Var("x")
+        e = x % 1
+        assert isinstance(e, IntImm) and e.value == 0
+
+    def test_div_one_identity(self):
+        x = Var("x")
+        assert (x // 1) is x
+
+    def test_sub_zero_identity(self):
+        x = Var("x")
+        assert (x - 0) is x
+
+    def test_negation(self):
+        e = -Var("x")
+        assert isinstance(e, BinOp) and e.op == "sub"
+
+
+class TestEvaluate:
+    def test_simple(self):
+        x = Var("x")
+        assert evaluate((x + 2) * 3, {x: 4}) == 18
+
+    def test_floor_semantics_match_python(self):
+        x = Var("x")
+        assert evaluate(x // 4, {x: -3}) == -3 // 4
+        assert evaluate(x % 4, {x: -3}) == -3 % 4
+
+    def test_unbound_var_raises(self):
+        with pytest.raises(KeyError):
+            evaluate(Var("x") + 1, {})
+
+    def test_min_max(self):
+        x = Var("x")
+        assert evaluate(imin(x, 3), {x: 5}) == 3
+        assert evaluate(imax(x, 3), {x: 5}) == 5
+
+    def test_comparisons(self):
+        x = Var("x")
+        assert evaluate(x.lt(5), {x: 3}) == 1
+        assert evaluate(x.ge(5), {x: 3}) == 0
+        assert evaluate(x.equal(3), {x: 3}) == 1
+        assert evaluate(x.not_equal(3), {x: 3}) == 0
+
+    def test_logical(self):
+        x = Var("x")
+        assert evaluate(x.lt(5).logical_and(x.gt(1)), {x: 3}) == 1
+        assert evaluate(x.lt(2).logical_or(x.gt(10)), {x: 3}) == 0
+
+    def test_runtime_div_zero(self):
+        x = Var("x")
+        with pytest.raises(ZeroDivisionError):
+            evaluate(as_expr(10) // x, {x: 0})
+
+
+class TestSubstitute:
+    def test_basic(self):
+        x, y = Var("x"), Var("y")
+        e = substitute(x + y, {x: as_expr(2)})
+        assert evaluate(e, {y: 3}) == 5
+
+    def test_substitute_folds(self):
+        x = Var("x")
+        e = substitute(x + 1, {x: as_expr(2)})
+        assert isinstance(e, IntImm) and e.value == 3
+
+    def test_untouched_tree_shared(self):
+        x, y = Var("x"), Var("y")
+        e = x + y
+        assert substitute(e, {Var("z"): as_expr(1)}) is e
+
+    def test_var_to_expr(self):
+        x, y = Var("x"), Var("y")
+        e = substitute(x * 4, {x: y + 1})
+        assert evaluate(e, {y: 2}) == 12
+
+
+class TestFreeVars:
+    def test_collects_all(self):
+        x, y = Var("x"), Var("y")
+        assert free_vars((x + y) * x) == {x, y}
+
+    def test_const_has_none(self):
+        assert free_vars(as_expr(3) + 4) == set()
+
+    def test_vars_identity_based(self):
+        x1, x2 = Var("x"), Var("x")
+        assert free_vars(x1 + x2) == {x1, x2}
+
+
+class TestSimplify:
+    def test_mod_mod_collapse(self):
+        x = Var("x")
+        e = simplify((x % 3) % 3)
+        assert struct_equal(e, x % 3)
+
+    def test_mod_div_is_zero(self):
+        x = Var("x")
+        e = simplify((x % 3) // 3)
+        assert isinstance(e, IntImm) and e.value == 0
+
+    def test_constant_gathering(self):
+        x = Var("x")
+        e = simplify((x + 1) + 2)
+        assert struct_equal(e, x + 3)
+
+    def test_simplify_preserves_value(self):
+        x = Var("x")
+        e = ((x + 1) + 2) % 4
+        s = simplify(e)
+        for v in range(-5, 15):
+            assert evaluate(e, {x: v}) == evaluate(s, {x: v})
+
+    def test_nested_mod_different_base_kept(self):
+        x = Var("x")
+        e = simplify((x % 3) % 2)
+        # must not collapse: (x%3)%2 differs from x%2 at x=3 -> 0 vs 1
+        assert evaluate(e, {x: 3}) == (3 % 3) % 2
+
+
+class TestStructEqual:
+    def test_equal_trees(self):
+        x = Var("x")
+        assert struct_equal(x + 1, x + 1)
+
+    def test_var_identity(self):
+        assert not struct_equal(Var("x"), Var("x"))
+
+    def test_different_ops(self):
+        x = Var("x")
+        assert not struct_equal(x + 1, x - 1)
+
+    def test_int_vs_float(self):
+        assert not struct_equal(IntImm(1), FloatImm(1.0))
+
+
+# -- property-based tests ------------------------------------------------------
+
+_vars = [Var("a"), Var("b"), Var("c")]
+
+
+@st.composite
+def exprs(draw, depth=0):
+    """Random integer expression trees over three variables."""
+    if depth > 3 or draw(st.booleans()):
+        leaf = draw(st.integers(min_value=-8, max_value=8) | st.sampled_from(_vars))
+        return as_expr(leaf)
+    op = draw(st.sampled_from(["add", "sub", "mul"]))
+    a = draw(exprs(depth=depth + 1))
+    b = draw(exprs(depth=depth + 1))
+    return E._binop(op, a, b)
+
+
+@given(exprs(), st.integers(-10, 10), st.integers(-10, 10), st.integers(-10, 10))
+def test_simplify_is_semantics_preserving(e, a, b, c):
+    env = {_vars[0]: a, _vars[1]: b, _vars[2]: c}
+    assert evaluate(simplify(e), env) == evaluate(e, env)
+
+
+@given(exprs(), st.integers(1, 7), st.integers(-10, 10), st.integers(-10, 10), st.integers(-10, 10))
+def test_mod_wrap_matches_python(e, n, a, b, c):
+    env = {_vars[0]: a, _vars[1]: b, _vars[2]: c}
+    assert evaluate(floormod(e, n), env) == evaluate(e, env) % n
+
+
+@given(exprs(), exprs(), st.integers(-10, 10), st.integers(-10, 10), st.integers(-10, 10))
+def test_min_max_consistent(e1, e2, a, b, c):
+    env = {_vars[0]: a, _vars[1]: b, _vars[2]: c}
+    lo = evaluate(imin(e1, e2), env)
+    hi = evaluate(imax(e1, e2), env)
+    assert lo <= hi
+    assert {lo, hi} == {evaluate(e1, env), evaluate(e2, env)}
+
+
+@given(exprs())
+def test_substitute_closes_expression(e):
+    env = {v: as_expr(i + 1) for i, v in enumerate(_vars)}
+    closed = substitute(e, env)
+    assert free_vars(closed) == set()
+    assert isinstance(closed, (IntImm, FloatImm))

@@ -1,0 +1,126 @@
+"""Tests for the model zoo, workload suite and end-to-end runtime."""
+
+import pytest
+
+from repro.models import (
+    MODEL_ZOO,
+    ModelGraph,
+    build_bert,
+    build_bert_large,
+    build_gpt2,
+    build_resnet18,
+    build_resnet50,
+    build_vgg16,
+    estimate_model_latency,
+    roofline_fallback_latency,
+)
+from repro.ops import matmul_spec
+from repro.tensor import GemmSpec
+from repro.workloads import OPERATOR_SUITE, get_operator, suite_specs
+
+
+class TestWorkloadSuite:
+    def test_expected_operators_present(self):
+        names = set(OPERATOR_SUITE)
+        assert {"MM_BERT_FC1", "MM_RN50_FC", "BMM_BERT_QK", "BMM_BERT_SV", "Conv_RN50_3x3"} <= names
+
+    def test_rn50_fc_shape_matches_paper(self):
+        s = get_operator("MM_RN50_FC")
+        assert (s.m, s.n, s.k) == (1024, 64, 2048)
+
+    def test_bert_qk_short_reduction(self):
+        qk = get_operator("BMM_BERT_QK")
+        sv = get_operator("BMM_BERT_SV")
+        assert qk.k < sv.k  # the paper's short vs long reduction contrast
+
+    def test_all_specs_have_nonempty_space(self):
+        from repro.tuning import enumerate_space
+
+        for spec in suite_specs():
+            assert len(enumerate_space(spec)) > 0, spec.name
+
+    def test_convs_have_footprint_below_one(self):
+        assert get_operator("Conv_RN50_3x3").a_footprint_ratio < 1.0
+
+    def test_unknown_operator(self):
+        with pytest.raises(KeyError):
+            get_operator("MM_NOT_REAL")
+
+
+class TestZoo:
+    def test_all_models_build(self):
+        for name, build in MODEL_ZOO.items():
+            g = build()
+            assert g.name == name
+            assert g.gemm_ops and g.memory_ops
+            assert g.total_gemm_flops > 0
+
+    def test_bert_layer_counts(self):
+        g = build_bert()
+        counts = {op.spec.name: op.count for op in g.gemm_ops}
+        assert counts["BERT_FC1"] == 12
+        assert counts["BERT_QK"] == 12
+
+    def test_bert_large_heavier_than_bert(self):
+        assert build_bert_large().total_gemm_flops > 2 * build_bert().total_gemm_flops
+
+    def test_gpt2_seq_length(self):
+        g = build_gpt2()
+        fc1 = next(op.spec for op in g.gemm_ops if op.spec.name == "GPT-2_FC1")
+        assert fc1.m == 1024
+
+    def test_resnet50_deeper_than_18(self):
+        assert len(build_resnet50().gemm_ops) > len(build_resnet18().gemm_ops)
+
+    def test_vgg_flops_heavy(self):
+        # VGG-16 is famously FLOP-heavy relative to ResNets.
+        assert build_vgg16().total_gemm_flops > build_resnet50().total_gemm_flops
+
+
+class _StubBackend:
+    """Backend charging 1us per GFLOP; stem-like untileable ops excluded."""
+
+    elementwise_factor = 1.0
+    launch_overhead = 0.0
+    fallback_factor = 1.0
+
+    def gemm_latency(self, spec: GemmSpec) -> float:
+        from repro.tuning import enumerate_space
+
+        enumerate_space(spec)  # raises ValueError for untileable shapes
+        return spec.flops / 1e9
+
+
+class TestRuntime:
+    def test_breakdown_sums(self):
+        g = build_bert()
+        res = estimate_model_latency(g, _StubBackend(), backend_name="stub")
+        assert res.total_us == pytest.approx(
+            res.gemm_us + res.fallback_us + res.memory_us + res.overhead_us
+        )
+        assert res.backend == "stub"
+
+    def test_fallback_used_for_untileable(self):
+        g = build_resnet18()
+        res = estimate_model_latency(g, _StubBackend())
+        assert res.fallback_us > 0  # the 3-channel stem conv
+
+    def test_fallback_roofline_positive_and_monotone(self):
+        small = roofline_fallback_latency(matmul_spec("s", 64, 64, 64))
+        large = roofline_fallback_latency(matmul_spec("l", 1024, 1024, 1024))
+        assert 0 < small < large
+
+    def test_elementwise_factor_scales_memory(self):
+        g = build_bert()
+        b = _StubBackend()
+        full = estimate_model_latency(g, b).memory_us
+
+        b2 = _StubBackend()
+        b2.elementwise_factor = 0.5
+        half = estimate_model_latency(g, b2).memory_us
+        assert half == pytest.approx(0.5 * full)
+
+    def test_per_op_records_every_gemm(self):
+        g = build_bert()
+        res = estimate_model_latency(g, _StubBackend())
+        assert set(res.per_op) == {op.spec.name for op in g.gemm_ops}

@@ -1,0 +1,138 @@
+"""Tests for the analytical performance model (Table I) and the
+bottleneck-analysis baseline."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gpusim import A100, CompileError
+from repro.perfmodel import (
+    bottleneck_latency,
+    is_load_bound,
+    pipeline_latency,
+    predict_breakdown,
+    predict_latency,
+    timing_spec_from_config,
+)
+from repro.schedule import TileConfig
+from repro.tensor import GemmSpec
+
+
+def ts(m=2048, n=2048, k=2048, ss=3, rs=2, bm=128, bn=128, bk=32, wm=64, wn=64, ck=16):
+    spec = GemmSpec("t", 1, m, n, k)
+    cfg = TileConfig(bm, bn, bk, warp_m=wm, warp_n=wn, chunk_k=ck, smem_stages=ss, reg_stages=rs)
+    return timing_spec_from_config(spec, cfg)
+
+
+class TestPipelineLatencyModel:
+    def test_compute_bound_branch(self):
+        # t_load fits inside (n_pipe*n_mplx - 1) use steps -> pure compute.
+        assert pipeline_latency(t_load=1.0, t_use=1.0, n_loop=10, n_pipe=4, n_mplx=1) == 10.0
+
+    def test_load_bound_branch(self):
+        # t_load dominates: full round trip divided by pipeline depth.
+        out = pipeline_latency(t_load=10.0, t_use=1.0, n_loop=8, n_pipe=2, n_mplx=1)
+        assert out == (10.0 + 1.0) * 8 / 2
+
+    def test_criterion_boundary(self):
+        # exactly at the boundary the loop is compute-bound (<=).
+        assert not is_load_bound(t_load=3.0, t_use=1.0, n_pipe=4, n_mplx=1)
+        assert is_load_bound(t_load=3.01, t_use=1.0, n_pipe=4, n_mplx=1)
+
+    def test_multiplexing_widens_window(self):
+        assert is_load_bound(5.0, 1.0, n_pipe=2, n_mplx=1)
+        assert not is_load_bound(5.0, 1.0, n_pipe=2, n_mplx=4)
+
+    def test_more_stages_never_hurt(self):
+        for n_pipe in range(1, 6):
+            a = pipeline_latency(8.0, 1.0, 16, n_pipe, 1)
+            b = pipeline_latency(8.0, 1.0, 16, n_pipe + 1, 1)
+            assert b <= a
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            pipeline_latency(-1.0, 1.0, 4, 2, 1)
+        with pytest.raises(ValueError):
+            pipeline_latency(1.0, 0.0, 4, 2, 1)
+        with pytest.raises(ValueError):
+            pipeline_latency(1.0, 1.0, 0, 2, 1)
+
+    @given(
+        t_load=st.floats(0.01, 100),
+        t_use=st.floats(0.01, 100),
+        n_loop=st.integers(1, 64),
+        n_pipe=st.integers(1, 8),
+        n_mplx=st.integers(1, 8),
+    )
+    def test_bounded_by_extremes(self, t_load, t_use, n_loop, n_pipe, n_mplx):
+        """The pipelined loop is never faster than pure compute and never
+        slower than fully serialized load+use."""
+        out = pipeline_latency(t_load, t_use, n_loop, n_pipe, n_mplx)
+        assert out <= (t_load + t_use) * n_loop + 1e-9
+        assert out >= min(t_use * n_loop, (t_load + t_use) * n_loop / n_pipe) - 1e-9
+
+
+class TestKernelModel:
+    def test_breakdown_consistency(self):
+        b = predict_breakdown(ts())
+        assert b.t_kernel == pytest.approx(b.t_threadblk * b.n_threadblk_batch)
+        assert b.t_threadblk == pytest.approx(b.t_init + b.t_main_loop + b.t_epilogue)
+        assert b.t_init == pytest.approx(b.t_smem_load + b.t_reg_load)
+
+    def test_stages_help_when_load_bound(self):
+        slow = predict_latency(ts(m=512, n=768, k=3072, bm=64, bn=64, wm=32, wn=32, ss=1, rs=1))
+        fast = predict_latency(ts(m=512, n=768, k=3072, bm=64, bn=64, wm=32, wn=32, ss=4, rs=2))
+        assert fast < slow
+
+    def test_model_is_occupancy_aware(self):
+        with pytest.raises(CompileError):
+            predict_latency(ts(bm=256, bn=256, bk=64, ss=4))
+
+    def test_longer_reduction_longer_latency(self):
+        assert predict_latency(ts(k=4096)) > predict_latency(ts(k=1024))
+
+    def test_util_penalizes_single_warp(self):
+        few = predict_breakdown(ts(m=64, n=64, bm=64, bn=64, bk=16, wm=64, wn=64, ss=1, rs=1))
+        assert few.util <= 1.0
+        assert few.n_threadblk_per_sm >= 1
+
+    def test_batch_count(self):
+        b = predict_breakdown(ts())
+        grid = (2048 // 128) ** 2
+        assert b.n_threadblk_batch == -(-grid // (b.n_threadblk_per_sm * A100.num_sms))
+
+
+class TestBottleneckModel:
+    def test_stage_agnostic(self):
+        """The baseline is blind to latency hiding (paper Sec. V-D)."""
+        assert bottleneck_latency(ts(ss=1, rs=1)) == bottleneck_latency(ts(ss=4, rs=2))
+
+    def test_no_launchability_check(self):
+        # The same config the analytical model rejects is happily scored.
+        bottleneck_latency(ts(bm=256, bn=256, bk=64, ss=4))
+
+    def test_compute_roofline_is_floor(self):
+        """The compute term of the max() lower-bounds its output, and the
+        simulator can never beat the full-utilization compute roofline."""
+        from repro.gpusim import simulate_kernel
+
+        t = ts(ss=4, rs=2)
+        t_compute = t.total_flops / A100.tc_flops_total
+        assert bottleneck_latency(t) >= t_compute
+        assert simulate_kernel(t).latency_us >= t_compute
+
+    def test_scales_with_problem(self):
+        assert bottleneck_latency(ts(m=2048)) > bottleneck_latency(ts(m=1024))
+
+
+class TestStaticSpec:
+    def test_divisibility_enforced(self):
+        spec = GemmSpec("t", 1, 100, 64, 64)
+        with pytest.raises(ValueError):
+            timing_spec_from_config(spec, TileConfig(64, 64, 32, warp_m=32, warp_n=32, chunk_k=16))
+
+    def test_footprint_propagates(self):
+        spec = GemmSpec("t", 1, 256, 256, 256, a_footprint_ratio=0.3)
+        cfg = TileConfig(64, 64, 32, warp_m=32, warp_n=32, chunk_k=16)
+        assert timing_spec_from_config(spec, cfg).a_footprint_ratio == 0.3

@@ -1,0 +1,65 @@
+"""Tests for the roofline analysis module."""
+
+import pytest
+
+from repro.gpusim import A100, H100, simulate_kernel
+from repro.ops import Conv2dShape, bmm_spec, conv2d_spec, matmul_spec
+from repro.perfmodel import analyze_operator, timing_spec_from_config
+from repro.schedule import TileConfig
+from repro.workloads import suite_specs
+
+
+class TestPlacement:
+    def test_big_square_gemm_is_compute_bound(self):
+        r = analyze_operator(matmul_spec("m", 4096, 4096, 4096))
+        assert r.bound == "compute"
+        assert r.ceiling_tflops == pytest.approx(A100.tc_flops_total / 1e6)
+
+    def test_skinny_gemm_is_memory_bound(self):
+        r = analyze_operator(matmul_spec("m", 64, 64, 8192))
+        assert r.bound == "memory"
+        assert r.ceiling_tflops < A100.tc_flops_total / 1e6
+
+    def test_ridge_point(self):
+        r = analyze_operator(matmul_spec("m", 256, 256, 256))
+        assert r.ridge_intensity == pytest.approx(A100.tc_flops_total / A100.dram_bw)
+
+    def test_conv_footprint_raises_intensity(self):
+        conv = conv2d_spec("c", Conv2dShape(16, 128, 28, 28, 128, 3, 3, padding=1))
+        mm = matmul_spec("m", conv.m, conv.n, conv.k)
+        assert (
+            analyze_operator(conv).arithmetic_intensity
+            > analyze_operator(mm).arithmetic_intensity
+        )
+
+    def test_headroom_above_one_away_from_ridge(self):
+        deep = analyze_operator(matmul_spec("m", 4096, 4096, 4096))
+        assert deep.headroom > 1.0
+
+    def test_h100_moves_ridge_right(self):
+        a = analyze_operator(matmul_spec("m", 512, 512, 512), A100)
+        h = analyze_operator(matmul_spec("m", 512, 512, 512), H100)
+        assert h.ridge_intensity > a.ridge_intensity
+
+
+class TestConsistencyWithSimulator:
+    def test_ideal_latency_is_a_lower_bound(self):
+        """No simulated schedule can beat the roofline."""
+        spec = matmul_spec("m", 2048, 2048, 2048)
+        ideal = analyze_operator(spec).ideal_latency_us
+        cfg = TileConfig(128, 128, 32, warp_m=64, warp_n=64, chunk_k=16,
+                         smem_stages=4, reg_stages=2)
+        sim = simulate_kernel(timing_spec_from_config(spec, cfg)).latency_us
+        assert sim >= ideal
+
+    def test_whole_suite_analyzable(self):
+        for spec in suite_specs():
+            r = analyze_operator(spec)
+            assert r.ideal_latency_us > 0
+            assert r.bound in ("compute", "memory")
+
+    def test_bmm_attention_memory_bound(self):
+        """The Fig. 10 BMM insight grounded in the roofline: attention
+        score GEMMs sit on the memory side of the ridge."""
+        r = analyze_operator(bmm_spec("qk", 12, 512, 512, 64))
+        assert r.bound == "memory"

@@ -1,0 +1,110 @@
+"""Tests for TileConfig geometry and resource math."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.schedule import TileConfig
+from repro.tensor import GemmSpec
+
+
+def _cfg(**kw):
+    base = dict(block_m=64, block_n=64, block_k=32, warp_m=32, warp_n=32, chunk_k=16)
+    base.update(kw)
+    return TileConfig(**base)
+
+
+class TestValidation:
+    def test_valid(self):
+        c = _cfg(smem_stages=3, reg_stages=2)
+        assert c.warps_per_block == 4
+
+    def test_block_not_divisible_by_warp(self):
+        with pytest.raises(ValueError):
+            _cfg(warp_m=48)
+
+    def test_block_k_not_divisible_by_chunk(self):
+        with pytest.raises(ValueError):
+            _cfg(chunk_k=24)
+
+    def test_stage_bounds(self):
+        with pytest.raises(ValueError):
+            _cfg(smem_stages=0)
+        with pytest.raises(ValueError):
+            _cfg(smem_stages=9)
+        with pytest.raises(ValueError):
+            _cfg(reg_stages=3)
+
+    def test_nonpositive_dim(self):
+        with pytest.raises(ValueError):
+            _cfg(block_m=-64)
+
+
+class TestGeometry:
+    def test_threads(self):
+        assert _cfg().threads_per_block == 4 * 32
+
+    def test_reg_loop_extent(self):
+        assert _cfg(block_k=64, chunk_k=16).reg_loop_extent == 4
+
+    def test_grid_size_exact(self):
+        spec = GemmSpec("mm", 1, 256, 128, 512)
+        assert _cfg().grid_size(spec) == (256 // 64) * (128 // 64)
+
+    def test_grid_size_ceil(self):
+        spec = GemmSpec("mm", 1, 100, 100, 512)
+        assert _cfg().grid_size(spec) == 2 * 2
+
+    def test_grid_size_batched(self):
+        spec = GemmSpec("bmm", 8, 64, 64, 512)
+        assert _cfg().grid_size(spec) == 8
+
+    def test_smem_loop_extent(self):
+        spec = GemmSpec("mm", 1, 64, 64, 512)
+        assert _cfg(block_k=32).smem_loop_extent(spec) == 16
+
+
+class TestResources:
+    def test_smem_scales_with_stages(self):
+        r1 = _cfg(smem_stages=1).resource_usage()
+        r3 = _cfg(smem_stages=3).resource_usage()
+        assert r3.smem_bytes == 3 * r1.smem_bytes
+
+    def test_smem_value(self):
+        r = _cfg(smem_stages=1).resource_usage("float16")
+        assert r.smem_bytes == (64 + 64) * 32 * 2
+
+    def test_regs_grow_with_reg_stages(self):
+        r1 = _cfg(reg_stages=1).resource_usage()
+        r2 = _cfg(reg_stages=2).resource_usage()
+        assert r2.regs_per_thread > r1.regs_per_thread
+
+    def test_regs_per_block(self):
+        r = _cfg().resource_usage()
+        assert r.regs_per_block == r.regs_per_thread * 128
+
+
+class TestHelpers:
+    def test_with_stages(self):
+        c = _cfg().with_stages(4, 2)
+        assert c.smem_stages == 4 and c.reg_stages == 2
+        assert c.block_m == 64
+
+    def test_key_hashable_and_distinct(self):
+        assert _cfg().key() != _cfg(smem_stages=2).key()
+        {_cfg().key(): 1}
+
+    def test_str(self):
+        assert "TB(64x64x32)" in str(_cfg())
+
+
+@given(
+    bm=st.sampled_from([32, 64, 128]),
+    bn=st.sampled_from([32, 64, 128]),
+    bk=st.sampled_from([16, 32, 64]),
+    stages=st.integers(1, 4),
+)
+def test_resource_monotone_in_tile(bm, bn, bk, stages):
+    cfg = TileConfig(bm, bn, bk, warp_m=min(32, bm), warp_n=min(32, bn), chunk_k=16 if bk >= 16 else bk, smem_stages=stages)
+    r = cfg.resource_usage()
+    assert r.smem_bytes == (bm + bn) * bk * 2 * stages
+    assert r.regs_per_thread > 0

@@ -1,0 +1,102 @@
+"""Property-based tests for schedule invariants (hypothesis)."""
+
+import dataclasses
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ir.buffer import Scope
+from repro.schedule import Schedule, TileConfig, auto_schedule
+from repro.tensor import GemmSpec, contraction, placeholder
+
+
+@st.composite
+def tile_configs(draw):
+    bm = draw(st.sampled_from([16, 32, 64, 128]))
+    bn = draw(st.sampled_from([16, 32, 64, 128]))
+    bk = draw(st.sampled_from([16, 32, 64]))
+    wm = draw(st.sampled_from([w for w in (16, 32, 64) if bm % w == 0]))
+    wn = draw(st.sampled_from([w for w in (16, 32, 64) if bn % w == 0]))
+    ck = draw(st.sampled_from([c for c in (8, 16, 32) if bk % c == 0]))
+    ss = draw(st.integers(1, 4))
+    rs = draw(st.integers(1, 2))
+    return TileConfig(bm, bn, bk, warp_m=wm, warp_n=wn, chunk_k=ck, smem_stages=ss, reg_stages=rs)
+
+
+@st.composite
+def problems(draw):
+    m = draw(st.sampled_from([128, 256, 512]))
+    n = draw(st.sampled_from([128, 256, 512]))
+    k = draw(st.sampled_from([64, 128, 512, 2048]))
+    return GemmSpec("prop", 1, m, n, k)
+
+
+def _graph(spec):
+    a = placeholder("A", (spec.m, spec.k))
+    b = placeholder("B", (spec.n, spec.k))
+    return contraction(a, b, spec)
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=problems(), cfg=tile_configs())
+def test_auto_schedule_marks_respect_rules(spec, cfg):
+    """Every pipeline mark an auto-schedule makes must satisfy the three
+    detection rules, and no rejected buffer may carry a mark."""
+    from repro.schedule.detection import check_pipelinable
+
+    sch = auto_schedule(_graph(spec), cfg)
+    for buf, stages in sch.pipeline_marks.items():
+        assert stages >= 2
+        # Rule 2 in particular: the load-and-use loop is genuinely sequential.
+        assert sch.load_loop_extent(buf) > 1
+    # smem marks never exist when the reduction fits one block tile
+    if spec.k <= cfg.block_k:
+        assert all(t.scope is not Scope.SHARED for t in sch.pipeline_marks)
+    # reg marks never exist when the chunk covers the whole block_k
+    if cfg.chunk_k == cfg.block_k:
+        assert all(t.scope is not Scope.REGISTER for t in sch.pipeline_marks)
+
+
+@settings(max_examples=25, deadline=None)
+@given(spec=problems(), cfg=tile_configs())
+def test_lower_pipeline_roundtrip_validates(spec, cfg):
+    """Everything the auto-scheduler accepts must lower and transform into
+    well-formed IR whose timing spec matches the static derivation."""
+    from repro.codegen import lower
+    from repro.gpusim import extract_timing_spec
+    from repro.ir import validate_kernel
+    from repro.perfmodel import timing_spec_from_config
+    from repro.transform import apply_pipelining
+
+    if spec.m % cfg.block_m or spec.n % cfg.block_n or spec.k % cfg.block_k:
+        return  # untileable combination: lowering rejects it by contract
+    kernel = apply_pipelining(lower(auto_schedule(_graph(spec), cfg)))
+    validate_kernel(kernel)
+    # The transformation's shifted/wrapped indices are statically in bounds.
+    from repro.transform import verify_in_bounds
+
+    assert verify_in_bounds(kernel) > 0
+    ext = extract_timing_spec(kernel)
+    st_spec = timing_spec_from_config(spec, cfg)
+    for f in dataclasses.fields(ext):
+        if f.name == "name":
+            continue
+        assert getattr(ext, f.name) == getattr(st_spec, f.name), f.name
+
+
+@settings(max_examples=20, deadline=None)
+@given(cfg=tile_configs(), k_mult=st.integers(2, 8))
+def test_simulator_monotone_in_reduction_length(cfg, k_mult):
+    """More reduction work never takes less simulated time."""
+    from repro.gpusim import CompileError, simulate_kernel
+    from repro.perfmodel import timing_spec_from_config
+
+    short = GemmSpec("short", 1, 256, 256, cfg.block_k * 2)
+    longer = GemmSpec("long", 1, 256, 256, cfg.block_k * 2 * k_mult)
+    if 256 % cfg.block_m or 256 % cfg.block_n:
+        return
+    try:
+        t_short = simulate_kernel(timing_spec_from_config(short, cfg)).latency_us
+        t_long = simulate_kernel(timing_spec_from_config(longer, cfg)).latency_us
+    except CompileError:
+        return
+    assert t_long >= t_short

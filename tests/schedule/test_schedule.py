@@ -1,0 +1,305 @@
+"""Tests for Schedule primitives, detection rules and ordering (Sec. II)."""
+
+import pytest
+
+from repro.ir.buffer import Scope
+from repro.schedule import (
+    RULE_ASYNC,
+    RULE_SEQ_LOOP,
+    RULE_SYNC_POS,
+    OrderingError,
+    PipelineRejected,
+    Schedule,
+    ScheduleError,
+    TileConfig,
+    auto_schedule,
+    check_pipelinable,
+    verify_log_order,
+)
+from repro.tensor import GemmSpec, contraction, elementwise, placeholder
+
+
+def make_graph(m=256, n=256, k=512, batch=1, a_elementwise=None):
+    spec = GemmSpec("mm", batch, m, n, k)
+    a_shape = (batch, m, k) if batch > 1 else (m, k)
+    b_shape = (batch, n, k) if batch > 1 else (n, k)
+    a = placeholder("A", a_shape)
+    b = placeholder("B", b_shape)
+    if a_elementwise:
+        a = elementwise(a, a_elementwise, name="A_f")
+    c = contraction(a, b, spec)
+    return a, b, c
+
+
+CFG = TileConfig(64, 64, 32, warp_m=32, warp_n=32, chunk_k=16)
+
+
+class TestCacheRead:
+    def test_chain_extension(self):
+        a, b, c = make_graph()
+        sch = Schedule(c)
+        sh = sch.cache_read(a, Scope.SHARED)
+        rf = sch.cache_read(sh, Scope.REGISTER)
+        assert [t.name for t in sch.chain("a")] == ["A", "A_shared", "A_reg"]
+        assert sch.producer_of(rf) is sh
+        assert sch.consumer_of(sh) is rf
+
+    def test_global_scope_rejected(self):
+        a, b, c = make_graph()
+        sch = Schedule(c)
+        with pytest.raises(ScheduleError):
+            sch.cache_read(a, Scope.GLOBAL)
+
+    def test_must_extend_tail(self):
+        a, b, c = make_graph()
+        sch = Schedule(c)
+        sch.cache_read(a, Scope.SHARED)
+        with pytest.raises(ScheduleError):
+            sch.cache_read(a, Scope.REGISTER)  # A already has a consumer buffer
+
+    def test_unknown_tensor_rejected(self):
+        a, b, c = make_graph()
+        other = placeholder("X", (4, 4))
+        with pytest.raises(ScheduleError):
+            Schedule(c).cache_read(other, Scope.SHARED)
+
+
+class TestDetectionRule1:
+    def test_placeholder_not_pipelinable(self):
+        a, b, c = make_graph()
+        sch = Schedule(c)
+        sch.tile(CFG)
+        chk = check_pipelinable(sch, a, 3)
+        assert not chk.ok and chk.rule == RULE_ASYNC
+
+    def test_shared_buffer_ok(self):
+        a, b, c = make_graph()
+        sch = Schedule(c)
+        sh = sch.cache_read(a, Scope.SHARED)
+        sch.tile(CFG)
+        assert check_pipelinable(sch, sh, 3).ok
+
+    def test_register_requires_shared_source(self):
+        a, b, c = make_graph()
+        sch = Schedule(c)
+        # register cache read directly from global: async source mismatch
+        rf = sch.cache_read(a, Scope.REGISTER)
+        sch.tile(CFG)
+        chk = check_pipelinable(sch, rf, 2)
+        assert not chk.ok and chk.rule == RULE_ASYNC
+
+    def test_fused_copy_rejected(self):
+        """Fig. 5 case 1: inlining first makes the copy non-async."""
+        a, b, c = make_graph(a_elementwise="cast_f16")
+        sch = Schedule(c)
+        sh = sch.cache_read(sch.chain("a")[-1], Scope.SHARED)
+        sch.tile(CFG)
+        sch.inline(sch.chain("a")[0])  # inline elementwise into the copy
+        new_sh = sch.chain("a")[-1]
+        chk = check_pipelinable(sch, new_sh, 3)
+        assert not chk.ok and chk.rule == RULE_ASYNC
+
+    def test_one_stage_rejected(self):
+        a, b, c = make_graph()
+        sch = Schedule(c)
+        sh = sch.cache_read(a, Scope.SHARED)
+        sch.tile(CFG)
+        assert not check_pipelinable(sch, sh, 1).ok
+
+
+class TestDetectionRule2:
+    def test_no_tiling_rejected(self):
+        a, b, c = make_graph()
+        sch = Schedule(c)
+        sh = sch.cache_read(a, Scope.SHARED)
+        chk = check_pipelinable(sch, sh, 3)
+        assert not chk.ok and chk.rule == RULE_SEQ_LOOP
+
+    def test_short_reduction_rejected(self):
+        """K == block_k: the load-and-use loop has extent 1 (filled once)."""
+        a, b, c = make_graph(k=32)
+        sch = Schedule(c)
+        sh = sch.cache_read(a, Scope.SHARED)
+        sch.tile(CFG)
+        chk = check_pipelinable(sch, sh, 3)
+        assert not chk.ok and chk.rule == RULE_SEQ_LOOP
+
+    def test_non_contraction_graph_rejected(self):
+        """Stencil-like pure copy graph: buffer used once, rule 2 fails."""
+        x = placeholder("X", (64, 64))
+        sch = Schedule(x)
+        sh = sch.cache_read(x, Scope.SHARED)
+        chk = check_pipelinable(sch, sh, 2)
+        assert not chk.ok and chk.rule == RULE_SEQ_LOOP
+
+    def test_register_chunk_equal_block_k_rejected(self):
+        cfg = TileConfig(64, 64, 32, warp_m=32, warp_n=32, chunk_k=32)
+        a, b, c = make_graph()
+        sch = Schedule(c)
+        sh = sch.cache_read(a, Scope.SHARED)
+        rf = sch.cache_read(sh, Scope.REGISTER)
+        sch.tile(cfg)
+        chk = check_pipelinable(sch, rf, 2)
+        assert not chk.ok and chk.rule == RULE_SEQ_LOOP
+
+
+class TestDetectionRule3:
+    def test_mismatched_stage_counts_same_scope(self):
+        a, b, c = make_graph()
+        sch = Schedule(c)
+        a_sh = sch.cache_read(a, Scope.SHARED)
+        b_sh = sch.cache_read(b, Scope.SHARED)
+        sch.tile(CFG)
+        sch.pipeline(a_sh, 3)
+        chk = check_pipelinable(sch, b_sh, 4)
+        assert not chk.ok and chk.rule == RULE_SYNC_POS
+
+    def test_matching_stage_counts_ok(self):
+        a, b, c = make_graph()
+        sch = Schedule(c)
+        a_sh = sch.cache_read(a, Scope.SHARED)
+        b_sh = sch.cache_read(b, Scope.SHARED)
+        sch.tile(CFG)
+        sch.pipeline(a_sh, 3)
+        assert check_pipelinable(sch, b_sh, 3).ok
+
+    def test_different_scopes_independent(self):
+        a, b, c = make_graph()
+        sch = Schedule(c)
+        a_sh = sch.cache_read(a, Scope.SHARED)
+        a_rf = sch.cache_read(a_sh, Scope.REGISTER)
+        sch.tile(CFG)
+        sch.pipeline(a_sh, 3)
+        assert check_pipelinable(sch, a_rf, 2).ok
+
+
+class TestPipelinePrimitive:
+    def test_strict_raises(self):
+        a, b, c = make_graph()
+        sch = Schedule(c)
+        sch.tile(CFG)
+        with pytest.raises(PipelineRejected):
+            sch.pipeline(a, 3)
+
+    def test_non_strict_skips(self):
+        a, b, c = make_graph()
+        sch = Schedule(c)
+        sch.tile(CFG)
+        chk = sch.pipeline(a, 3, strict=False)
+        assert not chk.ok
+        assert a not in sch.pipeline_marks
+
+    def test_double_pipeline_raises(self):
+        a, b, c = make_graph()
+        sch = Schedule(c)
+        sh = sch.cache_read(a, Scope.SHARED)
+        sch.tile(CFG)
+        sch.pipeline(sh, 3)
+        with pytest.raises(OrderingError):
+            sch.pipeline(sh, 3)
+
+    def test_stages_recorded(self):
+        a, b, c = make_graph()
+        sch = Schedule(c)
+        sh = sch.cache_read(a, Scope.SHARED)
+        sch.tile(CFG)
+        sch.pipeline(sh, 4)
+        assert sch.stages_for(sh) == 4
+        assert sch.stages_for(a) == 1
+
+
+class TestOrdering:
+    def test_cache_read_after_pipeline_rejected(self):
+        a, b, c = make_graph()
+        sch = Schedule(c)
+        sh = sch.cache_read(a, Scope.SHARED)
+        sch.tile(CFG)
+        sch.pipeline(sh, 3)
+        with pytest.raises(OrderingError):
+            sch.cache_read(b, Scope.SHARED)
+
+    def test_tile_after_pipeline_rejected(self):
+        a, b, c = make_graph()
+        sch = Schedule(c)
+        sh = sch.cache_read(a, Scope.SHARED)
+        sch.tile(CFG)
+        sch.pipeline(sh, 3)
+        with pytest.raises(OrderingError):
+            sch.tile(CFG)
+
+    def test_log_order_clean_for_auto_schedule(self):
+        a, b, c = make_graph()
+        sch = auto_schedule(c, CFG.with_stages(3, 2))
+        assert verify_log_order(sch) == []
+
+
+class TestInline:
+    def test_inline_before_pipeline_goes_into_copy(self):
+        a_f, b, c = make_graph(a_elementwise="relu")
+        sch = Schedule(c)
+        sh = sch.cache_read(sch.chain("a")[-1], Scope.SHARED)
+        sch.tile(CFG)
+        route = sch.inline(sch.chain("a")[0])
+        assert route == "into-copy"
+        new_sh = sch.chain("a")[-1]
+        assert new_sh.op.fused_fn_name == "relu"
+        assert sch.operand_fused_fn["a"] is None
+
+    def test_inline_after_pipeline_goes_into_consumer(self):
+        """Fig. 5 case 2: the copy stays asynchronous and pipelined."""
+        a_f, b, c = make_graph(a_elementwise="relu")
+        sch = Schedule(c)
+        sh = sch.cache_read(sch.chain("a")[-1], Scope.SHARED)
+        sch.tile(CFG)
+        sch.pipeline(sh, 3)
+        route = sch.inline(sch.chain("a")[0])
+        assert route == "into-consumer"
+        new_sh = sch.chain("a")[-1]
+        assert new_sh.op.is_pure_copy
+        assert new_sh in sch.pipeline_marks
+        assert sch.operand_fused_fn["a"] == "relu"
+        # chain now sources from the raw placeholder
+        assert sch.chain("a")[0].name == "A"
+
+    def test_inline_requires_elementwise(self):
+        a, b, c = make_graph()
+        sch = Schedule(c)
+        with pytest.raises(ScheduleError):
+            sch.inline(a)
+
+
+class TestAutoSchedule:
+    def test_full_pipeline_schedule(self):
+        a, b, c = make_graph()
+        sch = auto_schedule(c, CFG.with_stages(3, 2))
+        names = {t.name: s for t, s in sch.pipeline_marks.items()}
+        assert names == {"A_shared": 3, "B_shared": 3, "A_reg": 2, "B_reg": 2}
+
+    def test_stages_one_means_no_marks(self):
+        a, b, c = make_graph()
+        sch = auto_schedule(c, CFG)
+        assert sch.pipeline_marks == {}
+
+    def test_short_reduction_skips_smem_pipeline(self):
+        a, b, c = make_graph(k=32)
+        sch = auto_schedule(c, CFG.with_stages(3, 2))
+        scopes = {t.scope for t in sch.pipeline_marks}
+        assert Scope.SHARED not in scopes  # rule 2 rejected, silently skipped
+
+    def test_elementwise_producer_still_pipelined(self):
+        a_f, b, c = make_graph(a_elementwise="cast_f16")
+        sch = auto_schedule(c, CFG.with_stages(3, 2))
+        assert sch.operand_fused_fn["a"] == "cast_f16"
+        assert len(sch.pipeline_marks) == 4
+
+    def test_describe_mentions_pipeline(self):
+        a, b, c = make_graph()
+        sch = auto_schedule(c, CFG.with_stages(3, 2))
+        text = sch.describe()
+        assert "pipeline: A_shared stages=3" in text
+
+    def test_pipelined_buffers_order_smem_first(self):
+        a, b, c = make_graph()
+        sch = auto_schedule(c, CFG.with_stages(3, 2))
+        scopes = [t.scope for t in sch.pipelined_buffers()]
+        assert scopes == [Scope.SHARED, Scope.SHARED, Scope.REGISTER, Scope.REGISTER]

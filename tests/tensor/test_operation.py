@@ -1,0 +1,103 @@
+"""Tests for the tensor dataflow layer."""
+
+import numpy as np
+import pytest
+
+from repro.ir.buffer import Scope
+from repro.tensor import (
+    ELEMENTWISE_FNS,
+    CacheReadOp,
+    ContractionOp,
+    ElementwiseOp,
+    GemmSpec,
+    PlaceholderOp,
+    Tensor,
+    contraction,
+    elementwise,
+    placeholder,
+)
+
+
+class TestGemmSpec:
+    def test_flops(self):
+        s = GemmSpec("mm", batch=1, m=128, n=64, k=32)
+        assert s.flops == 2 * 128 * 64 * 32
+
+    def test_bytes(self):
+        s = GemmSpec("mm", batch=2, m=8, n=4, k=16, dtype="float16")
+        assert s.a_bytes == 2 * 8 * 16 * 2
+        assert s.b_bytes == 2 * 4 * 16 * 2
+        assert s.c_bytes == 2 * 8 * 4 * 2
+
+    def test_arithmetic_intensity_positive(self):
+        s = GemmSpec("mm", batch=1, m=256, n=256, k=256)
+        assert s.arithmetic_intensity > 0
+
+    def test_footprint_ratio_lowers_traffic(self):
+        dense = GemmSpec("mm", 1, 256, 256, 256)
+        conv = GemmSpec("cv", 1, 256, 256, 256, a_footprint_ratio=0.25)
+        assert conv.arithmetic_intensity > dense.arithmetic_intensity
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            GemmSpec("mm", 1, 0, 4, 4)
+
+    def test_rejects_bad_ratio(self):
+        with pytest.raises(ValueError):
+            GemmSpec("mm", 1, 4, 4, 4, a_footprint_ratio=0.0)
+
+    def test_rejects_bad_dtype(self):
+        with pytest.raises(ValueError):
+            GemmSpec("mm", 1, 4, 4, 4, dtype="bfloat16")
+
+
+class TestGraph:
+    def test_placeholder(self):
+        t = placeholder("A", (4, 4))
+        assert isinstance(t.op, PlaceholderOp)
+        assert t.producer is None
+        assert t.scope is Scope.GLOBAL
+
+    def test_elementwise_registry(self):
+        t = placeholder("A", (4, 4))
+        e = elementwise(t, "relu")
+        assert isinstance(e.op, ElementwiseOp)
+        assert e.producer is t
+        x = np.array([-1.0, 2.0])
+        np.testing.assert_allclose(e.op.fn(x), [0.0, 2.0])
+
+    def test_elementwise_unknown_fn(self):
+        t = placeholder("A", (4, 4))
+        with pytest.raises(ValueError):
+            elementwise(t, "not_a_fn")
+
+    def test_cache_read_pure_copy(self):
+        t = placeholder("A", (4, 4))
+        buf = Tensor("A_sh", t.shape, CacheReadOp(t), scope=Scope.SHARED)
+        assert buf.op.is_pure_copy
+        assert buf.producer is t
+
+    def test_cache_read_with_fused_fn_not_pure(self):
+        t = placeholder("A", (4, 4))
+        buf = Tensor("A_sh", t.shape, CacheReadOp(t, fused_fn_name="relu"), scope=Scope.SHARED)
+        assert not buf.op.is_pure_copy
+
+    def test_contraction_shape_batched(self):
+        spec = GemmSpec("bmm", batch=3, m=8, n=4, k=16)
+        a = placeholder("A", (3, 8, 16))
+        b = placeholder("B", (3, 4, 16))
+        c = contraction(a, b, spec)
+        assert c.shape == (3, 8, 4)
+        assert isinstance(c.op, ContractionOp)
+
+    def test_contraction_shape_unbatched(self):
+        spec = GemmSpec("mm", batch=1, m=8, n=4, k=16)
+        a = placeholder("A", (8, 16))
+        b = placeholder("B", (4, 16))
+        c = contraction(a, b, spec)
+        assert c.shape == (8, 4)
+
+    def test_all_elementwise_fns_preserve_shape(self):
+        x = np.linspace(-2, 2, 12).reshape(3, 4).astype(np.float32)
+        for name, fn in ELEMENTWISE_FNS.items():
+            assert fn(x).shape == x.shape, name

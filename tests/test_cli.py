@@ -1,0 +1,100 @@
+"""Tests for the command-line interface and tuning-log persistence."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.schedule import TileConfig
+from repro.tuning import FAILED, TuneHistory
+from repro.tuning.record import load_history, save_history
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compile_defaults(self):
+        args = build_parser().parse_args(["compile", "--m", "64", "--n", "64", "--k", "64"])
+        args.variant == "alcop"
+        assert args.gpu == "a100"
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["compile", "--m", "64", "--n", "64", "--k", "64", "--variant", "fastest"]
+            )
+
+
+class TestCommands:
+    def test_compile_small(self, capsys):
+        rc = main(["compile", "--m", "128", "--n", "128", "--k", "256", "--space", "60"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out and "TFLOP/s" in out
+
+    def test_ir_prints_pipelined_kernel(self, capsys):
+        rc = main(
+            ["ir", "--m", "64", "--n", "64", "--k", "128",
+             "--config", "32,32,32,16,16,16,3,2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "producer_acquire" in out
+        assert "async_memcpy" in out
+
+    def test_ir_bad_config(self, capsys):
+        rc = main(["ir", "--m", "64", "--n", "64", "--k", "128", "--config", "32,32"])
+        assert rc == 2
+
+    def test_tune_writes_log(self, capsys, tmp_path):
+        log = tmp_path / "log.json"
+        rc = main(
+            ["tune", "--m", "128", "--n", "128", "--k", "256", "--space", "60",
+             "--method", "analytical", "--trials", "8", "--out", str(log)]
+        )
+        assert rc == 0
+        history = load_history(log)
+        assert len(history) == 8
+
+    def test_cuda_emission(self, capsys, tmp_path):
+        out = tmp_path / "k.cu"
+        rc = main(
+            ["cuda", "--m", "64", "--n", "64", "--k", "128",
+             "--config", "32,32,32,16,16,16,3,2", "--out", str(out)]
+        )
+        assert rc == 0
+        src = out.read_text()
+        assert "cuda::memcpy_async" in src and "wmma::mma_sync" in src
+
+    def test_cuda_bad_config(self, capsys):
+        assert main(["cuda", "--m", "64", "--n", "64", "--k", "128", "--config", "1,2,3"]) == 2
+
+    def test_suite_subset(self, capsys):
+        rc = main(["suite", "--ops", "MM_RN50_FC", "--space", "80"])
+        assert rc == 0
+        assert "MM_RN50_FC" in capsys.readouterr().out
+
+
+class TestHistoryPersistence:
+    def test_round_trip(self, tmp_path):
+        h = TuneHistory()
+        cfg = TileConfig(64, 64, 32, warp_m=32, warp_n=32, chunk_k=16, smem_stages=3, reg_stages=2)
+        h.append(cfg, 12.5)
+        h.append(cfg.with_stages(1, 1), FAILED)
+        path = tmp_path / "hist.json"
+        save_history(h, path)
+        loaded = load_history(path)
+        assert len(loaded) == 2
+        assert loaded.records[0].latency_us == 12.5
+        assert loaded.records[0].config == cfg
+        assert loaded.records[1].failed
+
+    def test_json_is_valid(self, tmp_path):
+        h = TuneHistory()
+        h.append(TileConfig(64, 64, 32, warp_m=32, warp_n=32, chunk_k=16), 3.0)
+        path = tmp_path / "hist.json"
+        save_history(h, path)
+        payload = json.loads(path.read_text())
+        assert payload[0]["config"]["block_m"] == 64

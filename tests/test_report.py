@@ -1,0 +1,61 @@
+"""Tests for the reproduction-report aggregator."""
+
+import pathlib
+
+import pytest
+
+from repro.report import collect_results, main, render_report
+
+
+@pytest.fixture()
+def results_dir(tmp_path):
+    (tmp_path / "fig10_single_op.txt").write_text("Fig. 10 table\nrow\n")
+    (tmp_path / "table3_end_to_end.txt").write_text("Table III table\n")
+    return tmp_path
+
+
+class TestCollect:
+    def test_collects_known_files(self, results_dir):
+        results = collect_results(results_dir)
+        assert set(results) == {"fig10_single_op", "table3_end_to_end"}
+
+    def test_empty_dir(self, tmp_path):
+        assert collect_results(tmp_path) == {}
+
+
+class TestRender:
+    def test_sections_present(self, results_dir):
+        report = render_report(collect_results(results_dir), timestamp="T")
+        assert "## Fig. 10 — single-operator speedups" in report
+        assert "Fig. 10 table" in report
+        assert "## Table III — end-to-end models" in report
+
+    def test_missing_sections_listed(self, results_dir):
+        report = render_report(collect_results(results_dir), timestamp="T")
+        assert "## Not yet generated" in report
+        assert "Fig. 12" in report
+
+    def test_deterministic_with_fixed_timestamp(self, results_dir):
+        r = collect_results(results_dir)
+        assert render_report(r, "T") == render_report(r, "T")
+
+
+class TestMain:
+    def test_writes_file(self, results_dir, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        assert main([str(results_dir), str(out)]) == 0
+        assert out.exists()
+        assert "ALCOP reproduction report" in out.read_text()
+
+    def test_prints_to_stdout(self, results_dir, capsys):
+        assert main([str(results_dir)]) == 0
+        assert "ALCOP reproduction report" in capsys.readouterr().out
+
+    def test_empty_dir_errors(self, tmp_path, capsys):
+        assert main([str(tmp_path)]) == 1
+
+    def test_real_results_dir_if_present(self, capsys):
+        real = pathlib.Path(__file__).resolve().parents[1] / "benchmarks" / "results"
+        if not real.exists() or not any(real.iterdir()):
+            pytest.skip("benchmarks not yet run")
+        assert main([str(real)]) == 0

@@ -1,0 +1,43 @@
+"""Shared helpers for transformation tests."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import lower
+from repro.schedule import TileConfig, auto_schedule
+from repro.tensor import GemmSpec, contraction, elementwise, placeholder
+from repro.transform import apply_pipelining
+
+
+def build_kernel(m=32, n=32, k=64, batch=1, cfg=None, a_elementwise=None):
+    """Lower a small GEMM with the given config; returns (kernel, spec)."""
+    cfg = cfg or TileConfig(16, 16, 16, warp_m=8, warp_n=8, chunk_k=8)
+    spec = GemmSpec("toy", batch=batch, m=m, n=n, k=k)
+    a_shape = (batch, m, k) if batch > 1 else (m, k)
+    b_shape = (batch, n, k) if batch > 1 else (n, k)
+    a = placeholder("A", a_shape)
+    b = placeholder("B", b_shape)
+    if a_elementwise:
+        a = elementwise(a, a_elementwise, name="A_f")
+    c = contraction(a, b, spec)
+    sch = auto_schedule(c, cfg)
+    return lower(sch), spec
+
+
+def reference(a, b, batch, a_fn=None):
+    a32 = a.astype(np.float32)
+    if a_fn is not None:
+        a32 = a_fn(a32)
+    b32 = b.astype(np.float32)
+    if batch > 1:
+        return np.einsum("bmk,bnk->bmn", a32, b32)
+    return a32 @ b32.T
+
+
+def random_inputs(spec, seed=0):
+    rng = np.random.default_rng(seed)
+    a_shape = (spec.batch, spec.m, spec.k) if spec.batch > 1 else (spec.m, spec.k)
+    b_shape = (spec.batch, spec.n, spec.k) if spec.batch > 1 else (spec.n, spec.k)
+    a = rng.standard_normal(a_shape).astype(np.float16)
+    b = rng.standard_normal(b_shape).astype(np.float16)
+    return a, b

@@ -1,0 +1,186 @@
+"""Tests for the pipelining analysis (paper Sec. III-A)."""
+
+import pytest
+
+from repro.ir import (
+    Buffer,
+    ForKind,
+    IRBuilder,
+    Kernel,
+    Scope,
+)
+from repro.schedule import TileConfig
+from repro.transform import TransformError, analyze
+
+from .conftest import build_kernel
+
+
+def pipelined_cfg(smem=3, reg=2):
+    return TileConfig(16, 16, 16, warp_m=8, warp_n=8, chunk_k=8, smem_stages=smem, reg_stages=reg)
+
+
+class TestHintCollection:
+    def test_no_hints_empty_plan(self):
+        kernel, _ = build_kernel()
+        assert analyze(kernel).groups == []
+
+    def test_hints_found(self):
+        kernel, _ = build_kernel(cfg=pipelined_cfg())
+        plan = analyze(kernel)
+        buffers = {m.buffer.name for g in plan.groups for m in g.members}
+        assert buffers == {"A_shared", "B_shared", "A_reg", "B_reg"}
+
+    def test_stage_counts(self):
+        kernel, _ = build_kernel(cfg=pipelined_cfg(4, 2))
+        plan = analyze(kernel)
+        by_scope = {g.scope: g.stages for g in plan.groups}
+        assert by_scope[Scope.SHARED] == 4
+        assert by_scope[Scope.REGISTER] == 2
+
+
+class TestProducerConsumer:
+    def test_producer_buffers(self):
+        kernel, _ = build_kernel(cfg=pipelined_cfg())
+        plan = analyze(kernel)
+        producers = {m.buffer.name: m.producer_buffer.name for g in plan.groups for m in g.members}
+        assert producers["A_shared"] == "A"
+        assert producers["A_reg"] == "A_shared"
+
+    def test_multi_level_parent_link(self):
+        kernel, _ = build_kernel(cfg=pipelined_cfg())
+        plan = analyze(kernel)
+        smem = next(g for g in plan.groups if g.scope is Scope.SHARED)
+        reg = next(g for g in plan.groups if g.scope is Scope.REGISTER)
+        assert reg.parent is smem
+        assert smem.child is reg
+        assert smem.parent is None
+
+    def test_single_level_no_parent(self):
+        kernel, _ = build_kernel(cfg=pipelined_cfg(3, 1))
+        plan = analyze(kernel)
+        assert len(plan.groups) == 1
+        assert plan.groups[0].parent is None and plan.groups[0].child is None
+
+
+class TestSequentialLoop:
+    def test_loops_identified(self):
+        kernel, _ = build_kernel(cfg=pipelined_cfg())
+        plan = analyze(kernel)
+        loop_vars = {g.scope: g.loop_var.name for g in plan.groups}
+        assert loop_vars == {Scope.SHARED: "ko", Scope.REGISTER: "ki"}
+
+    def test_extents(self):
+        kernel, _ = build_kernel(k=64, cfg=pipelined_cfg())
+        plan = analyze(kernel)
+        by_scope = {g.scope: g.loop_extent for g in plan.groups}
+        assert by_scope[Scope.SHARED] == 64 // 16
+        assert by_scope[Scope.REGISTER] == 16 // 8
+
+    def test_groups_ordered_outermost_first(self):
+        kernel, _ = build_kernel(cfg=pipelined_cfg())
+        plan = analyze(kernel)
+        assert [g.scope for g in plan.groups] == [Scope.SHARED, Scope.REGISTER]
+
+
+class TestHandBuiltIR:
+    """The pass must work on IRs that never went through our lowering."""
+
+    def _simple(self, stages=2, is_async=True, extent=4, kind=ForKind.SERIAL, read=True):
+        A = Buffer("A", (64, 16))
+        O = Buffer("O", (64, 16))
+        sh = Buffer("sh", (16, 16), scope=Scope.SHARED)
+        b = IRBuilder()
+        with b.allocate(sh, attrs={"pipeline_stages": stages}):
+            with b.for_loop("t", extent, kind=kind) as t:
+                b.copy(sh.full_region(), A.region((t * 16, 16), (0, 16)), is_async=is_async)
+                if read:
+                    b.copy(O.region((t * 16, 16), (0, 16)), sh.full_region())
+        return Kernel("hand", [A, O], b.finish())
+
+    def test_simple_ok(self):
+        plan = analyze(self._simple())
+        assert len(plan.groups) == 1
+        assert plan.groups[0].loop_var.name == "t"
+
+    def test_sync_copy_rejected(self):
+        with pytest.raises(TransformError, match="asynchronous"):
+            analyze(self._simple(is_async=False))
+
+    def test_extent_one_rejected(self):
+        with pytest.raises(TransformError, match="extent 1"):
+            analyze(self._simple(extent=1))
+
+    def test_parallel_loop_rejected(self):
+        with pytest.raises(TransformError, match="sequential load-and-use"):
+            analyze(self._simple(kind=ForKind.THREAD))
+
+    def test_never_read_rejected(self):
+        with pytest.raises(TransformError, match="never read"):
+            analyze(self._simple(read=False))
+
+    def test_two_producer_copies_rejected(self):
+        A = Buffer("A", (64, 16))
+        O = Buffer("O", (64, 16))
+        sh = Buffer("sh", (16, 16), scope=Scope.SHARED)
+        b = IRBuilder()
+        with b.allocate(sh, attrs={"pipeline_stages": 2}):
+            with b.serial_for("t", 4) as t:
+                b.copy(sh.region((0, 8), (0, 16)), A.region((t * 16, 8), (0, 16)), is_async=True)
+                b.copy(sh.region((8, 8), (0, 16)), A.region((t * 16 + 8, 8), (0, 16)), is_async=True)
+                b.copy(O.region((t * 16, 16), (0, 16)), sh.full_region())
+        with pytest.raises(TransformError, match="exactly one"):
+            analyze(Kernel("hand", [A, O], b.finish()))
+
+    def test_read_outside_loop_rejected(self):
+        A = Buffer("A", (64, 16))
+        O = Buffer("O", (64, 16))
+        sh = Buffer("sh", (16, 16), scope=Scope.SHARED)
+        b = IRBuilder()
+        with b.allocate(sh, attrs={"pipeline_stages": 2}):
+            with b.serial_for("t", 4) as t:
+                b.copy(sh.full_region(), A.region((t * 16, 16), (0, 16)), is_async=True)
+                b.copy(O.region((t * 16, 16), (0, 16)), sh.full_region())
+            b.copy(O.region((0, 16), (0, 16)), sh.full_region())  # read after loop
+        with pytest.raises(TransformError, match="outside its load-and-use loop"):
+            analyze(Kernel("hand", [A, O], b.finish()))
+
+    def test_mismatched_stages_same_scope_rejected(self):
+        A = Buffer("A", (64, 16))
+        O = Buffer("O", (64, 16))
+        sh1 = Buffer("sh1", (16, 16), scope=Scope.SHARED)
+        sh2 = Buffer("sh2", (16, 16), scope=Scope.SHARED)
+        b = IRBuilder()
+        with b.allocate(sh1, attrs={"pipeline_stages": 2}):
+            with b.allocate(sh2, attrs={"pipeline_stages": 3}):
+                with b.serial_for("t", 4) as t:
+                    b.copy(sh1.full_region(), A.region((t * 16, 16), (0, 16)), is_async=True)
+                    b.copy(sh2.full_region(), A.region((t * 16, 16), (0, 16)), is_async=True)
+                    b.copy(O.region((t * 16, 16), (0, 16)), sh1.full_region())
+                    b.copy(O.region((t * 16, 16), (0, 16)), sh2.full_region())
+        with pytest.raises(TransformError, match="different\\s+stage counts|different stage"):
+            analyze(Kernel("hand", [A, O], b.finish()))
+
+    def test_same_scope_different_loops_rejected(self):
+        A = Buffer("A", (64, 16))
+        O = Buffer("O", (64, 16))
+        sh1 = Buffer("sh1", (16, 16), scope=Scope.SHARED)
+        sh2 = Buffer("sh2", (16, 16), scope=Scope.SHARED)
+        b = IRBuilder()
+        with b.allocate(sh1, attrs={"pipeline_stages": 2}):
+            with b.allocate(sh2, attrs={"pipeline_stages": 2}):
+                with b.serial_for("t", 4) as t:
+                    b.copy(sh1.full_region(), A.region((t * 16, 16), (0, 16)), is_async=True)
+                    b.copy(O.region((t * 16, 16), (0, 16)), sh1.full_region())
+                with b.serial_for("u", 4) as u:
+                    b.copy(sh2.full_region(), A.region((u * 16, 16), (0, 16)), is_async=True)
+                    b.copy(O.region((u * 16, 16), (0, 16)), sh2.full_region())
+        with pytest.raises(TransformError, match="different loops"):
+            analyze(Kernel("hand", [A, O], b.finish()))
+
+    def test_already_pipelined_rejected(self):
+        kernel, _ = build_kernel(cfg=pipelined_cfg())
+        from repro.transform import apply_pipelining
+
+        once = apply_pipelining(kernel)
+        with pytest.raises(TransformError, match="already been pipelined"):
+            analyze(once)

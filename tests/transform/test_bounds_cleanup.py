@@ -1,0 +1,229 @@
+"""Tests for the bounds verifier and the unroll/simplify cleanup passes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codegen import lower
+from repro.interp import run_kernel
+from repro.ir import (
+    Buffer,
+    IRBuilder,
+    IntImm,
+    Kernel,
+    MemCopy,
+    Scope,
+    Var,
+    validate_kernel,
+)
+from repro.ir.analysis import collect, collect_syncs
+from repro.ir.stmt import For, ForKind, IfThenElse
+from repro.schedule import TileConfig, auto_schedule
+from repro.tensor import GemmSpec, contraction, placeholder
+from repro.transform import (
+    BoundsError,
+    Interval,
+    TransformError,
+    apply_pipelining,
+    interval_of,
+    simplify_pass,
+    unroll_pass,
+    verify_in_bounds,
+)
+
+
+def pipelined_kernel(m=32, n=32, k=64, ss=3, rs=2):
+    spec = GemmSpec("b", 1, m, n, k)
+    a = placeholder("A", (m, k))
+    b = placeholder("B", (n, k))
+    c = contraction(a, b, spec)
+    cfg = TileConfig(16, 16, 16, warp_m=8, warp_n=8, chunk_k=8, smem_stages=ss, reg_stages=rs)
+    return apply_pipelining(lower(auto_schedule(c, cfg)))
+
+
+class TestInterval:
+    def test_arithmetic(self):
+        a, b = Interval(1, 3), Interval(-2, 2)
+        assert (a + b) == Interval(-1, 5)
+        assert (a - b) == Interval(-1, 5)
+        assert (a * b) == Interval(-6, 6)
+
+    def test_floordiv(self):
+        assert Interval(0, 7).floordiv(Interval(2, 2)) == Interval(0, 3)
+
+    def test_floordiv_by_zero_interval(self):
+        with pytest.raises(BoundsError):
+            Interval(0, 7).floordiv(Interval(-1, 1))
+
+    def test_floormod_constant(self):
+        assert Interval(0, 10).floormod(Interval(3, 3)) == Interval(0, 2)
+
+    def test_floormod_exact_when_one_period(self):
+        assert Interval(4, 5).floormod(Interval(8, 8)) == Interval(4, 5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(2, 1)
+
+    def test_interval_of_expression(self):
+        x = Var("x")
+        env = {x: Interval(0, 3)}
+        assert interval_of((x + 2) * 3, env) == Interval(6, 15)
+        assert interval_of((x + 1) % 4, env) == Interval(0, 3)
+
+    @given(
+        lo=st.integers(-20, 20),
+        width=st.integers(0, 20),
+        n=st.integers(1, 9),
+        shift=st.integers(-5, 5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_interval_soundness(self, lo, width, n, shift):
+        """The interval must contain every concrete value."""
+        x = Var("x")
+        expr = ((x + shift) % n) * 2 + shift
+        iv = interval_of(expr, {x: Interval(lo, lo + width)})
+        from repro.ir.expr import evaluate
+
+        for v in range(lo, lo + width + 1):
+            val = evaluate(expr, {x: v})
+            assert iv.lo <= val <= iv.hi
+
+
+class TestVerifyInBounds:
+    @pytest.mark.parametrize("ss,rs", [(1, 1), (2, 1), (3, 2), (4, 2)])
+    def test_pipelined_kernels_prove_safe(self, ss, rs):
+        """The pass's shifted + wrapped indices are statically in bounds."""
+        assert verify_in_bounds(pipelined_kernel(ss=ss, rs=rs)) > 0
+
+    def test_detects_overflow(self):
+        A = Buffer("A", (32,))
+        O = Buffer("O", (32,))
+        b = IRBuilder()
+        with b.serial_for("t", 4) as t:
+            b.copy(O.region((t * 10, 8)), A.region((t * 8, 8)))  # t=3 -> [30, 38)
+        with pytest.raises(BoundsError, match="outside"):
+            verify_in_bounds(Kernel("bad", [A, O], b.finish()))
+
+    def test_detects_unwrapped_shift(self):
+        """An index shift *without* the modulo wrap must be caught — the
+        exact bug class step three of the transformation prevents."""
+        A = Buffer("A", (32,))
+        sh = Buffer("sh", (8,), scope=Scope.SHARED)
+        b = IRBuilder()
+        with b.allocate(sh):
+            with b.serial_for("t", 4) as t:
+                b.copy(sh.full_region(), A.region(((t + 1) * 8, 8)))  # shift, no wrap
+                b.copy(A.region((t * 8, 8)), sh.full_region())
+        with pytest.raises(BoundsError):
+            verify_in_bounds(Kernel("bad", [A], b.finish()))
+
+    def test_wrapped_shift_passes(self):
+        A = Buffer("A", (32,))
+        sh = Buffer("sh", (8,), scope=Scope.SHARED)
+        b = IRBuilder()
+        with b.allocate(sh):
+            with b.serial_for("t", 4) as t:
+                b.copy(sh.full_region(), A.region((((t + 1) % 4) * 8, 8)))
+                b.copy(A.region((t * 8, 8)), sh.full_region())
+        # two copy statements x two regions each (static count)
+        assert verify_in_bounds(Kernel("ok", [A], b.finish())) == 4
+
+    def test_non_constant_extent_rejected(self):
+        A = Buffer("A", (8,))
+        n = Var("n")
+        outer = For(Var("o"), 4, For(n, 2, MemCopy(A.full_region(), A.full_region())))
+        inner_bad = For(Var("i"), n + 1, MemCopy(A.full_region(), A.full_region()))
+        with pytest.raises(TransformError):
+            verify_in_bounds(Kernel("k", [A], For(n, 2, inner_bad)))
+
+
+class TestUnrollPass:
+    def test_semantics_preserved(self):
+        k = pipelined_kernel()
+        k2 = unroll_pass(k, max_serial_extent=2)
+        validate_kernel(k2)
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((32, 64)).astype(np.float16)
+        b = rng.standard_normal((32, 64)).astype(np.float16)
+        o1 = run_kernel(k, {"A": a, "B": b}, mode="pipeline")["C"]
+        o2 = run_kernel(k2, {"A": a, "B": b}, mode="pipeline")["C"]
+        np.testing.assert_array_equal(o1, o2)
+
+    def test_pipelined_loops_never_unrolled(self):
+        k = unroll_pass(pipelined_kernel(), max_serial_extent=1000)
+        piped = collect(
+            k.body,
+            lambda s: isinstance(s, For) and s.annotations.get("software_pipelined"),
+        )
+        assert len(piped) == 2  # ko and ki both survive
+
+    def test_unrolled_syncs_are_distinct_objects(self):
+        A = Buffer("A", (32,))
+        sh = Buffer("sh", (8,), scope=Scope.SHARED)
+        b = IRBuilder()
+        with b.allocate(sh, attrs={"pipeline_stages": 2}):
+            with b.serial_for("t", 4) as t:
+                b.copy(sh.full_region(), A.region(((t % 4) * 8, 8)), is_async=True)
+                b.copy(A.region((t * 8, 8)), sh.full_region())
+        kernel = apply_pipelining(Kernel("k", [A], b.finish()))
+        # wrap the pipelined kernel in an unrolled outer loop via cleanup on
+        # a copy: here simply unroll nothing and verify ids unique already
+        syncs = collect_syncs(kernel.body)
+        assert len({id(s) for s in syncs}) == len(syncs)
+
+    def test_explicit_unrolled_kind(self):
+        A = Buffer("A", (8,))
+        b = IRBuilder()
+        with b.unrolled_for("u", 4) as u:
+            b.copy(A.region(((u * 2) % 8, 2)), A.region((0, 2)))
+        k = unroll_pass(Kernel("k", [A], b.finish()))
+        assert collect(k.body, lambda s: isinstance(s, For)) == []
+        assert len(collect(k.body, lambda s: isinstance(s, MemCopy))) == 4
+
+    def test_non_constant_unroll_rejected(self):
+        A = Buffer("A", (8,))
+        n = Var("n")
+        body = For(Var("u"), n + 1, MemCopy(A.full_region(), A.full_region()), ForKind.UNROLLED)
+        with pytest.raises(TransformError):
+            unroll_pass(Kernel("k", [A], For(n, 2, body)))
+
+
+class TestSimplifyPass:
+    def test_dead_guard_dropped(self):
+        A = Buffer("A", (8,))
+        b = IRBuilder()
+        with b.serial_for("i", 2):
+            b.emit(IfThenElse(IntImm(0), MemCopy(A.full_region(), A.full_region())))
+            b.copy(A.full_region(), A.full_region())
+        k = simplify_pass(Kernel("k", [A], b.finish()))
+        assert collect(k.body, lambda s: isinstance(s, IfThenElse)) == []
+        assert len(collect(k.body, lambda s: isinstance(s, MemCopy))) == 1
+
+    def test_live_guard_unwrapped(self):
+        A = Buffer("A", (8,))
+        body = IfThenElse(IntImm(1), MemCopy(A.full_region(), A.full_region()))
+        k = simplify_pass(Kernel("k", [A], body))
+        assert isinstance(k.body, MemCopy)
+
+    def test_index_folding_after_unroll(self):
+        """Unrolling makes guards constant; simplify keeps only live arms."""
+        A = Buffer("A", (16,))
+        b = IRBuilder()
+        with b.unrolled_for("u", 4) as u:
+            with b.if_then(u.equal(2)):
+                b.copy(A.region((0, 4)), A.region((8, 4)))
+        k = simplify_pass(unroll_pass(Kernel("k", [A], b.finish())))
+        assert collect(k.body, lambda s: isinstance(s, IfThenElse)) == []
+        assert len(collect(k.body, lambda s: isinstance(s, MemCopy))) == 1
+
+    def test_semantics_preserved_through_both(self):
+        k = pipelined_kernel(ss=4, rs=2)
+        k2 = simplify_pass(unroll_pass(k, max_serial_extent=4))
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((32, 64)).astype(np.float16)
+        b = rng.standard_normal((32, 64)).astype(np.float16)
+        o1 = run_kernel(k, {"A": a, "B": b}, mode="pipeline")["C"]
+        o2 = run_kernel(k2, {"A": a, "B": b}, mode="pipeline")["C"]
+        np.testing.assert_array_equal(o1, o2)
+        assert verify_in_bounds(k2) > 0

@@ -1,0 +1,101 @@
+"""Tests for epilogue fusion (output-side elementwise chains)."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import lower
+from repro.interp import run_kernel
+from repro.ir import validate_kernel
+from repro.ir.analysis import collect_copies
+from repro.schedule import Schedule, TileConfig, auto_schedule
+from repro.tensor import GemmSpec, contraction, elementwise, placeholder
+from repro.transform import apply_pipelining
+
+CFG = TileConfig(16, 16, 16, warp_m=8, warp_n=8, chunk_k=8, smem_stages=3, reg_stages=2)
+
+
+def graph_with_epilogue(fns, m=32, n=32, k=64):
+    spec = GemmSpec("epi", 1, m, n, k)
+    a = placeholder("A", (m, k))
+    b = placeholder("B", (n, k))
+    out = contraction(a, b, spec)
+    for fn in fns:
+        out = elementwise(out, fn)
+    return out, spec
+
+
+class TestScheduleLevel:
+    def test_epilogue_chain_detected(self):
+        out, _ = graph_with_epilogue(["relu", "scale2"])
+        sch = Schedule(out)
+        assert sch.contraction is not None  # resolved through the chain
+        assert sch.fuse_epilogue() == ["relu", "scale2"]
+        assert sch.epilogue_fns == ["relu", "scale2"]
+
+    def test_fuse_is_idempotent(self):
+        out, _ = graph_with_epilogue(["relu"])
+        sch = Schedule(out)
+        sch.fuse_epilogue()
+        assert sch.fuse_epilogue() == []
+        assert sch.epilogue_fns == ["relu"]
+
+    def test_no_epilogue_returns_empty(self):
+        out, _ = graph_with_epilogue([])
+        assert Schedule(out).fuse_epilogue() == []
+
+    def test_auto_schedule_fuses(self):
+        out, _ = graph_with_epilogue(["relu"])
+        sch = auto_schedule(out, CFG)
+        assert sch.epilogue_fns == ["relu"]
+        assert len(sch.pipeline_marks) == 4  # pipelining unaffected
+
+
+class TestLoweredSemantics:
+    def _run(self, fns, np_epilogue):
+        out, spec = graph_with_epilogue(fns)
+        sch = auto_schedule(out, CFG)
+        kernel = apply_pipelining(lower(sch))
+        validate_kernel(kernel)
+        rng = np.random.default_rng(3)
+        a = rng.standard_normal((32, 64)).astype(np.float16)
+        b = rng.standard_normal((32, 64)).astype(np.float16)
+        got = run_kernel(kernel, {"A": a, "B": b}, mode="pipeline")["C"].astype(np.float32)
+        ref = np_epilogue(a.astype(np.float32) @ b.astype(np.float32).T)
+        np.testing.assert_allclose(got, ref, rtol=2e-2, atol=0.5)
+        return kernel
+
+    def test_relu_epilogue(self):
+        kernel = self._run(["relu"], lambda x: np.maximum(x, 0))
+        epilogue = [c for c in collect_copies(kernel.body) if c.annotations.get("epilogue")]
+        assert epilogue and epilogue[0].annotations["fused_fn"] == ("relu",)
+
+    def test_chained_epilogue_order(self):
+        # relu then scale2 must not equal scale2 then relu on negative inputs.
+        self._run(["relu", "scale2"], lambda x: 2 * np.maximum(x, 0))
+
+    def test_epilogue_plus_operand_fusion(self):
+        spec = GemmSpec("both", 1, 32, 32, 64)
+        a = elementwise(placeholder("A", (32, 64)), "relu", name="A_f")
+        b = placeholder("B", (32, 64))
+        out = elementwise(contraction(a, b, spec), "scale2")
+        sch = auto_schedule(out, CFG)
+        assert sch.operand_fused_fn["a"] == "relu"
+        assert sch.epilogue_fns == ["scale2"]
+        kernel = apply_pipelining(lower(sch))
+        rng = np.random.default_rng(4)
+        av = rng.standard_normal((32, 64)).astype(np.float16)
+        bv = rng.standard_normal((32, 64)).astype(np.float16)
+        got = run_kernel(kernel, {"A": av, "B": bv}, mode="pipeline")["C"].astype(np.float32)
+        ref = 2 * (np.maximum(av.astype(np.float32), 0) @ bv.astype(np.float32).T)
+        np.testing.assert_allclose(got, ref, rtol=2e-2, atol=0.5)
+
+    def test_epilogue_does_not_change_timing_spec(self):
+        from repro.gpusim import extract_timing_spec
+
+        out, spec = graph_with_epilogue(["relu"])
+        k1 = apply_pipelining(lower(auto_schedule(out, CFG)))
+        plain, _ = graph_with_epilogue([])
+        k2 = apply_pipelining(lower(auto_schedule(plain, CFG)))
+        t1, t2 = extract_timing_spec(k1), extract_timing_spec(k2)
+        assert t1.epilogue_bytes == t2.epilogue_bytes
+        assert t1.flops_chunk_tb == t2.flops_chunk_tb

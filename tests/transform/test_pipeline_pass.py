@@ -1,0 +1,168 @@
+"""Structural tests for the pipelining transformation (Fig. 7 fidelity)."""
+
+import pytest
+
+from repro.ir import (
+    Allocate,
+    For,
+    IfThenElse,
+    MemCopy,
+    PipelineSync,
+    Scope,
+    SyncKind,
+    format_kernel,
+    validate_kernel,
+)
+from repro.ir.analysis import collect, collect_allocates, collect_copies, collect_syncs
+from repro.schedule import TileConfig
+from repro.transform import apply_pipelining
+
+from .conftest import build_kernel
+
+
+def cfg(smem=3, reg=2):
+    return TileConfig(16, 16, 16, warp_m=8, warp_n=8, chunk_k=8, smem_stages=smem, reg_stages=reg)
+
+
+@pytest.fixture()
+def pipelined():
+    kernel, _ = build_kernel(m=32, n=32, k=64, cfg=cfg())
+    return apply_pipelining(kernel)
+
+
+class TestBufferExpansion:
+    def test_stage_dimension_prepended(self, pipelined):
+        shapes = {a.buffer.name: a.buffer.shape for a in collect_allocates(pipelined.body)}
+        assert shapes["A_shared"] == (3, 16, 16)
+        assert shapes["B_shared"] == (3, 16, 16)
+        assert shapes["A_reg"] == (2, 16, 8)
+        assert shapes["C_acc"] == (16, 16)  # untouched
+
+    def test_pipelined_attr_set(self, pipelined):
+        attrs = {a.buffer.name: a.attrs for a in collect_allocates(pipelined.body)}
+        assert attrs["A_shared"]["pipelined"] is True
+        assert "pipelined" not in attrs["C_acc"]
+
+    def test_validates(self, pipelined):
+        validate_kernel(pipelined)
+
+
+class TestIndexShifting:
+    def test_smem_producer_shifted(self, pipelined):
+        text = format_kernel(pipelined)
+        # stage rolls with shifted var; source wraps by the loop extent
+        assert "A_shared[((ko + 2) % 3)" in text
+        assert "(((ko + 2) % 4) * 16)" in text
+
+    def test_reg_producer_carry_into_outer(self, pipelined):
+        text = format_kernel(pipelined)
+        # Fig. 7 line 26: outer variable advanced by the inner carry
+        assert "A_shared[((ko + ((ki + 1) // 2)) % 3)" in text
+
+    def test_consumer_stage_unshifted(self, pipelined):
+        text = format_kernel(pipelined)
+        assert "mma(C_acc" in text
+        assert "A_reg[(ki % 2)" in text
+
+
+class TestPrologue:
+    def test_prologue_copy_count(self, pipelined):
+        # smem: (3-1) stages x 2 buffers; reg: (2-1) x 2 buffers
+        copies = collect_copies(pipelined.body)
+        # main loop has 2 smem + 2 reg copies; epilogue 1
+        prologue_async = [
+            c for c in copies if c.is_async and not c.dst.free_vars() and not c.src.free_vars()
+        ]
+        # Prologue smem copies have constant offsets apart from block vars;
+        # count instead via constant stage indices 0/1 in dst.
+        assert len(copies) == 2 * 2 + 1 + (2 * 2 + 2)  # mains + epilogue + prologues
+
+    def test_guarded_outer_wait_in_inner_loop(self, pipelined):
+        guards = collect(pipelined.body, lambda s: isinstance(s, IfThenElse))
+        assert len(guards) == 1
+        guard = guards[0]
+        assert isinstance(guard.then_body, PipelineSync)
+        assert guard.then_body.kind is SyncKind.CONSUMER_WAIT
+        assert guard.then_body.buffer.scope is Scope.SHARED
+
+    def test_prologue_wait_before_inner_prologue(self, pipelined):
+        # One consumer_wait on the smem leader appears outside any loop body
+        # guard: the prologue wait for outer chunk 0.
+        syncs = collect_syncs(pipelined.body)
+        smem_waits = [
+            s for s in syncs if s.kind is SyncKind.CONSUMER_WAIT and s.buffer.scope is Scope.SHARED
+        ]
+        assert len(smem_waits) == 2  # prologue wait + guarded in-loop wait
+
+
+class TestSyncInjection:
+    def test_sync_counts(self, pipelined):
+        syncs = collect_syncs(pipelined.body)
+        by = {}
+        for s in syncs:
+            by.setdefault((s.buffer.scope, s.kind), 0)
+            by[(s.buffer.scope, s.kind)] += 1
+        # smem: 2 prologue acquires + 1 main acquire (static stmt count)
+        assert by[(Scope.SHARED, SyncKind.PRODUCER_ACQUIRE)] == 3
+        assert by[(Scope.SHARED, SyncKind.PRODUCER_COMMIT)] == 3
+        assert by[(Scope.SHARED, SyncKind.CONSUMER_RELEASE)] == 1
+        assert by[(Scope.REGISTER, SyncKind.PRODUCER_ACQUIRE)] == 2
+        assert by[(Scope.REGISTER, SyncKind.CONSUMER_WAIT)] == 1
+
+    def test_loop_annotated(self, pipelined):
+        loops = collect(pipelined.body, lambda s: isinstance(s, For) and s.annotations.get("software_pipelined"))
+        assert len(loops) == 2
+
+    def test_group_info_published(self, pipelined):
+        groups = pipelined.attrs["pipeline_groups"]
+        assert len(groups) == 2
+        scopes = {g.scope for g in groups}
+        assert scopes == {Scope.SHARED, Scope.REGISTER}
+        smem = next(g for g in groups if g.scope is Scope.SHARED)
+        assert smem.stages == 3
+        assert {b.name for b in smem.buffers} == {"A_shared", "B_shared"}
+
+
+class TestVariants:
+    def test_no_hints_is_identity_modulo_attrs(self):
+        kernel, _ = build_kernel(cfg=TileConfig(16, 16, 16, warp_m=8, warp_n=8, chunk_k=8))
+        out = apply_pipelining(kernel)
+        assert out.attrs["pipeline_groups"] == []
+        assert format_kernel(out).replace("pipeline_groups", "") == format_kernel(kernel).replace(
+            "pipeline_groups", ""
+        )
+
+    def test_single_level_no_guard(self):
+        kernel, _ = build_kernel(cfg=cfg(smem=3, reg=1))
+        out = apply_pipelining(kernel)
+        guards = collect(out.body, lambda s: isinstance(s, IfThenElse))
+        assert guards == []
+        validate_kernel(out)
+
+    def test_reg_only_has_drain(self):
+        kernel, _ = build_kernel(cfg=cfg(smem=1, reg=2))
+        out = apply_pipelining(kernel)
+        syncs = collect_syncs(out.body)
+        releases = [s for s in syncs if s.kind is SyncKind.CONSUMER_RELEASE]
+        # in-loop release + drain release
+        assert len(releases) == 2
+        validate_kernel(out)
+
+    def test_smem_only_no_drain(self):
+        kernel, _ = build_kernel(cfg=cfg(smem=3, reg=1))
+        out = apply_pipelining(kernel)
+        syncs = collect_syncs(out.body)
+        waits = [s for s in syncs if s.kind is SyncKind.CONSUMER_WAIT]
+        assert len(waits) == 1  # only the in-loop wait; no prologue/drain waits
+
+    def test_double_buffering_stage_two(self):
+        kernel, _ = build_kernel(cfg=cfg(smem=2, reg=1))
+        out = apply_pipelining(kernel)
+        text = format_kernel(out)
+        assert "A_shared[((ko + 1) % 2)" in text
+
+    def test_batched_kernel_transforms(self):
+        kernel, _ = build_kernel(batch=2, k=64, cfg=cfg())
+        out = apply_pipelining(kernel)
+        validate_kernel(out)
+        assert len(out.attrs["pipeline_groups"]) == 2

@@ -1,0 +1,68 @@
+"""Detailed tests for schedule featurization."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import A100
+from repro.tuning import FEATURE_NAMES, featurize, featurize_batch
+from repro.schedule import TileConfig
+from repro.tensor import GemmSpec
+
+SPEC = GemmSpec("f", 1, 512, 512, 1024)
+
+
+def cfg(**kw):
+    base = dict(block_m=64, block_n=64, block_k=32, warp_m=32, warp_n=32, chunk_k=16)
+    base.update(kw)
+    return TileConfig(**base)
+
+
+class TestFeaturize:
+    def test_vector_length_matches_names(self):
+        assert featurize(SPEC, cfg()).shape == (len(FEATURE_NAMES),)
+
+    def test_all_finite(self):
+        v = featurize(SPEC, cfg(smem_stages=4, reg_stages=2))
+        assert np.isfinite(v).all()
+
+    def test_stage_features_raw(self):
+        v = featurize(SPEC, cfg(smem_stages=3, reg_stages=2))
+        names = dict(zip(FEATURE_NAMES, v))
+        assert names["smem_stages"] == 3.0
+        assert names["reg_stages"] == 2.0
+
+    def test_launchable_flag(self):
+        ok = featurize(SPEC, cfg())
+        bad = featurize(SPEC, cfg(block_m=256, block_n=256, block_k=64, warp_m=64, warp_n=64, smem_stages=4))
+        names_ok = dict(zip(FEATURE_NAMES, ok))
+        names_bad = dict(zip(FEATURE_NAMES, bad))
+        assert names_ok["launchable"] == 1.0
+        assert names_bad["launchable"] == 0.0
+        assert names_bad["occupancy"] == 0.0
+
+    def test_occupancy_feature_tracks_resources(self):
+        light = dict(zip(FEATURE_NAMES, featurize(SPEC, cfg(smem_stages=1))))
+        heavy = dict(zip(FEATURE_NAMES, featurize(SPEC, cfg(smem_stages=4))))
+        assert light["occupancy"] >= heavy["occupancy"]
+
+    def test_waves_feature(self):
+        v = dict(zip(FEATURE_NAMES, featurize(SPEC, cfg())))
+        grid = (512 // 64) ** 2
+        assert v["grid"] == grid
+        assert v["waves"] == pytest.approx(grid / (v["occupancy"] * A100.num_sms))
+
+    def test_batch_shape(self):
+        X = featurize_batch(SPEC, [cfg(), cfg(smem_stages=2)])
+        assert X.shape == (2, len(FEATURE_NAMES))
+        assert not np.array_equal(X[0], X[1])
+
+    def test_empty_batch(self):
+        assert featurize_batch(SPEC, []).shape[0] == 0
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(featurize(SPEC, cfg()), featurize(SPEC, cfg()))
+
+    def test_distinct_configs_distinct_features(self):
+        a = featurize(SPEC, cfg(chunk_k=8))
+        b = featurize(SPEC, cfg(chunk_k=16))
+        assert not np.array_equal(a, b)
