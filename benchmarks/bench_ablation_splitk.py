@@ -54,7 +54,8 @@ def splitk_rows(measurer):
 def test_splitk_ablation(splitk_rows, measurer, benchmark):
     lines = ["Ablation — split-K x pipelining (extension beyond the paper)"]
     lines.append(
-        f"{'shape':18s} | {'ALCOP (us)':>10s} | {'+split-K (us)':>13s} | {'factor':>6s} | {'gain':>5s}"
+        f"{'shape':18s} | {'ALCOP (us)':>10s} | {'+split-K (us)':>13s} | "
+        f"{'factor':>6s} | {'gain':>5s}"
     )
     for name, row in splitk_rows.items():
         lines.append(

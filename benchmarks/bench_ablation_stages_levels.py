@@ -46,10 +46,13 @@ def ablation():
 
 def test_ablation_stages_levels(ablation, benchmark):
     lines = ["Ablation — pipeline stages x levels on a latency-bound MatMul (512x768x3072)"]
-    lines.append(f"{'(smem,reg)':>10s} | {'sim (us)':>9s} | {'model (us)':>10s} | {'stall (us)':>10s}")
+    lines.append(
+        f"{'(smem,reg)':>10s} | {'sim (us)':>9s} | {'model (us)':>10s} | {'stall (us)':>10s}"
+    )
     for (ss, rs), row in sorted(ablation.items()):
         lines.append(
-            f"({ss},{rs})      | {row['sim_us']:9.1f} | {row['model_us']:10.1f} | {row['stall_us']:10.2f}"
+            f"({ss},{rs})      | {row['sim_us']:9.1f} | {row['model_us']:10.1f} | "
+            f"{row['stall_us']:10.2f}"
         )
     base = ablation[(1, 1)]["sim_us"]
     best = min(r["sim_us"] for r in ablation.values())

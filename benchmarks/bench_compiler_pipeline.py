@@ -7,7 +7,6 @@ so regressions in pass complexity are caught.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.codegen import lower
 from repro.gpusim import extract_timing_spec

@@ -15,7 +15,6 @@ import statistics
 import pytest
 
 from repro.tuning import restrict_space
-from repro.workloads import OPERATOR_SUITE
 
 from conftest import bench_suite_specs, write_result
 

@@ -49,7 +49,9 @@ def fig12(measurer, suite_spaces):
 
 def test_fig12(fig12, measurer, suite_spaces, benchmark):
     lines = ["Fig. 12 — best-in-top-k of the two static models (normalized to exhaustive best)"]
-    lines.append(f"{'operator':16s} | {'anal@10':>8s} {'anal@50':>8s} | {'bneck@10':>8s} {'bneck@50':>8s}")
+    lines.append(
+        f"{'operator':16s} | {'anal@10':>8s} {'anal@50':>8s} | {'bneck@10':>8s} {'bneck@50':>8s}"
+    )
     for op, row in fig12.items():
         a, b = row["analytical"], row["bottleneck"]
 

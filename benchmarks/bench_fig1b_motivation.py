@@ -54,7 +54,9 @@ def fig1b_rows():
 
 def test_fig1b_table(fig1b_rows, benchmark):
     lines = ["Fig. 1b — 2048^3 MatMul TFLOPS vs tiling and pipelining (simulated A100)"]
-    lines.append(f"{'TB tile':>10s} | {'tiling only':>12s} | {'+2-stage':>10s} | {'+4st/2lvl':>10s}")
+    lines.append(
+        f"{'TB tile':>10s} | {'tiling only':>12s} | {'+2-stage':>10s} | {'+4st/2lvl':>10s}"
+    )
     for (bm, bn), row in fig1b_rows.items():
         lines.append(
             f"{bm}x{bn:>5d} | {row['tiling only']:12.1f} | {row['+2-stage']:10.1f} | "
@@ -62,8 +64,10 @@ def test_fig1b_table(fig1b_rows, benchmark):
         )
     best_tiled = max(r["tiling only"] for r in fig1b_rows.values())
     best_piped = max(r["+4-stage/2-level"] for r in fig1b_rows.values())
-    lines.append(f"best tiling-only: {best_tiled:.1f} TFLOPS; best pipelined: {best_piped:.1f} TFLOPS "
-                 f"({best_piped / best_tiled:.2f}x)")
+    lines.append(
+        f"best tiling-only: {best_tiled:.1f} TFLOPS; best pipelined: {best_piped:.1f} TFLOPS "
+        f"({best_piped / best_tiled:.2f}x)"
+    )
     write_result("fig1b_motivation", "\n".join(lines))
 
     # Paper shape checks: pipelining lifts the achievable peak, and the

@@ -7,8 +7,8 @@ the ``benchmark`` fixture then times a representative computational kernel
 of that experiment so ``pytest benchmarks/ --benchmark-only`` reports
 machine-performance numbers alongside.
 
-Set ``REPRO_BENCH_QUICK=1`` to run reduced sweeps (fewer operators, smaller
-spaces) while keeping every experiment exercised.
+Set ``REPRO_BENCH_QUICK=1`` (or pass ``--smoke``) to run reduced sweeps
+(fewer operators, smaller spaces) while keeping every experiment exercised.
 """
 
 from __future__ import annotations
@@ -18,7 +18,6 @@ import pathlib
 
 import pytest
 
-from repro.tensor import GemmSpec
 from repro.tuning import Measurer, SpaceOptions, enumerate_space
 from repro.workloads import suite_specs
 
@@ -33,10 +32,40 @@ SPACE_OPTIONS = SpaceOptions(max_size=300 if QUICK else 1200)
 E2E_SPACE_OPTIONS = SpaceOptions(max_size=200 if QUICK else 600)
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="run reduced benchmark sweeps (same as REPRO_BENCH_QUICK=1)",
+    )
+
+
+def pytest_configure(config):
+    """``--smoke`` flips the module into quick mode before the bench modules
+    are collected (they read QUICK / *_SPACE_OPTIONS at import time)."""
+    if not config.getoption("--smoke", default=False):
+        return
+    global QUICK, SPACE_OPTIONS, E2E_SPACE_OPTIONS
+    QUICK = True
+    os.environ["REPRO_BENCH_QUICK"] = "1"
+    SPACE_OPTIONS = SpaceOptions(max_size=300)
+    E2E_SPACE_OPTIONS = SpaceOptions(max_size=200)
+
+
 def bench_suite_specs():
     specs = suite_specs()
     if QUICK:
-        keep = {"MM_BERT_FC1", "MM_RN50_FC", "BMM_BERT_QK", "BMM_BERT_SV", "Conv_RN50_3x3"}
+        # one library-beating op (MM_Conv1x1_1) must stay in the reduced set
+        # so fig11's "ALCOP wins somewhere" paper-shape check holds
+        keep = {
+            "MM_BERT_FC1",
+            "MM_RN50_FC",
+            "MM_Conv1x1_1",
+            "BMM_BERT_QK",
+            "BMM_BERT_SV",
+            "Conv_RN50_3x3",
+        }
         specs = [s for s in specs if s.name in keep]
     return specs
 

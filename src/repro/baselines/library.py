@@ -18,7 +18,7 @@ the whole schedule space per shape.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from ..gpusim.config import A100, GpuSpec
 from ..gpusim.engine import simulate_kernel

@@ -5,7 +5,8 @@ Commands
 ``compile``   search + pipeline + time one GEMM/BMM problem, with baselines;
 ``ir``        print the lowered and pipelined IR for a fixed schedule;
 ``tune``      run one tuning method and report the best-in-k curve;
-``suite``     TVM-vs-ALCOP speedups over the paper's operator suite.
+``suite``     TVM-vs-ALCOP speedups over the paper's operator suite;
+``check``     static sync-race check of pipelined IR over the workload suite.
 """
 
 from __future__ import annotations
@@ -14,7 +15,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .gpusim.config import A100, H100, V100, GpuSpec
+from .gpusim.config import A100, H100, V100
 
 _GPUS = {"a100": A100, "h100": H100, "v100": V100}
 
@@ -44,10 +45,15 @@ def _cmd_compile(args) -> int:
     gpu = _GPUS[args.gpu]
     measurer = Measurer(gpu, via_ir=False)
     options = SpaceOptions(max_size=args.space)
-    alcop = AlcopCompiler(gpu=gpu, variant=args.variant, measurer=measurer, space_options=options).compile(spec)
+    alcop = AlcopCompiler(
+        gpu=gpu, variant=args.variant, measurer=measurer, space_options=options
+    ).compile(spec)
     tvm = tvm_compiler(gpu=gpu, measurer=measurer, space_options=options).compile(spec)
     print(f"problem : {spec.m}x{spec.n}x{spec.k} batch={spec.batch} on {gpu.name}")
-    print(f"{args.variant:8s}: {alcop.latency_us:9.1f} us  {alcop.tflops:7.1f} TFLOP/s  {alcop.config}")
+    print(
+        f"{args.variant:8s}: {alcop.latency_us:9.1f} us  "
+        f"{alcop.tflops:7.1f} TFLOP/s  {alcop.config}"
+    )
     print(f"tvm     : {tvm.latency_us:9.1f} us  {tvm.tflops:7.1f} TFLOP/s  {tvm.config}")
     print(f"speedup : {tvm.latency_us / alcop.latency_us:.2f}x")
     return 0
@@ -147,6 +153,74 @@ def _cmd_suite(args) -> int:
     return 0
 
 
+def _check_configs(space, per_op: int):
+    """A deterministic, diversity-first sample of pipelined configs: prefer
+    covering every (smem_stages, reg_stages) combination in the space before
+    adding more tilings of an already-covered combination."""
+    pipelined = [c for c in space if c.smem_stages >= 2]
+    pipelined.sort(key=lambda c: (-c.smem_stages, -c.reg_stages, c.key()))
+    picked, seen_stages = [], set()
+    for cfg in pipelined:
+        if (cfg.smem_stages, cfg.reg_stages) not in seen_stages:
+            seen_stages.add((cfg.smem_stages, cfg.reg_stages))
+            picked.append(cfg)
+    for cfg in pipelined:
+        if len(picked) >= per_op:
+            break
+        if cfg not in picked:
+            picked.append(cfg)
+    return picked[:per_op]
+
+
+def _cmd_check(args) -> int:
+    from .core.compiler import AlcopCompiler
+    from .ir.syncheck import check_kernel, format_diagnostics
+    from .ir.validate import validate_kernel
+    from .tuning.space import SpaceOptions, enumerate_space
+    from .workloads.suite import OPERATOR_SUITE
+
+    gpu = _GPUS[args.gpu]
+    compiler = AlcopCompiler(gpu=gpu, verify_sync=False)
+    names = args.ops.split(",") if args.ops else list(OPERATOR_SUITE)
+    unknown = [n for n in names if n not in OPERATOR_SUITE]
+    if unknown:
+        print(f"unknown operator(s): {', '.join(unknown)}")
+        print(f"available: {', '.join(OPERATOR_SUITE)}")
+        return 2
+    options = SpaceOptions(max_size=args.space, launchable_only=True)
+    total_diags = 0
+    total_kernels = 0
+    for name in names:
+        spec = OPERATOR_SUITE[name]
+        configs = _check_configs(enumerate_space(spec, gpu, options), args.configs)
+        if not configs:
+            print(f"{name:16s} | no pipelined configs in the (capped) space")
+            continue
+        op_diags = []
+        for cfg in configs:
+            kernel = compiler.build(spec, cfg)
+            validate_kernel(kernel)
+            diags = check_kernel(kernel)
+            total_kernels += 1
+            if diags:
+                op_diags.append((cfg, diags))
+                total_diags += len(diags)
+                if args.verbose:
+                    print(f"-- {name} {cfg}:\n{format_diagnostics(diags)}")
+        verdict = "ok" if not op_diags else f"{sum(len(d) for _, d in op_diags)} finding(s)"
+        print(f"{name:16s} | {len(configs)} pipelined config(s) checked | {verdict}")
+        if op_diags and not args.verbose:
+            for cfg, diags in op_diags:
+                print(f"  {cfg}:")
+                for d in diags:
+                    print(f"    {d.rule} [{d.severity}] {d.buffer}: {d.message}")
+    print(
+        f"checked {total_kernels} transformed kernel(s): "
+        + ("all synchronization-clean" if total_diags == 0 else f"{total_diags} finding(s)")
+    )
+    return 0 if total_diags == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro.cli", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -182,6 +256,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--space", type=int, default=400)
     p.add_argument("--ops", default=None, help="comma-separated operator names")
     p.set_defaults(fn=_cmd_suite)
+
+    p = sub.add_parser(
+        "check",
+        help="statically check pipeline synchronization over the workload suite",
+    )
+    p.add_argument("--gpu", choices=sorted(_GPUS), default="a100")
+    p.add_argument("--space", type=int, default=400, help="design-space cap (strided)")
+    p.add_argument("--ops", default=None, help="comma-separated operator names")
+    p.add_argument("--configs", type=int, default=4,
+                   help="pipelined schedules checked per operator")
+    p.add_argument("--verbose", action="store_true", help="print full diagnostics")
+    p.set_defaults(fn=_cmd_check)
     return parser
 
 

@@ -28,13 +28,7 @@ from typing import Callable, Dict, Optional
 
 import numpy as np
 
-from ..ir import (
-    Buffer,
-    ForKind,
-    IRBuilder,
-    Kernel,
-    Scope,
-)
+from ..ir import Buffer, IRBuilder, Kernel, Scope
 from ..schedule.schedule import Schedule
 from ..tensor.operation import ELEMENTWISE_FNS, CacheReadOp, PlaceholderOp
 
@@ -167,7 +161,9 @@ def lower(sch: Schedule, name: Optional[str] = None) -> Kernel:
                 with b_.thread_for("wn_i", wn_extent) as wni:
                     b_.compute(
                         "fill",
-                        c_acc.region((wmi * cfg.warp_m, cfg.warp_m), (wni * cfg.warp_n, cfg.warp_n)),
+                        c_acc.region(
+                            (wmi * cfg.warp_m, cfg.warp_m), (wni * cfg.warp_n, cfg.warp_n)
+                        ),
                         [],
                         fn=fill_zero,
                         accumulate=False,

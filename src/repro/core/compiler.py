@@ -81,6 +81,7 @@ class AlcopCompiler:
         seed: int = 0,
         measurer: Optional[Measurer] = None,
         space_options: Optional[SpaceOptions] = None,
+        verify_sync: bool = True,
     ) -> None:
         if variant not in VARIANTS:
             raise ValueError(f"unknown variant {variant!r}; choose from {VARIANTS}")
@@ -93,6 +94,9 @@ class AlcopCompiler:
         self.seed = seed
         self.space_options = space_options
         self.measurer = measurer or Measurer(gpu, via_ir=False)
+        #: run the static synchronization race checker on every built kernel
+        #: (repro.ir.syncheck); a mis-transformed pipeline fails the build.
+        self.verify_sync = verify_sync
         self._cache: Dict[Tuple, CompiledKernel] = {}
 
     # ------------------------------------------------------------------ search
@@ -112,7 +116,9 @@ class AlcopCompiler:
         return cfg
 
     # ------------------------------------------------------------------ build
-    def build(self, spec: GemmSpec, config: TileConfig, graph_output: Optional[Tensor] = None) -> Kernel:
+    def build(
+        self, spec: GemmSpec, config: TileConfig, graph_output: Optional[Tensor] = None
+    ) -> Kernel:
         """Schedule, lower and pipeline one problem at a fixed config."""
         if graph_output is None:
             a_shape = (spec.batch, spec.m, spec.k) if spec.batch > 1 else (spec.m, spec.k)
@@ -121,7 +127,7 @@ class AlcopCompiler:
             b = placeholder("B", b_shape, dtype=spec.dtype)
             graph_output = contraction(a, b, spec)
         sch = auto_schedule(graph_output, config)
-        return apply_pipelining(lower(sch))
+        return apply_pipelining(lower(sch), verify_sync=self.verify_sync)
 
     def compile(self, spec: GemmSpec, graph_output: Optional[Tensor] = None) -> CompiledKernel:
         """Search, build and time a kernel for ``spec`` (cached)."""

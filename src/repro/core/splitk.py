@@ -28,7 +28,7 @@ from ..ir import Buffer, IRBuilder, Kernel, Scope
 from ..ops.elementwise import MemoryBoundOp, memory_bound_latency
 from ..tensor.operation import GemmSpec
 from ..tuning.measure import Measurer
-from ..tuning.space import SpaceOptions, enumerate_space
+from ..tuning.space import SpaceOptions
 from .compiler import AlcopCompiler, CompiledKernel
 
 __all__ = ["SplitKCompiled", "SplitKCompiler", "build_reduce_kernel", "reduce_latency_us"]

@@ -25,7 +25,6 @@ the paper.
 from __future__ import annotations
 
 import dataclasses
-import math
 from typing import Dict, List, Optional, Tuple
 
 from .config import A100, GpuSpec

@@ -17,7 +17,7 @@ the FIFO discipline sound without modelling the servers as processes.
 from __future__ import annotations
 
 import heapq
-from typing import Generator, Iterable, List, Tuple
+from typing import Generator, List, Tuple
 
 __all__ = ["FifoServer", "Simulator"]
 

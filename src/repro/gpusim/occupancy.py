@@ -9,7 +9,6 @@ model) and it divides the per-threadblock bandwidth share.
 
 from __future__ import annotations
 
-import math
 
 from .config import GpuSpec
 

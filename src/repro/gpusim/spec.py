@@ -11,7 +11,7 @@ simulator honest as the ground truth for tuning experiments.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Tuple
+from typing import Optional, Tuple
 
 from ..ir.analysis import enclosing_loops, loop_extent_int, walk_with_path
 from ..ir.buffer import Scope
@@ -109,7 +109,7 @@ def extract_timing_spec(kernel: Kernel) -> KernelTimingSpec:
             if node.buffer.scope is Scope.SHARED:
                 smem_bytes += node.buffer.size_bytes
         elif isinstance(node, MemCopy):
-            serial = [l for l in enclosing_loops(path) if l.kind is ForKind.SERIAL]
+            serial = [lp for lp in enclosing_loops(path) if lp.kind is ForKind.SERIAL]
             if node.dst.buffer.scope is Scope.SHARED:
                 if not serial:
                     continue  # hoisted prologue: accounted for by pipeline fill
@@ -132,7 +132,7 @@ def extract_timing_spec(kernel: Kernel) -> KernelTimingSpec:
                 # DRAM sees the *output* bytes (the accumulator is wider).
                 epilogue_bytes += node.dst.size_bytes * _thread_multiplier(path)
         elif isinstance(node, ComputeStmt) and node.flops > 0:
-            serial = [l for l in enclosing_loops(path) if l.kind is ForKind.SERIAL]
+            serial = [lp for lp in enclosing_loops(path) if lp.kind is ForKind.SERIAL]
             if not serial:
                 raise ValueError("compute statement outside any serial loop")
             flops_chunk += node.flops * _thread_multiplier(path)

@@ -4,7 +4,8 @@ This package is the substrate the ALCOP pipelining transformation operates
 on — the reproduction's stand-in for TVM's TensorIR. See ``DESIGN.md``.
 """
 
-from .buffer import Buffer, BufferRegion, Scope, DTYPE_BYTES
+from .buffer import DTYPE_BYTES, Buffer, BufferRegion, Scope
+from .builder import IRBuilder
 from .expr import (
     BinOp,
     Expr,
@@ -23,6 +24,7 @@ from .expr import (
     struct_equal,
     substitute,
 )
+from .printer import format_kernel, format_stmt
 from .stmt import (
     Allocate,
     ComputeStmt,
@@ -37,10 +39,14 @@ from .stmt import (
     SyncKind,
     seq,
 )
-from .visitor import StmtMutator, StmtVisitor, post_order_visit, pre_order_find
-from .printer import format_kernel, format_stmt
+from .syncheck import (
+    SyncCheckError,
+    SyncDiagnostic,
+    check_kernel,
+    format_diagnostics,
+)
 from .validate import ValidationError, validate_kernel, validate_stmt
-from .builder import IRBuilder
+from .visitor import StmtMutator, StmtVisitor, post_order_visit, pre_order_find
 
 __all__ = [
     # buffer
@@ -88,5 +94,9 @@ __all__ = [
     "ValidationError",
     "validate_kernel",
     "validate_stmt",
+    "SyncCheckError",
+    "SyncDiagnostic",
+    "check_kernel",
+    "format_diagnostics",
     "IRBuilder",
 ]

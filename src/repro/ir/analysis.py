@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterator, List, Set, Tuple
 
 from .buffer import Buffer, BufferRegion
-from .expr import Expr, IntImm, Var, free_vars
+from .expr import IntImm, Var
 from .stmt import (
     Allocate,
     ComputeStmt,
@@ -35,7 +35,9 @@ __all__ = [
 ]
 
 
-def walk_with_path(stmt: Stmt, _path: Tuple[Stmt, ...] = ()) -> Iterator[Tuple[Stmt, Tuple[Stmt, ...]]]:
+def walk_with_path(
+    stmt: Stmt, _path: Tuple[Stmt, ...] = ()
+) -> Iterator[Tuple[Stmt, Tuple[Stmt, ...]]]:
     """Yield ``(node, path)`` for every statement, pre-order.
 
     ``path`` is the tuple of ancestor statements from the root down to (but

@@ -26,7 +26,6 @@ from .stmt import (
     IfThenElse,
     MemCopy,
     PipelineSync,
-    SeqStmt,
     Stmt,
     SyncKind,
     seq,
@@ -94,7 +93,9 @@ class IRBuilder:
     def emit(self, stmt: Stmt) -> None:
         self._frames[-1].stmts.append(stmt)
 
-    def copy(self, dst: BufferRegion, src: BufferRegion, is_async: bool = False, **annotations) -> None:
+    def copy(
+        self, dst: BufferRegion, src: BufferRegion, is_async: bool = False, **annotations
+    ) -> None:
         self.emit(MemCopy(dst, src, is_async=is_async, annotations=annotations or None))
 
     def compute(self, kind: str, out: BufferRegion, inputs, fn=None, flops: int = 0, **ann) -> None:

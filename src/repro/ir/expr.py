@@ -12,7 +12,7 @@ expressions shown in Fig. 7 of the ALCOP paper.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Iterator, Mapping, Union
+from typing import Callable, Dict, Iterator, Mapping, Union
 
 __all__ = [
     "Expr",

@@ -145,7 +145,9 @@ class Allocate(Stmt):
 
     __slots__ = ("buffer", "body", "attrs")
 
-    def __init__(self, buffer: Buffer, body: Stmt, attrs: Optional[Dict[str, object]] = None) -> None:
+    def __init__(
+        self, buffer: Buffer, body: Stmt, attrs: Optional[Dict[str, object]] = None
+    ) -> None:
         if not isinstance(buffer, Buffer):
             raise TypeError("Allocate.buffer must be a Buffer")
         self.buffer = buffer

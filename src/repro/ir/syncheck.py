@@ -1,0 +1,580 @@
+"""Static pipeline-synchronization race checking.
+
+The pipelining program transformation (paper Sec. III-B) injects the four
+guard primitives (``producer_acquire`` / ``producer_commit`` /
+``consumer_wait`` / ``consumer_release``) and rewrites hinted buffers into
+circular multi-stage form. A compiler bug in that step — a mis-paired
+commit/wait, a dropped prologue chunk, an aliased circular index — produces
+IR that is structurally valid (:mod:`repro.ir.validate` passes) yet racy on
+real hardware, where it manifests as flaky wrong answers rather than a
+clean failure.
+
+:func:`check_kernel` closes that gap: it symbolically walks the control
+flow of a *transformed* kernel, maintaining an abstract pipeline state per
+pipeline group (mirroring the protocol the interpreter enforces
+dynamically), and verifies five rules:
+
+1. **Guarded production** — every asynchronous copy into a circular buffer
+   executes between a ``producer_acquire`` and the matching
+   ``producer_commit`` on the same buffer group.
+2. **Arrival before read** — every read of a pipelined buffer stage is
+   dominated by a ``consumer_wait`` that applied that stage, i.e. the
+   stage distance between the producer's write and the consumer's read
+   matches the buffer's stage count (no read-before-arrival).
+3. **No stage aliasing** — circular-index rotation never lets an in-flight
+   producer write alias a stage that is committed-but-unconsumed or still
+   being consumed (write-after-read race across the wrap-around), and
+   acquires never exceed stage capacity.
+4. **Exact prologue** — at entry to each pipelined loop the pipeline holds
+   exactly ``num_stages - 1`` in-flight chunks, so the steady-state loop
+   never waits on an unfilled stage.
+5. **Balanced synchronization** — commit/wait/release counts balance along
+   every path through ``IfThenElse``/``SeqStmt``, including the epilogue
+   drain; no dangling producer window survives to kernel end.
+
+Loops with sequential semantics (``SERIAL``/``UNROLLED``) are walked
+iteration by iteration (loop extents are static in this compiler); parallel
+loops (``blockIdx``/``threadIdx``/vectorized) are walked once with a
+representative iteration, matching the barrier semantics of the
+interpreter: shared-scope pipelines are threadblock-wide, register-scope
+pipelines are private per warp, and all lanes are symmetric. Conditionals
+whose predicate depends on a parallel loop variable are *forked*: both arms
+are walked from a copy of the state, and diverging pipeline states are
+reported as rule-5 violations (some threadblocks would observe a different
+barrier sequence than others — a deadlock on hardware).
+
+Findings are reported as structured :class:`SyncDiagnostic` objects rather
+than bare exceptions, so callers can render, count or filter them; the
+transformation pass turns *error*-severity findings into a
+:class:`SyncCheckError` when invoked with ``verify_sync=True``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from .buffer import Buffer, BufferRegion
+from .expr import evaluate, free_vars
+from .stmt import (
+    Allocate,
+    ComputeStmt,
+    For,
+    ForKind,
+    IfThenElse,
+    Kernel,
+    MemCopy,
+    PipelineSync,
+    SeqStmt,
+    Stmt,
+    SyncKind,
+)
+
+__all__ = [
+    "RULE_UNGUARDED_COPY",
+    "RULE_READ_BEFORE_ARRIVAL",
+    "RULE_STAGE_ALIAS",
+    "RULE_PROLOGUE_SHORTFALL",
+    "RULE_UNBALANCED_SYNC",
+    "ALL_RULES",
+    "SyncDiagnostic",
+    "SyncCheckError",
+    "check_kernel",
+    "format_diagnostics",
+]
+
+#: Rule 1 — async copy into a pipelined buffer outside an acquire/commit
+#: window (or a commit with no open window).
+RULE_UNGUARDED_COPY = "R1-unguarded-copy"
+#: Rule 2 — read of a stage no ``consumer_wait`` has applied.
+RULE_READ_BEFORE_ARRIVAL = "R2-read-before-arrival"
+#: Rule 3 — producer write aliasing a live stage / acquire beyond capacity.
+RULE_STAGE_ALIAS = "R3-stage-alias"
+#: Rule 4 — pipeline not holding exactly ``stages - 1`` chunks at loop entry.
+RULE_PROLOGUE_SHORTFALL = "R4-prologue-shortfall"
+#: Rule 5 — unbalanced commit/wait/release along some path, divergent
+#: branch states, or a dangling producer window at kernel end.
+RULE_UNBALANCED_SYNC = "R5-unbalanced-sync"
+
+ALL_RULES = (
+    RULE_UNGUARDED_COPY,
+    RULE_READ_BEFORE_ARRIVAL,
+    RULE_STAGE_ALIAS,
+    RULE_PROLOGUE_SHORTFALL,
+    RULE_UNBALANCED_SYNC,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class SyncDiagnostic:
+    """One synchronization finding.
+
+    Attributes
+    ----------
+    rule:
+        One of the ``RULE_*`` identifiers.
+    severity:
+        ``"error"`` for findings that corrupt data or deadlock on hardware;
+        ``"warning"`` for suspicious-but-survivable protocol deviations.
+    buffer:
+        Name of the pipelined buffer (group leader for group-wide findings).
+    path:
+        Human-readable statement path from the kernel body to the finding,
+        with concrete loop iteration values (e.g. ``for ko@2 > seq[4]``).
+    message:
+        Human-readable explanation of the race.
+    """
+
+    rule: str
+    severity: str
+    buffer: str
+    path: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.rule} on {self.buffer}: {self.message}\n    at {self.path}"
+
+
+class SyncCheckError(Exception):
+    """Raised by ``apply_pipelining(..., verify_sync=True)`` when the static
+    checker finds error-severity synchronization races."""
+
+    def __init__(self, diagnostics: Sequence[SyncDiagnostic]) -> None:
+        self.diagnostics = list(diagnostics)
+        super().__init__(
+            f"{len(self.diagnostics)} pipeline synchronization race(s) detected:\n"
+            + format_diagnostics(self.diagnostics)
+        )
+
+
+def format_diagnostics(diagnostics: Sequence[SyncDiagnostic]) -> str:
+    """Render diagnostics one per paragraph, errors first."""
+    ordered = sorted(diagnostics, key=lambda d: (d.severity != "error", d.rule))
+    return "\n".join(str(d) for d in ordered)
+
+
+#: (buffer name, stage index) — the granularity of arrival tracking.
+_StageKey = Tuple[str, int]
+_Batch = FrozenSet[_StageKey]
+
+
+class _GroupState:
+    """Abstract pipeline state of one group: the producer window, the FIFO
+    of committed-but-unconsumed batches and the FIFO of applied (waited but
+    not yet released) batches, each batch recording which circular stages
+    it filled."""
+
+    __slots__ = ("stages", "pending_open", "pending", "committed", "applied")
+
+    def __init__(self, stages: int) -> None:
+        self.stages = stages
+        self.pending_open = False
+        self.pending: List[_StageKey] = []
+        self.committed: List[_Batch] = []
+        self.applied: List[_Batch] = []
+
+    @property
+    def occupied(self) -> int:
+        return len(self.committed) + len(self.applied) + (1 if self.pending_open else 0)
+
+    def arrived(self) -> FrozenSet[_StageKey]:
+        """Stages whose data a consumer may legally read right now."""
+        out: set = set()
+        for batch in self.applied:
+            out |= batch
+        return frozenset(out)
+
+    def in_flight(self) -> FrozenSet[_StageKey]:
+        """Stages committed (or being filled) but not yet applied."""
+        out: set = set(self.pending)
+        for batch in self.committed:
+            out |= batch
+        return frozenset(out)
+
+    def snapshot(self) -> Tuple:
+        return (
+            self.pending_open,
+            tuple(self.pending),
+            tuple(self.committed),
+            tuple(self.applied),
+        )
+
+    def clone(self) -> "_GroupState":
+        st = _GroupState(self.stages)
+        st.pending_open = self.pending_open
+        st.pending = list(self.pending)
+        st.committed = list(self.committed)
+        st.applied = list(self.applied)
+        return st
+
+
+_PARALLEL_KINDS = (ForKind.BLOCK, ForKind.THREAD, ForKind.VECTORIZED)
+
+
+class _Checker:
+    """One symbolic walk over a transformed kernel body."""
+
+    def __init__(self, kernel: Kernel, groups: Sequence[object]) -> None:
+        self.kernel = kernel
+        self.diagnostics: List[SyncDiagnostic] = []
+        #: Buffer (identity) -> its group info, for every expanded buffer.
+        self.buffer_info: Dict[Buffer, object] = {}
+        #: loop var name -> group infos pipelined at a loop of that name.
+        self.loops_by_var: Dict[str, List[object]] = {}
+        self.states: Dict[int, _GroupState] = {}
+        for info in groups:
+            for buf in info.buffers:
+                self.buffer_info[buf] = info
+            self.loops_by_var.setdefault(info.loop_var_name, []).append(info)
+            self.states[id(info)] = _GroupState(info.stages)
+        self.env: Dict = {}
+        self.kinds: Dict = {}
+        self.path: List[str] = []
+
+    # ------------------------------------------------------------- reporting
+    def report(self, rule: str, buffer: str, message: str, severity: str = "error") -> None:
+        self.diagnostics.append(
+            SyncDiagnostic(
+                rule=rule,
+                severity=severity,
+                buffer=buffer,
+                path=" > ".join(self.path) if self.path else "<kernel body>",
+                message=message,
+            )
+        )
+
+    # --------------------------------------------------------------- helpers
+    def state_of(self, info) -> _GroupState:
+        return self.states[id(info)]
+
+    def _stage_of(self, region: BufferRegion) -> int:
+        """Concrete circular-stage index of a region on an expanded buffer
+        (the pipelining pass prepends the stage dimension)."""
+        return int(evaluate(region.offsets[0], self.env)) % region.buffer.shape[0]
+
+    def _has_parallel_var(self, expr) -> bool:
+        for v in free_vars(expr):
+            if self.kinds.get(v) in _PARALLEL_KINDS:
+                return True
+        return False
+
+    # ----------------------------------------------------------------- walk
+    def run(self) -> None:
+        self.walk(self.kernel.body)
+        self.finish()
+
+    def walk(self, stmt: Stmt) -> None:
+        if isinstance(stmt, SeqStmt):
+            for s in stmt.stmts:
+                self.walk(s)
+        elif isinstance(stmt, For):
+            self._walk_for(stmt)
+        elif isinstance(stmt, IfThenElse):
+            self._walk_if(stmt)
+        elif isinstance(stmt, Allocate):
+            self.path.append(f"alloc {stmt.buffer.name}")
+            self.walk(stmt.body)
+            self.path.pop()
+        elif isinstance(stmt, MemCopy):
+            self._walk_copy(stmt)
+        elif isinstance(stmt, ComputeStmt):
+            self._walk_compute(stmt)
+        elif isinstance(stmt, PipelineSync):
+            self._walk_sync(stmt)
+        # Unknown statement types are a structural problem for
+        # ir.validate, not a synchronization one: ignore.
+
+    def _walk_for(self, stmt: For) -> None:
+        self._check_loop_entry(stmt)
+        extent = int(evaluate(stmt.extent, self.env))
+        self.kinds[stmt.var] = stmt.kind
+        if stmt.kind in _PARALLEL_KINDS:
+            # All iterations are symmetric with respect to pipeline state:
+            # walk one representative lane. (Predicates that break the
+            # symmetry are caught by the fork logic in ``_walk_if``.)
+            iterations = [0]
+        else:
+            iterations = range(extent)
+        for i in iterations:
+            self.env[stmt.var] = i
+            self.path.append(f"for {stmt.var.name}@{i}")
+            self.walk(stmt.body)
+            self.path.pop()
+        del self.env[stmt.var]
+        del self.kinds[stmt.var]
+
+    def _check_loop_entry(self, stmt: For) -> None:
+        """Rule 4: a software-pipelined loop must start with exactly
+        ``stages - 1`` chunks in flight — fewer means the steady-state
+        consumer outruns the producer and reads an unfilled stage; more
+        means the prologue already aliased a live stage."""
+        if not stmt.annotations.get("software_pipelined"):
+            return
+        for info in self.loops_by_var.get(stmt.var.name, []):
+            st = self.state_of(info)
+            expect = info.stages - 1
+            if st.occupied != expect:
+                self.report(
+                    RULE_PROLOGUE_SHORTFALL,
+                    info.buffers[0].name,
+                    f"pipelined loop {stmt.var.name} entered with {st.occupied} "
+                    f"in-flight chunk(s); the prologue must cover exactly "
+                    f"{expect} iteration(s) (num_stages={info.stages}) so the "
+                    "steady-state loop never reads an unfilled stage",
+                )
+
+    def _walk_if(self, stmt: IfThenElse) -> None:
+        if self._has_parallel_var(stmt.cond):
+            # The predicate distinguishes threadblocks/warps: pipeline state
+            # must evolve identically on both arms or barrier sequences
+            # diverge across lanes (rule 5). Fork, compare, merge.
+            before = {k: st.clone() for k, st in self.states.items()}
+            self.path.append(f"if {stmt.cond!r} (then)")
+            self.walk(stmt.then_body)
+            self.path.pop()
+            then_states = self.states
+            self.states = before
+            if stmt.else_body is not None:
+                self.path.append(f"if {stmt.cond!r} (else)")
+                self.walk(stmt.else_body)
+                self.path.pop()
+            for key, then_st in then_states.items():
+                if then_st.snapshot() != self.states[key].snapshot():
+                    info = next(i for i in self.loops_by_var_values() if id(i) == key)
+                    self.path.append(f"if {stmt.cond!r}")
+                    self.report(
+                        RULE_UNBALANCED_SYNC,
+                        info.buffers[0].name,
+                        "pipeline synchronization diverges across the arms of a "
+                        "thread-dependent conditional: some lanes would observe "
+                        "a different commit/wait/release sequence than others",
+                    )
+                    self.path.pop()
+            self.states = then_states
+            return
+        if evaluate(stmt.cond, self.env):
+            self.path.append("if-then")
+            self.walk(stmt.then_body)
+            self.path.pop()
+        elif stmt.else_body is not None:
+            self.path.append("if-else")
+            self.walk(stmt.else_body)
+            self.path.pop()
+
+    def loops_by_var_values(self):
+        seen = set()
+        for infos in self.loops_by_var.values():
+            for info in infos:
+                if id(info) not in seen:
+                    seen.add(id(info))
+                    yield info
+
+    # ----------------------------------------------------------- leaf stmts
+    def _check_read(self, region: BufferRegion, what: str) -> None:
+        """Rule 2: reads of a pipelined buffer must hit an arrived stage."""
+        info = self.buffer_info.get(region.buffer)
+        if info is None:
+            return
+        st = self.state_of(info)
+        stage = self._stage_of(region)
+        key = (region.buffer.name, stage)
+        if key not in st.arrived():
+            if key in st.in_flight():
+                detail = (
+                    "the stage is committed but no consumer_wait has applied "
+                    "it yet (read-before-arrival)"
+                )
+            else:
+                detail = (
+                    "no in-flight chunk fills that stage — the read sees "
+                    "stale data from a previous wrap-around"
+                )
+            self.report(
+                RULE_READ_BEFORE_ARRIVAL,
+                region.buffer.name,
+                f"{what} reads stage {stage} of {region.buffer.name} "
+                f"without a dominating consumer_wait: {detail}",
+            )
+
+    def _check_producer_write(self, region: BufferRegion, is_async: bool) -> None:
+        info = self.buffer_info.get(region.buffer)
+        if info is None:
+            if is_async:
+                # An async copy whose destination escaped buffer expansion
+                # has no pipeline group to order it: its landing time is
+                # undefined with respect to every consumer.
+                self.report(
+                    RULE_UNGUARDED_COPY,
+                    region.buffer.name,
+                    f"async_memcpy into {region.buffer.name}, which is not "
+                    "part of any pipeline group; the copy is never ordered "
+                    "by producer/consumer synchronization",
+                )
+            return
+        st = self.state_of(info)
+        stage = self._stage_of(region)
+        key = (region.buffer.name, stage)
+        if not is_async:
+            self.report(
+                RULE_UNGUARDED_COPY,
+                region.buffer.name,
+                f"synchronous copy writes stage {stage} of pipelined buffer "
+                f"{region.buffer.name}, bypassing the producer protocol",
+                severity="warning",
+            )
+            return
+        if not st.pending_open:
+            self.report(
+                RULE_UNGUARDED_COPY,
+                region.buffer.name,
+                f"async_memcpy into {region.buffer.name} stage {stage} outside "
+                "a producer_acquire/producer_commit window",
+            )
+            # Recover: treat as an unordered write so later rules still run.
+            return
+        if key in st.arrived():
+            self.report(
+                RULE_STAGE_ALIAS,
+                region.buffer.name,
+                f"producer writes stage {stage} of {region.buffer.name} while "
+                "a consumer still holds it (waited but not released): "
+                "write-after-read race across the circular wrap-around",
+            )
+        elif any(key in batch for batch in st.committed):
+            self.report(
+                RULE_STAGE_ALIAS,
+                region.buffer.name,
+                f"producer writes stage {stage} of {region.buffer.name} which "
+                "already holds a committed, not-yet-consumed chunk: the "
+                "rotation distance does not match num_stages",
+            )
+        st.pending.append(key)
+
+    def _walk_copy(self, stmt: MemCopy) -> None:
+        self._check_read(stmt.src, "memcpy")
+        self._check_producer_write(stmt.dst, stmt.is_async)
+
+    def _walk_compute(self, stmt: ComputeStmt) -> None:
+        for region in stmt.inputs:
+            self._check_read(region, f"compute '{stmt.kind}'")
+        if stmt.annotations.get("accumulate", True):
+            # Accumulating computes also read their output fragment.
+            if stmt.out.buffer in self.buffer_info:
+                self._check_read(stmt.out, f"compute '{stmt.kind}'")
+        if stmt.out.buffer in self.buffer_info:
+            self.report(
+                RULE_UNGUARDED_COPY,
+                stmt.out.buffer.name,
+                f"compute '{stmt.kind}' writes pipelined buffer "
+                f"{stmt.out.buffer.name} outside the producer protocol",
+                severity="warning",
+            )
+
+    def _walk_sync(self, stmt: PipelineSync) -> None:
+        info = self.buffer_info.get(stmt.buffer)
+        if info is None:
+            self.report(
+                RULE_UNBALANCED_SYNC,
+                stmt.buffer.name,
+                f"{stmt.kind.value} on {stmt.buffer.name}, which is not part "
+                "of any pipeline group",
+            )
+            return
+        st = self.state_of(info)
+        name = stmt.buffer.name
+        if stmt.kind is SyncKind.PRODUCER_ACQUIRE:
+            if st.pending_open:
+                self.report(
+                    RULE_UNBALANCED_SYNC,
+                    name,
+                    "producer_acquire while the previous producer window is "
+                    "still open (missing producer_commit)",
+                )
+            elif st.occupied >= st.stages:
+                self.report(
+                    RULE_STAGE_ALIAS,
+                    name,
+                    f"producer_acquire with all {st.stages} stages occupied: "
+                    "the next write must alias a live stage (on hardware the "
+                    "producer blocks forever — deadlock)",
+                )
+            st.pending_open = True
+            st.pending = []
+        elif stmt.kind is SyncKind.PRODUCER_COMMIT:
+            if not st.pending_open:
+                self.report(
+                    RULE_UNGUARDED_COPY,
+                    name,
+                    "producer_commit without a matching producer_acquire",
+                )
+                return
+            st.committed.append(frozenset(st.pending))
+            st.pending = []
+            st.pending_open = False
+        elif stmt.kind is SyncKind.CONSUMER_WAIT:
+            if not st.committed:
+                self.report(
+                    RULE_READ_BEFORE_ARRIVAL,
+                    name,
+                    "consumer_wait with no committed chunk in flight: the "
+                    "wait either deadlocks or admits an unfilled stage",
+                )
+                return
+            st.applied.append(st.committed.pop(0))
+        elif stmt.kind is SyncKind.CONSUMER_RELEASE:
+            if not st.applied:
+                self.report(
+                    RULE_UNBALANCED_SYNC,
+                    name,
+                    "consumer_release without a waited (applied) chunk: "
+                    "release/wait counts are unbalanced on this path",
+                )
+                return
+            st.applied.pop(0)
+
+    # ----------------------------------------------------------------- end
+    def finish(self) -> None:
+        """End-of-kernel balance checks (rule 5).
+
+        A pipeline may legally end with up to ``stages - 1`` chunks still in
+        flight (the natural steady-state leftover when the kernel exits
+        right after its last loop), but a producer window must never remain
+        open, and the total leftover must not exceed the steady-state
+        amount — more means wait/release were skipped on some path.
+        """
+        self.path = ["<kernel end>"]
+        for info in self.loops_by_var_values():
+            st = self.state_of(info)
+            name = info.buffers[0].name
+            if st.pending_open:
+                self.report(
+                    RULE_UNBALANCED_SYNC,
+                    name,
+                    "producer window left open at kernel end (producer_acquire "
+                    "without a matching producer_commit on some path)",
+                )
+            leftover = len(st.committed) + len(st.applied)
+            if leftover > st.stages - 1:
+                self.report(
+                    RULE_UNBALANCED_SYNC,
+                    name,
+                    f"{leftover} chunk(s) still in flight at kernel end but "
+                    f"the pipeline only sustains {st.stages - 1}: "
+                    "consumer_wait/consumer_release were skipped on some path",
+                )
+        self.path = []
+
+
+def check_kernel(kernel: Kernel) -> List[SyncDiagnostic]:
+    """Statically check pipeline synchronization of a transformed kernel.
+
+    Expects ``kernel.attrs['pipeline_groups']`` as published by
+    :func:`repro.transform.apply_pipelining`; a kernel without pipeline
+    groups trivially has no pipeline races and yields no diagnostics.
+    """
+    groups = kernel.attrs.get("pipeline_groups") or []
+    if not groups:
+        return []
+    checker = _Checker(kernel, groups)
+    checker.run()
+    return checker.diagnostics

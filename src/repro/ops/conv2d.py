@@ -16,7 +16,6 @@ the compiled GEMM kernel can be executed on real data and compared against
 from __future__ import annotations
 
 import dataclasses
-from typing import Tuple
 
 import numpy as np
 

@@ -37,7 +37,9 @@ class MemoryBoundOp:
         return (self.bytes_read + self.bytes_written) * self.count
 
 
-def memory_bound_latency(op: MemoryBoundOp, gpu: GpuSpec = A100, launch_overhead: float = 3.0) -> float:
+def memory_bound_latency(
+    op: MemoryBoundOp, gpu: GpuSpec = A100, launch_overhead: float = 3.0
+) -> float:
     """Latency (us) of all ``count`` executions of a memory-bound op."""
     per_call = (op.bytes_read + op.bytes_written) / (gpu.dram_bw * _EFFICIENCY)
     return op.count * (per_call + launch_overhead)

@@ -9,7 +9,7 @@ applicability rules (Sec. II-A).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from ..ir.buffer import Scope
 from ..tensor.operation import ElementwiseOp, Tensor

@@ -8,7 +8,7 @@ pipeline stage counts for the shared-memory and register levels.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Tuple
 
 from ..ir.buffer import DTYPE_BYTES
 from ..tensor.operation import GemmSpec

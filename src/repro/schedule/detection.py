@@ -25,7 +25,6 @@ from __future__ import annotations
 import dataclasses
 from typing import TYPE_CHECKING, Optional
 
-from ..ir.buffer import Scope
 from ..tensor.operation import CacheReadOp, Tensor
 
 if TYPE_CHECKING:  # pragma: no cover

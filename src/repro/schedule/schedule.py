@@ -23,7 +23,6 @@ from ..tensor.operation import (
     ContractionOp,
     ElementwiseOp,
     GemmSpec,
-    PlaceholderOp,
     Tensor,
 )
 from .config import TileConfig

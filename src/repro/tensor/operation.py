@@ -19,8 +19,7 @@ sits relative to the sequential reduction loop.
 from __future__ import annotations
 
 import dataclasses
-import math
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 

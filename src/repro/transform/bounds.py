@@ -17,7 +17,7 @@ emits — the tests pin that).
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Tuple
+from typing import Dict
 
 from ..ir.buffer import BufferRegion
 from ..ir.expr import BinOp, Expr, FloatImm, IntImm, Var

@@ -16,9 +16,9 @@ Two classic passes completing the transformation pipeline:
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
-from ..ir.expr import Expr, IntImm, Var, simplify, substitute
+from ..ir.expr import IntImm, simplify
 from ..ir.stmt import (
     Allocate,
     ComputeStmt,

@@ -105,7 +105,10 @@ def _substitute_stmt(stmt: Stmt, mapping: Dict[Var, Expr]) -> Stmt:
     if isinstance(stmt, SeqStmt):
         return SeqStmt([_substitute_stmt(s, mapping) for s in stmt.stmts])
     if isinstance(stmt, For):
-        return For(stmt.var, stmt.extent, _substitute_stmt(stmt.body, mapping), stmt.kind, stmt.annotations)
+        return For(
+            stmt.var, stmt.extent, _substitute_stmt(stmt.body, mapping), stmt.kind,
+            stmt.annotations,
+        )
     if isinstance(stmt, IfThenElse):
         from ..ir.expr import substitute as esub
 
@@ -394,13 +397,19 @@ class _Rewriter:
         return infos
 
 
-def apply_pipelining(kernel: Kernel) -> Kernel:
+def apply_pipelining(kernel: Kernel, verify_sync: bool = False) -> Kernel:
     """Apply the pipelining program transformation to a lowered kernel.
 
     Returns a new kernel whose hinted buffers are multi-buffered, whose
     producer copies prefetch future iterations, and whose loads/uses are
     guarded by the four pipeline primitives. A kernel without hints is
     returned with an empty ``pipeline_groups`` attribute.
+
+    With ``verify_sync=True`` the static race checker
+    (:mod:`repro.ir.syncheck`) runs on the rewritten kernel and
+    error-severity findings raise :class:`~repro.ir.syncheck.SyncCheckError`
+    — a mis-placed primitive then fails the build instead of silently
+    producing racy code.
     """
     plan = analyze(kernel)
     if not plan.groups:
@@ -411,4 +420,10 @@ def apply_pipelining(kernel: Kernel) -> Kernel:
     body = rw.rewrite(kernel.body)
     out = Kernel(kernel.name, kernel.params, body, dict(kernel.attrs))
     out.attrs["pipeline_groups"] = rw.group_infos()
+    if verify_sync:
+        from ..ir.syncheck import SyncCheckError, check_kernel
+
+        errors = [d for d in check_kernel(out) if d.severity == "error"]
+        if errors:
+            raise SyncCheckError(errors)
     return out

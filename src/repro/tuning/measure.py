@@ -11,7 +11,7 @@ re-use timings.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..codegen import lower
 from ..gpusim.config import A100, GpuSpec

@@ -17,7 +17,8 @@ from ..schedule.config import TileConfig
 
 __all__ = ["SimulatedAnnealingSampler"]
 
-_FIELDS = ("block_m", "block_n", "block_k", "warp_m", "warp_n", "chunk_k", "smem_stages", "reg_stages")
+_FIELDS = ("block_m", "block_n", "block_k", "warp_m", "warp_n", "chunk_k",
+           "smem_stages", "reg_stages")
 
 
 class SimulatedAnnealingSampler:

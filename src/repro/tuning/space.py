@@ -19,7 +19,7 @@ phenomenon of Fig. 12. Use ``launchable_only=True`` to pre-filter.
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..gpusim.config import A100, GpuSpec
 from ..gpusim.occupancy import CompileError, check_launchable

@@ -3,18 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.baselines import (
-    LIBRARY_CATALOG,
-    LibraryKernels,
-    XlaLikeCompiler,
-    ablation_compilers,
-    tvm_compiler,
-    tvm_db_compiler,
-)
+from repro.baselines import LIBRARY_CATALOG, LibraryKernels, XlaLikeCompiler, ablation_compilers
 from repro.core import AlcopCompiler
 from repro.gpusim.occupancy import CompileError
 from repro.ops import bmm_spec, matmul_spec, reference_matmul
-from repro.schedule import TileConfig
 from repro.tuning import Measurer, SpaceOptions
 
 OPTS = SpaceOptions(max_size=250)

@@ -12,7 +12,8 @@ from repro.schedule import TileConfig
 from repro.tensor import GemmSpec
 
 
-def ts_for(m=2048, n=2048, k=2048, bm=128, bn=128, bk=32, wm=64, wn=64, ck=16, ss=1, rs=1, **spec_kw):
+def ts_for(m=2048, n=2048, k=2048, bm=128, bn=128, bk=32, wm=64, wn=64, ck=16, ss=1, rs=1,
+           **spec_kw):
     spec = GemmSpec("t", 1, m, n, k, **spec_kw)
     cfg = TileConfig(bm, bn, bk, warp_m=wm, warp_n=wn, chunk_k=ck, smem_stages=ss, reg_stages=rs)
     return timing_spec_from_config(spec, cfg)
@@ -100,7 +101,8 @@ class TestMechanics:
 
     def test_bank_conflicts_hurt_without_swizzle(self):
         spec = GemmSpec("t", 1, 2048, 2048, 2048)
-        sw = TileConfig(128, 128, 32, warp_m=64, warp_n=64, chunk_k=16, smem_stages=3, reg_stages=1, swizzle=True)
+        sw = TileConfig(128, 128, 32, warp_m=64, warp_n=64, chunk_k=16, smem_stages=3,
+                        reg_stages=1, swizzle=True)
         nosw = dataclasses.replace(sw, swizzle=False)
         t_sw = simulate_kernel(timing_spec_from_config(spec, sw)).latency_us
         t_no = simulate_kernel(timing_spec_from_config(spec, nosw)).latency_us

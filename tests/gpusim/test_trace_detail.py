@@ -1,6 +1,5 @@
 """Tests for the timeline trace utilities."""
 
-import pytest
 
 from repro.gpusim import simulate_kernel
 from repro.gpusim.trace import format_timeline, stall_time

@@ -52,7 +52,7 @@ def test_monsters_do_not_launch():
 def test_bottleneck_top_picks_compile_fail():
     meas = Measurer(via_ir=False)
     lats = meas.sweep(SPEC, SPACE)
-    best = min(l for l in lats if math.isfinite(l))
+    best = min(x for x in lats if math.isfinite(x))
     order = analytical_rank(SPEC, SPACE, model=bottleneck_latency)
     ranked = [lats[i] for i in order]
     # The bottleneck model's first picks are the unbuildable monsters.
@@ -62,7 +62,7 @@ def test_bottleneck_top_picks_compile_fail():
 def test_analytical_ranks_unlaunchable_last():
     meas = Measurer(via_ir=False)
     lats = meas.sweep(SPEC, SPACE)
-    best = min(l for l in lats if math.isfinite(l))
+    best = min(x for x in lats if math.isfinite(x))
     order = analytical_rank(SPEC, SPACE, model=predict_latency)
     ranked = [lats[i] for i in order]
     assert best_in_top_k(ranked, 1, best) > 0.0  # first pick builds

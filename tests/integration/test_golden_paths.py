@@ -9,19 +9,17 @@ import pytest
 
 from repro.baselines import LibraryKernels, ablation_compilers
 from repro.core import AlcopCompiler
-from repro.interp import run_kernel
 from repro.ops import bmm_spec, matmul_spec, reference_bmm
 from repro.perfmodel import predict_latency
 from repro.tuning import (
-    AnalyticalOnlyTuner,
     Measurer,
     ModelAssistedXGBTuner,
     SpaceOptions,
     enumerate_space,
     restrict_space,
 )
-from repro.tuning.tuners import analytical_rank
 from repro.tuning.record import best_in_top_k
+from repro.tuning.tuners import analytical_rank
 
 OPTS = SpaceOptions(max_size=200)
 MEAS = Measurer(via_ir=False)
@@ -49,7 +47,7 @@ class TestHeadlineClaims:
         spec = matmul_spec("int_fc1", 512, 3072, 768)
         space = enumerate_space(spec, options=OPTS)
         lats = MEAS.sweep(spec, space)
-        best = min(l for l in lats if l != float("inf"))
+        best = min(x for x in lats if x != float("inf"))
         scores = {}
         for label, model in (("anal", predict_latency), ("bneck", bottleneck_latency)):
             order = analytical_rank(spec, space, model=model)

@@ -4,32 +4,22 @@ import numpy as np
 import pytest
 
 from repro.interp import InterpreterError, PipelineHazardError, run_kernel
-from repro.ir import (
-    Buffer,
-    ComputeStmt,
-    IRBuilder,
-    Kernel,
-    MemCopy,
-    PipelineSync,
-    Scope,
-    SeqStmt,
-    SyncKind,
-)
+from repro.ir import Buffer, ComputeStmt, IRBuilder, Kernel, MemCopy, Scope, SyncKind
 from repro.transform import apply_pipelining
 
 
 def copy_kernel(n_tiles=4, tile=8, is_async=False, stages=None):
     """O[t] = A[t] streamed through a shared buffer."""
     A = Buffer("A", (n_tiles * tile,))
-    O = Buffer("O", (n_tiles * tile,))
+    out_b = Buffer("O", (n_tiles * tile,))
     sh = Buffer("sh", (tile,), scope=Scope.SHARED)
     b = IRBuilder()
     attrs = {"pipeline_stages": stages} if stages else None
     with b.allocate(sh, attrs=attrs):
         with b.serial_for("t", n_tiles) as t:
             b.copy(sh.full_region(), A.region((t * tile, tile)), is_async=is_async)
-            b.copy(O.region((t * tile, tile)), sh.full_region())
-    return Kernel("stream", [A, O], b.finish())
+            b.copy(out_b.region((t * tile, tile)), sh.full_region())
+    return Kernel("stream", [A, out_b], b.finish())
 
 
 class TestEagerMode:
@@ -67,10 +57,10 @@ class TestEagerMode:
 
     def test_fused_fn_applied_on_copy(self):
         A = Buffer("A", (8,))
-        O = Buffer("O", (8,))
-        body = MemCopy(O.full_region(), A.full_region(), annotations={"fused_fn": "relu"})
+        out_b = Buffer("O", (8,))
+        body = MemCopy(out_b.full_region(), A.full_region(), annotations={"fused_fn": "relu"})
         out = run_kernel(
-            Kernel("k", [A, O], body),
+            Kernel("k", [A, out_b], body),
             {"A": np.array([-1, 2, -3, 4, -5, 6, -7, 8], dtype=np.float16)},
         )
         assert out["O"].min() == 0
@@ -87,9 +77,9 @@ class TestEagerMode:
 
     def test_dtype_cast_on_copy(self):
         A = Buffer("A", (4,), dtype="float32")
-        O = Buffer("O", (4,), dtype="float16")
-        body = MemCopy(O.full_region(), A.full_region())
-        out = run_kernel(Kernel("k", [A, O], body), {"A": np.full(4, 1.5, dtype=np.float32)})
+        out_b = Buffer("O", (4,), dtype="float16")
+        body = MemCopy(out_b.full_region(), A.full_region())
+        out = run_kernel(Kernel("k", [A, out_b], body), {"A": np.full(4, 1.5, dtype=np.float32)})
         assert out["O"].dtype == np.float16
 
 

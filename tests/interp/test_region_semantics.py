@@ -11,7 +11,7 @@ class TestRegionViews:
     def test_extent_one_dims_squeezed_for_compute(self):
         """A 3D region with a unit leading extent presents as 2D to fn."""
         W = Buffer("W", (2, 4, 4))
-        O = Buffer("O", (4, 4))
+        out_b = Buffer("O", (4, 4))
         seen = {}
 
         def grab(out, src):
@@ -20,13 +20,13 @@ class TestRegionViews:
 
         body = ComputeStmt(
             "grab",
-            O.full_region(),
+            out_b.full_region(),
             [W.region((1, 1), (0, 4), (0, 4))],
             fn=grab,
             annotations={"accumulate": False},
         )
         w = np.arange(32, dtype=np.float16).reshape(2, 4, 4)
-        out = run_kernel(Kernel("k", [W, O], body), {"W": w})
+        out = run_kernel(Kernel("k", [W, out_b], body), {"W": w})
         assert seen["shape"] == (4, 4)
         np.testing.assert_array_equal(out["O"], w[1])
 
@@ -40,24 +40,24 @@ class TestRegionViews:
 
     def test_out_of_bounds_read_raises(self):
         A = Buffer("A", (8,))
-        O = Buffer("O", (8,))
+        out_b = Buffer("O", (8,))
         b = IRBuilder()
         with b.serial_for("t", 3) as t:
-            b.copy(O.region((0, 4)), A.region((t * 3, 4)))  # t=2 -> [6, 10)
+            b.copy(out_b.region((0, 4)), A.region((t * 3, 4)))  # t=2 -> [6, 10)
         with pytest.raises(InterpreterError, match="out of bounds"):
-            run_kernel(Kernel("k", [A, O], b.finish()), {"A": np.zeros(8, dtype=np.float16)})
+            run_kernel(Kernel("k", [A, out_b], b.finish()), {"A": np.zeros(8, dtype=np.float16)})
 
     def test_out_view_mutation_lands_in_buffer(self):
         """ComputeStmt's out view must be a real view (no copies)."""
-        O = Buffer("O", (2, 8))
+        out_b = Buffer("O", (2, 8))
 
         def write_row(out):
             out[...] = 7.0
 
         body = ComputeStmt(
-            "row", O.region((1, 1), (0, 8)), [], fn=write_row, annotations={"accumulate": False}
+            "row", out_b.region((1, 1), (0, 8)), [], fn=write_row, annotations={"accumulate": False}
         )
-        out = run_kernel(Kernel("k", [O], body), {})
+        out = run_kernel(Kernel("k", [out_b], body), {})
         np.testing.assert_array_equal(out["O"][1], 7.0)
         assert np.isnan(out["O"][0].astype(np.float32)).all()  # untouched row stays poisoned
 
@@ -71,7 +71,7 @@ class TestRegionViews:
     def test_accumulator_precision_preserved(self):
         """fp32 accumulation must not round through fp16 mid-loop."""
         A = Buffer("A", (1,))
-        O = Buffer("O", (1,), dtype="float32")
+        out_b = Buffer("O", (1,), dtype="float32")
         acc = Buffer("acc", (1,), dtype="float32", scope=Scope.ACCUMULATOR)
 
         def init(out):
@@ -85,6 +85,6 @@ class TestRegionViews:
             b.compute("init", acc.full_region(), [], fn=init, accumulate=False)
             with b.serial_for("i", 4):
                 b.compute("inc", acc.full_region(), [A.full_region()], fn=add_one)
-            b.copy(O.full_region(), acc.full_region())
-        out = run_kernel(Kernel("k", [A, O], b.finish()), {"A": np.zeros(1, dtype=np.float16)})
+            b.copy(out_b.full_region(), acc.full_region())
+        out = run_kernel(Kernel("k", [A, out_b], b.finish()), {"A": np.zeros(1, dtype=np.float16)})
         assert out["O"][0] == 2052.0

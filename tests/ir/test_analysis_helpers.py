@@ -2,18 +2,7 @@
 
 import pytest
 
-from repro.ir import (
-    Buffer,
-    ComputeStmt,
-    IRBuilder,
-    IfThenElse,
-    IntImm,
-    Kernel,
-    MemCopy,
-    Scope,
-    SyncKind,
-    Var,
-)
+from repro.ir import Buffer, ComputeStmt, IRBuilder, IntImm, Kernel, MemCopy, Scope, SyncKind, Var
 from repro.ir.analysis import (
     collect,
     count_nodes,

@@ -11,7 +11,6 @@ from repro.ir.expr import (
     Var,
     as_expr,
     evaluate,
-    floordiv,
     floormod,
     free_vars,
     imax,

@@ -5,7 +5,6 @@ import pytest
 from repro.ir import (
     Allocate,
     Buffer,
-    ComputeStmt,
     For,
     ForKind,
     IRBuilder,
@@ -125,7 +124,7 @@ class TestAnalysis:
         for node, path in walk_with_path(k.body):
             if isinstance(node, MemCopy):
                 loops = enclosing_loops(path)
-                assert [l.var.name for l in loops] == ["ko"]
+                assert [lp.var.name for lp in loops] == ["ko"]
 
     def test_loop_extent_int(self):
         k, *_ = _sample_kernel()

@@ -1,0 +1,361 @@
+"""Unit tests for the static pipeline-synchronization race checker.
+
+Each of the five rules is exercised with a minimal hand-built IR whose
+synchronization is deliberately wrong in exactly one way, plus clean IRs
+(hand-built and real pass output) that must produce zero diagnostics.
+"""
+
+import pytest
+
+from repro.core.compiler import AlcopCompiler
+from repro.ir import (
+    Buffer,
+    For,
+    ForKind,
+    IfThenElse,
+    IntImm,
+    Kernel,
+    MemCopy,
+    PipelineSync,
+    Scope,
+    SeqStmt,
+    SyncCheckError,
+    SyncDiagnostic,
+    Var,
+    check_kernel,
+    format_diagnostics,
+)
+from repro.ir.syncheck import (
+    RULE_PROLOGUE_SHORTFALL,
+    RULE_READ_BEFORE_ARRIVAL,
+    RULE_STAGE_ALIAS,
+    RULE_UNBALANCED_SYNC,
+    RULE_UNGUARDED_COPY,
+)
+from repro.schedule import TileConfig
+from repro.tensor import GemmSpec
+from repro.transform import apply_pipelining
+from repro.transform.pipeline_pass import PipelineGroupInfo
+
+
+def rules_of(diags):
+    return {d.rule for d in diags}
+
+
+class _Builder:
+    """Hand-build a minimal pipelined streaming kernel, one primitive at a
+    time, mirroring the shape the transformation pass emits:
+
+        prologue: (acquire, copy chunk p -> stage p, commit) x (stages-1)
+        for t in 0..n_tiles:          # software_pipelined
+            acquire
+            copy chunk (t+stages-1) -> stage (t+stages-1)%stages
+            commit
+            wait
+            copy stage t%stages -> out chunk t
+            release
+    """
+
+    def __init__(self, n_tiles=4, tile=4, stages=3):
+        self.n_tiles = n_tiles
+        self.tile = tile
+        self.stages = stages
+        self.inp = Buffer("I", (n_tiles * tile,))
+        self.out = Buffer("O", (n_tiles * tile,), dtype="float32")
+        self.sh = Buffer("sh", (stages, tile), scope=Scope.SHARED)
+        self.t = Var("t")
+        self.info = PipelineGroupInfo(
+            leader=self.sh,
+            buffers=[self.sh],
+            scope=Scope.SHARED,
+            stages=stages,
+            loop_var_name="t",
+            loop_extent=n_tiles,
+        )
+
+    def sync(self, kind):
+        return PipelineSync(self.sh, kind)
+
+    def load(self, chunk_expr, stage_expr):
+        return MemCopy(
+            self.sh.region(stage_expr, (0, self.tile)),
+            self.inp.region((chunk_expr * self.tile, self.tile)),
+            is_async=True,
+        )
+
+    def consume(self, stage_expr):
+        return MemCopy(
+            self.out.region((self.t * self.tile, self.tile)),
+            self.sh.region(stage_expr, (0, self.tile)),
+        )
+
+    def prologue(self, chunks=None):
+        from repro.ir import SyncKind
+
+        stmts = []
+        for p in range(self.stages - 1) if chunks is None else chunks:
+            stmts.append(self.sync(SyncKind.PRODUCER_ACQUIRE))
+            stmts.append(self.load(IntImm(p % self.n_tiles), IntImm(p % self.stages)))
+            stmts.append(self.sync(SyncKind.PRODUCER_COMMIT))
+        return stmts
+
+    def steady_body(self):
+        from repro.ir import SyncKind
+
+        shift = self.stages - 1
+        return [
+            self.sync(SyncKind.PRODUCER_ACQUIRE),
+            self.load((self.t + shift) % self.n_tiles, (self.t + shift) % self.stages),
+            self.sync(SyncKind.PRODUCER_COMMIT),
+            self.sync(SyncKind.CONSUMER_WAIT),
+            self.consume(self.t % self.stages),
+            self.sync(SyncKind.CONSUMER_RELEASE),
+        ]
+
+    def kernel(self, prologue=None, body=None, tail=None):
+        loop = For(
+            self.t,
+            self.n_tiles,
+            SeqStmt(body if body is not None else self.steady_body()),
+            ForKind.SERIAL,
+            {"software_pipelined": True},
+        )
+        stmts = (prologue if prologue is not None else self.prologue()) + [loop]
+        if tail:
+            stmts += tail
+        k = Kernel("hand", [self.inp, self.out], SeqStmt(stmts))
+        k.attrs["pipeline_groups"] = [self.info]
+        return k
+
+
+class TestCleanKernels:
+    def test_hand_built_clean(self):
+        assert check_kernel(_Builder().kernel()) == []
+
+    def test_no_groups_is_trivially_clean(self):
+        b = _Builder()
+        k = b.kernel()
+        k.attrs["pipeline_groups"] = []
+        assert check_kernel(k) == []
+
+    @pytest.mark.parametrize("stages", [(2, 1), (3, 2), (4, 2)])
+    def test_pass_output_clean(self, stages):
+        ss, rs = stages
+        cfg = TileConfig(
+            32, 32, 32, warp_m=16, warp_n=16, chunk_k=8, smem_stages=ss, reg_stages=rs
+        )
+        spec = GemmSpec("toy", batch=1, m=64, n=64, k=128)
+        kernel = AlcopCompiler(verify_sync=False).build(spec, cfg)
+        assert check_kernel(kernel) == []
+
+    def test_compiler_verify_sync_build_path(self):
+        cfg = TileConfig(
+            32, 32, 32, warp_m=16, warp_n=16, chunk_k=8, smem_stages=3, reg_stages=2
+        )
+        spec = GemmSpec("toy", batch=1, m=64, n=64, k=128)
+        kernel = AlcopCompiler(verify_sync=True).build(spec, cfg)
+        assert kernel.attrs["pipeline_groups"]
+
+
+class TestRule1UnguardedCopy:
+    def test_copy_outside_window(self):
+        from repro.ir import SyncKind
+
+        b = _Builder()
+        body = b.steady_body()
+        body.remove(body[0])  # drop the in-loop producer_acquire
+        diags = check_kernel(b.kernel(body=body))
+        assert RULE_UNGUARDED_COPY in rules_of(diags)
+
+    def test_commit_without_acquire(self):
+        from repro.ir import SyncKind
+
+        b = _Builder()
+        tail = [b.sync(SyncKind.PRODUCER_COMMIT)]
+        diags = check_kernel(b.kernel(tail=tail))
+        assert RULE_UNGUARDED_COPY in rules_of(diags)
+
+    def test_async_copy_into_unpipelined_buffer(self):
+        b = _Builder()
+        rogue = Buffer("rogue", (b.tile,), scope=Scope.SHARED)
+        stray = MemCopy(
+            rogue.full_region(), b.inp.region((0, b.tile)), is_async=True
+        )
+        diags = check_kernel(b.kernel(tail=[stray]))
+        hits = [d for d in diags if d.rule == RULE_UNGUARDED_COPY]
+        assert hits and hits[0].buffer == "rogue"
+
+
+class TestRule2ReadBeforeArrival:
+    def test_missing_wait(self):
+        from repro.ir import SyncKind
+
+        b = _Builder()
+        body = b.steady_body()
+        body = [s for s in body if not (
+            isinstance(s, PipelineSync) and s.kind is SyncKind.CONSUMER_WAIT
+        )]
+        diags = check_kernel(b.kernel(body=body))
+        assert RULE_READ_BEFORE_ARRIVAL in rules_of(diags)
+
+    def test_wrong_stage_distance(self):
+        # Consumer reads the stage being *filled* instead of the oldest one.
+        b = _Builder()
+        body = b.steady_body()
+        body[4] = b.consume((b.t + b.stages - 1) % b.stages)
+        diags = check_kernel(b.kernel(body=body))
+        assert RULE_READ_BEFORE_ARRIVAL in rules_of(diags)
+        assert any("consumer_wait" in d.message for d in diags)
+
+    def test_wait_on_empty_pipeline(self):
+        from repro.ir import SyncKind
+
+        b = _Builder()
+        diags = check_kernel(b.kernel(tail=[b.sync(SyncKind.CONSUMER_WAIT)] * b.stages))
+        assert RULE_READ_BEFORE_ARRIVAL in rules_of(diags)
+
+
+class TestRule3StageAlias:
+    def test_unshifted_producer_aliases_consumer_stage(self):
+        b = _Builder()
+        body = b.steady_body()
+        body[1] = b.load((b.t + b.stages - 1) % b.n_tiles, b.t % b.stages)
+        diags = check_kernel(b.kernel(body=body))
+        assert RULE_STAGE_ALIAS in rules_of(diags)
+
+    def test_acquire_beyond_capacity(self):
+        from repro.ir import SyncKind
+
+        b = _Builder()
+        body = b.steady_body()
+        body = [s for s in body if not (
+            isinstance(s, PipelineSync) and s.kind is SyncKind.CONSUMER_RELEASE
+        )]
+        diags = check_kernel(b.kernel(body=body))
+        assert RULE_STAGE_ALIAS in rules_of(diags)
+
+    def test_constant_stage_producer(self):
+        b = _Builder()
+        body = b.steady_body()
+        body[1] = b.load((b.t + b.stages - 1) % b.n_tiles, IntImm(0))
+        diags = check_kernel(b.kernel(body=body))
+        assert RULE_STAGE_ALIAS in rules_of(diags)
+
+
+class TestRule4PrologueShortfall:
+    def test_underfilled_prologue(self):
+        b = _Builder()
+        diags = check_kernel(b.kernel(prologue=b.prologue(chunks=[0])))
+        hits = [d for d in diags if d.rule == RULE_PROLOGUE_SHORTFALL]
+        assert hits and "num_stages=3" in hits[0].message
+
+    def test_empty_prologue(self):
+        b = _Builder()
+        diags = check_kernel(b.kernel(prologue=[]))
+        assert RULE_PROLOGUE_SHORTFALL in rules_of(diags)
+
+    def test_overfilled_prologue(self):
+        b = _Builder()
+        diags = check_kernel(b.kernel(prologue=b.prologue(chunks=[0, 1, 2])))
+        assert RULE_PROLOGUE_SHORTFALL in rules_of(diags)
+
+
+class TestRule5UnbalancedSync:
+    def test_release_without_wait(self):
+        from repro.ir import SyncKind
+
+        b = _Builder()
+        diags = check_kernel(b.kernel(tail=[b.sync(SyncKind.CONSUMER_RELEASE)]))
+        assert RULE_UNBALANCED_SYNC in rules_of(diags)
+
+    def test_dangling_producer_window(self):
+        from repro.ir import SyncKind
+
+        b = _Builder()
+        diags = check_kernel(b.kernel(tail=[b.sync(SyncKind.PRODUCER_ACQUIRE)]))
+        hits = [d for d in diags if d.rule == RULE_UNBALANCED_SYNC]
+        assert hits and "kernel end" in hits[0].path
+
+    def test_sync_on_unpipelined_buffer(self):
+        from repro.ir import SyncKind
+
+        b = _Builder()
+        rogue = Buffer("rogue", (b.tile,), scope=Scope.SHARED)
+        diags = check_kernel(
+            b.kernel(tail=[PipelineSync(rogue, SyncKind.CONSUMER_WAIT)])
+        )
+        assert RULE_UNBALANCED_SYNC in rules_of(diags)
+
+    def test_thread_divergent_sync_forks_and_reports(self):
+        from repro.ir import SyncKind
+
+        b = _Builder()
+        w = Var("w")
+        body = b.steady_body()
+        # Only warp 0 releases: lanes diverge on the barrier sequence.
+        body[-1] = For(
+            w,
+            2,
+            IfThenElse(w.equal(0), b.sync(SyncKind.CONSUMER_RELEASE)),
+            ForKind.THREAD,
+        )
+        diags = check_kernel(b.kernel(body=body))
+        assert RULE_UNBALANCED_SYNC in rules_of(diags)
+
+    def test_thread_uniform_guard_is_clean(self):
+        from repro.ir import SyncKind
+
+        b = _Builder()
+        w = Var("w")
+        body = b.steady_body()
+        # Every lane takes the same (state-neutral) branch: no divergence.
+        body.insert(
+            5,
+            For(w, 2, IfThenElse(w.equal(0), b.consume(b.t % b.stages)), ForKind.THREAD),
+        )
+        assert check_kernel(b.kernel(body=body)) == []
+
+
+class TestDiagnosticsAndWiring:
+    def test_diagnostic_rendering(self):
+        d = SyncDiagnostic(
+            rule=RULE_STAGE_ALIAS,
+            severity="error",
+            buffer="sh",
+            path="for t@2",
+            message="boom",
+        )
+        text = format_diagnostics([d])
+        assert "R3-stage-alias" in text and "for t@2" in text
+
+    def test_diagnostics_carry_concrete_path(self):
+        b = _Builder()
+        body = b.steady_body()
+        body = [s for s in body if not (
+            isinstance(s, PipelineSync)
+            and s.kind.value == "consumer_wait"
+        )]
+        diags = check_kernel(b.kernel(body=body))
+        assert any("for t@0" in d.path for d in diags)
+
+    def test_apply_pipelining_verify_sync_raises_on_races(self, monkeypatch):
+        import repro.ir.syncheck as syncheck
+        from tests.transform.test_fuzz_streaming import build_streaming_kernel
+
+        bad = SyncDiagnostic(
+            rule=RULE_STAGE_ALIAS, severity="error", buffer="sh0",
+            path="x", message="seeded",
+        )
+        monkeypatch.setattr(syncheck, "check_kernel", lambda k: [bad])
+        kernel = build_streaming_kernel(4, 4, 2, 1, False)
+        with pytest.raises(SyncCheckError) as err:
+            apply_pipelining(kernel, verify_sync=True)
+        assert "seeded" in str(err.value)
+        assert err.value.diagnostics == [bad]
+
+    def test_apply_pipelining_verify_sync_clean(self):
+        from tests.transform.test_fuzz_streaming import build_streaming_kernel
+
+        kernel = build_streaming_kernel(4, 4, 3, 2, True)
+        out = apply_pipelining(kernel, verify_sync=True)
+        assert out.attrs["pipeline_groups"]

@@ -1,0 +1,142 @@
+"""One test per ValidationError branch in ``repro.ir.validate``."""
+
+import pytest
+
+from repro.ir import (
+    Allocate,
+    Buffer,
+    ComputeStmt,
+    For,
+    IfThenElse,
+    IntImm,
+    Kernel,
+    MemCopy,
+    PipelineSync,
+    Scope,
+    SeqStmt,
+    Stmt,
+    SyncKind,
+    ValidationError,
+    Var,
+    validate_kernel,
+    validate_stmt,
+)
+
+
+def _kernel(body, params=None):
+    return Kernel("k", params if params is not None else [A, B], body)
+
+
+A = Buffer("A", (16,))
+B = Buffer("B", (16,))
+
+
+class TestCleanKernel:
+    def test_minimal_copy_kernel(self):
+        t = Var("t")
+        body = For(t, 4, MemCopy(B.region((t * 4, 4)), A.region((t * 4, 4))))
+        validate_kernel(_kernel(body))
+
+    def test_allocate_with_pipeline_stages(self):
+        sh = Buffer("sh", (4,), scope=Scope.SHARED)
+        body = Allocate(
+            sh,
+            SeqStmt([
+                MemCopy(sh.full_region(), A.region((0, 4)), is_async=True),
+                PipelineSync(sh, SyncKind.PRODUCER_COMMIT),
+            ]),
+            attrs={"pipeline_stages": 2},
+        )
+        validate_kernel(_kernel(body))
+
+
+class TestLoopInvariants:
+    def test_rebound_loop_var(self):
+        t = Var("t")
+        inner = For(t, 2, MemCopy(B.region((t, 1)), A.region((t, 1))))
+        with pytest.raises(ValidationError, match="rebound"):
+            validate_kernel(_kernel(For(t, 2, inner)))
+
+    def test_unbound_var_in_extent(self):
+        t, n = Var("t"), Var("n")
+        body = For(t, n, MemCopy(B.region((t, 1)), A.region((t, 1))))
+        with pytest.raises(ValidationError, match="unbound var n in extent"):
+            validate_kernel(_kernel(body))
+
+    def test_unbound_var_in_condition(self):
+        w = Var("w")
+        body = IfThenElse(w.equal(0), MemCopy(B.region((0, 1)), A.region((0, 1))))
+        with pytest.raises(ValidationError, match="unbound var w in condition"):
+            validate_kernel(_kernel(body))
+
+    def test_unbound_var_in_region(self):
+        t = Var("t")
+        body = MemCopy(B.region((t, 1)), A.region((0, 1)))
+        with pytest.raises(ValidationError, match="unbound var t in region"):
+            validate_kernel(_kernel(body))
+
+
+class TestBufferVisibility:
+    def test_double_allocate(self):
+        sh = Buffer("sh", (4,), scope=Scope.SHARED)
+        inner = Allocate(sh, MemCopy(sh.full_region(), A.region((0, 4))))
+        with pytest.raises(ValidationError, match="allocated twice"):
+            validate_kernel(_kernel(Allocate(sh, inner)))
+
+    def test_region_buffer_not_visible(self):
+        ghost = Buffer("ghost", (4,), scope=Scope.SHARED)
+        body = MemCopy(ghost.full_region(), A.region((0, 4)))
+        with pytest.raises(ValidationError, match="ghost not visible"):
+            validate_kernel(_kernel(body))
+
+    def test_compute_input_not_visible(self):
+        ghost = Buffer("ghost", (4,), scope=Scope.SHARED)
+        body = ComputeStmt("ew", B.region((0, 4)), [ghost.full_region()])
+        with pytest.raises(ValidationError, match="ghost not visible"):
+            validate_kernel(_kernel(body))
+
+    def test_sync_buffer_not_visible(self):
+        ghost = Buffer("ghost", (4,), scope=Scope.SHARED)
+        with pytest.raises(ValidationError, match="sync references buffer ghost"):
+            validate_kernel(_kernel(PipelineSync(ghost, SyncKind.CONSUMER_WAIT)))
+
+
+class TestAllocateAttrs:
+    @pytest.mark.parametrize("stages", [0, -1, 2.5, "3"])
+    def test_bad_pipeline_stages(self, stages):
+        sh = Buffer("sh", (4,), scope=Scope.SHARED)
+        body = Allocate(
+            sh,
+            MemCopy(sh.full_region(), A.region((0, 4))),
+            attrs={"pipeline_stages": stages},
+        )
+        with pytest.raises(ValidationError, match="positive int"):
+            validate_kernel(_kernel(body))
+
+
+class TestKernelLevel:
+    def test_duplicate_param_names(self):
+        dup = Buffer("A", (16,))
+        body = MemCopy(dup.full_region(), A.full_region())
+        with pytest.raises(ValidationError, match="duplicate parameter names"):
+            validate_kernel(_kernel(body, params=[A, dup]))
+
+    def test_unknown_stmt_type(self):
+        class Rogue(Stmt):
+            pass
+
+        with pytest.raises(ValidationError, match="unknown statement type Rogue"):
+            validate_stmt(Rogue(), set(), set())
+
+    def test_validate_stmt_entry_point(self):
+        # direct use, as passes do: visible buffers and bound vars threaded in
+        t = Var("t")
+        stmt = MemCopy(B.region((t, 1)), A.region((t, 1)))
+        validate_stmt(stmt, {A, B}, {t})
+        with pytest.raises(ValidationError):
+            validate_stmt(stmt, {A, B}, set())
+
+    def test_intimm_extent_ok(self):
+        t = Var("t")
+        body = For(t, IntImm(4), MemCopy(B.region((t, 1)), A.region((t, 1))))
+        validate_kernel(_kernel(body))

@@ -4,7 +4,6 @@ import pytest
 
 from repro.models import (
     MODEL_ZOO,
-    ModelGraph,
     build_bert,
     build_bert_large,
     build_gpt2,

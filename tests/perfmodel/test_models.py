@@ -1,7 +1,6 @@
 """Tests for the analytical performance model (Table I) and the
 bottleneck-analysis baseline."""
 
-import dataclasses
 
 import pytest
 from hypothesis import given, strategies as st

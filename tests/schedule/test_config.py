@@ -104,7 +104,8 @@ class TestHelpers:
     stages=st.integers(1, 4),
 )
 def test_resource_monotone_in_tile(bm, bn, bk, stages):
-    cfg = TileConfig(bm, bn, bk, warp_m=min(32, bm), warp_n=min(32, bn), chunk_k=16 if bk >= 16 else bk, smem_stages=stages)
+    cfg = TileConfig(bm, bn, bk, warp_m=min(32, bm), warp_n=min(32, bn),
+                     chunk_k=16 if bk >= 16 else bk, smem_stages=stages)
     r = cfg.resource_usage()
     assert r.smem_bytes == (bm + bn) * bk * 2 * stages
     assert r.regs_per_thread > 0

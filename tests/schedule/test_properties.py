@@ -5,7 +5,7 @@ import dataclasses
 from hypothesis import given, settings, strategies as st
 
 from repro.ir.buffer import Scope
-from repro.schedule import Schedule, TileConfig, auto_schedule
+from repro.schedule import TileConfig, auto_schedule
 from repro.tensor import GemmSpec, contraction, placeholder
 
 
@@ -41,7 +41,6 @@ def _graph(spec):
 def test_auto_schedule_marks_respect_rules(spec, cfg):
     """Every pipeline mark an auto-schedule makes must satisfy the three
     detection rules, and no rejected buffer may carry a mark."""
-    from repro.schedule.detection import check_pipelinable
 
     sch = auto_schedule(_graph(spec), cfg)
     for buf, stages in sch.pipeline_marks.items():

@@ -1,0 +1,54 @@
+"""The CI workflow must stay parseable and keep its contract with the repo:
+the exact commands it runs are the ones documented in README and ROADMAP."""
+
+import pathlib
+
+import pytest
+
+yaml = pytest.importorskip("yaml")
+
+WORKFLOW = pathlib.Path(__file__).resolve().parent.parent / ".github" / "workflows" / "ci.yml"
+
+
+@pytest.fixture(scope="module")
+def workflow():
+    return yaml.safe_load(WORKFLOW.read_text())
+
+
+def job_commands(job):
+    return [step["run"] for step in job["steps"] if "run" in step]
+
+
+def test_workflow_parses_and_has_expected_jobs(workflow):
+    assert workflow["name"] == "CI"
+    assert set(workflow["jobs"]) == {"lint", "tests", "sync-safety", "bench-smoke"}
+
+
+def test_triggers_cover_push_and_pr(workflow):
+    # pyyaml parses the bare `on:` key as boolean True
+    triggers = workflow.get("on", workflow.get(True))
+    assert "pull_request" in triggers
+    assert triggers["push"]["branches"] == ["main"]
+
+
+def test_test_matrix_covers_supported_pythons(workflow):
+    matrix = workflow["jobs"]["tests"]["strategy"]["matrix"]
+    assert matrix["python-version"] == ["3.10", "3.11", "3.12"]
+
+
+def test_pip_caching_enabled_everywhere(workflow):
+    for name, job in workflow["jobs"].items():
+        setup = [s for s in job["steps"] if "setup-python" in s.get("uses", "")]
+        assert setup, f"job {name} does not set up python"
+        assert setup[0]["with"].get("cache") == "pip", f"job {name} misses pip caching"
+
+
+def test_job_command_lines(workflow):
+    assert "ruff check src tests benchmarks" in job_commands(workflow["jobs"]["lint"])
+    assert "PYTHONPATH=src python -m pytest -x -q" in job_commands(workflow["jobs"]["tests"])
+    assert "PYTHONPATH=src python -m repro.cli check" in job_commands(
+        workflow["jobs"]["sync-safety"]
+    )
+    assert "PYTHONPATH=src python -m pytest benchmarks --smoke -q" in job_commands(
+        workflow["jobs"]["bench-smoke"]
+    )

@@ -76,6 +76,27 @@ class TestCommands:
         assert rc == 0
         assert "MM_RN50_FC" in capsys.readouterr().out
 
+    def test_check_clean_suite_subset(self, capsys):
+        rc = main(["check", "--ops", "MM_RN50_FC", "--configs", "2", "--space", "200"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "MM_RN50_FC" in out
+        assert "all synchronization-clean" in out
+
+    def test_check_reports_seeded_race(self, capsys, monkeypatch):
+        import repro.ir.syncheck as syncheck
+        from repro.ir.syncheck import SyncDiagnostic
+
+        seeded = SyncDiagnostic(
+            rule="R3-stage-alias", severity="error", buffer="A_shared",
+            path="for ko@1", message="seeded race",
+        )
+        monkeypatch.setattr(syncheck, "check_kernel", lambda k: [seeded])
+        rc = main(["check", "--ops", "MM_RN50_FC", "--configs", "1", "--space", "200"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "R3-stage-alias" in out and "finding(s)" in out
+
 
 class TestHistoryPersistence:
     def test_round_trip(self, tmp_path):

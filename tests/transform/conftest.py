@@ -1,12 +1,10 @@
 """Shared helpers for transformation tests."""
 
 import numpy as np
-import pytest
 
 from repro.codegen import lower
 from repro.schedule import TileConfig, auto_schedule
 from repro.tensor import GemmSpec, contraction, elementwise, placeholder
-from repro.transform import apply_pipelining
 
 
 def build_kernel(m=32, n=32, k=64, batch=1, cfg=None, a_elementwise=None):

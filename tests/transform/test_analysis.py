@@ -87,15 +87,15 @@ class TestHandBuiltIR:
 
     def _simple(self, stages=2, is_async=True, extent=4, kind=ForKind.SERIAL, read=True):
         A = Buffer("A", (64, 16))
-        O = Buffer("O", (64, 16))
+        out_b = Buffer("O", (64, 16))
         sh = Buffer("sh", (16, 16), scope=Scope.SHARED)
         b = IRBuilder()
         with b.allocate(sh, attrs={"pipeline_stages": stages}):
             with b.for_loop("t", extent, kind=kind) as t:
                 b.copy(sh.full_region(), A.region((t * 16, 16), (0, 16)), is_async=is_async)
                 if read:
-                    b.copy(O.region((t * 16, 16), (0, 16)), sh.full_region())
-        return Kernel("hand", [A, O], b.finish())
+                    b.copy(out_b.region((t * 16, 16), (0, 16)), sh.full_region())
+        return Kernel("hand", [A, out_b], b.finish())
 
     def test_simple_ok(self):
         plan = analyze(self._simple())
@@ -120,33 +120,34 @@ class TestHandBuiltIR:
 
     def test_two_producer_copies_rejected(self):
         A = Buffer("A", (64, 16))
-        O = Buffer("O", (64, 16))
+        out_b = Buffer("O", (64, 16))
         sh = Buffer("sh", (16, 16), scope=Scope.SHARED)
         b = IRBuilder()
         with b.allocate(sh, attrs={"pipeline_stages": 2}):
             with b.serial_for("t", 4) as t:
                 b.copy(sh.region((0, 8), (0, 16)), A.region((t * 16, 8), (0, 16)), is_async=True)
-                b.copy(sh.region((8, 8), (0, 16)), A.region((t * 16 + 8, 8), (0, 16)), is_async=True)
-                b.copy(O.region((t * 16, 16), (0, 16)), sh.full_region())
+                b.copy(sh.region((8, 8), (0, 16)), A.region((t * 16 + 8, 8), (0, 16)),
+                       is_async=True)
+                b.copy(out_b.region((t * 16, 16), (0, 16)), sh.full_region())
         with pytest.raises(TransformError, match="exactly one"):
-            analyze(Kernel("hand", [A, O], b.finish()))
+            analyze(Kernel("hand", [A, out_b], b.finish()))
 
     def test_read_outside_loop_rejected(self):
         A = Buffer("A", (64, 16))
-        O = Buffer("O", (64, 16))
+        out_b = Buffer("O", (64, 16))
         sh = Buffer("sh", (16, 16), scope=Scope.SHARED)
         b = IRBuilder()
         with b.allocate(sh, attrs={"pipeline_stages": 2}):
             with b.serial_for("t", 4) as t:
                 b.copy(sh.full_region(), A.region((t * 16, 16), (0, 16)), is_async=True)
-                b.copy(O.region((t * 16, 16), (0, 16)), sh.full_region())
-            b.copy(O.region((0, 16), (0, 16)), sh.full_region())  # read after loop
+                b.copy(out_b.region((t * 16, 16), (0, 16)), sh.full_region())
+            b.copy(out_b.region((0, 16), (0, 16)), sh.full_region())  # read after loop
         with pytest.raises(TransformError, match="outside its load-and-use loop"):
-            analyze(Kernel("hand", [A, O], b.finish()))
+            analyze(Kernel("hand", [A, out_b], b.finish()))
 
     def test_mismatched_stages_same_scope_rejected(self):
         A = Buffer("A", (64, 16))
-        O = Buffer("O", (64, 16))
+        out_b = Buffer("O", (64, 16))
         sh1 = Buffer("sh1", (16, 16), scope=Scope.SHARED)
         sh2 = Buffer("sh2", (16, 16), scope=Scope.SHARED)
         b = IRBuilder()
@@ -155,14 +156,14 @@ class TestHandBuiltIR:
                 with b.serial_for("t", 4) as t:
                     b.copy(sh1.full_region(), A.region((t * 16, 16), (0, 16)), is_async=True)
                     b.copy(sh2.full_region(), A.region((t * 16, 16), (0, 16)), is_async=True)
-                    b.copy(O.region((t * 16, 16), (0, 16)), sh1.full_region())
-                    b.copy(O.region((t * 16, 16), (0, 16)), sh2.full_region())
+                    b.copy(out_b.region((t * 16, 16), (0, 16)), sh1.full_region())
+                    b.copy(out_b.region((t * 16, 16), (0, 16)), sh2.full_region())
         with pytest.raises(TransformError, match="different\\s+stage counts|different stage"):
-            analyze(Kernel("hand", [A, O], b.finish()))
+            analyze(Kernel("hand", [A, out_b], b.finish()))
 
     def test_same_scope_different_loops_rejected(self):
         A = Buffer("A", (64, 16))
-        O = Buffer("O", (64, 16))
+        out_b = Buffer("O", (64, 16))
         sh1 = Buffer("sh1", (16, 16), scope=Scope.SHARED)
         sh2 = Buffer("sh2", (16, 16), scope=Scope.SHARED)
         b = IRBuilder()
@@ -170,12 +171,12 @@ class TestHandBuiltIR:
             with b.allocate(sh2, attrs={"pipeline_stages": 2}):
                 with b.serial_for("t", 4) as t:
                     b.copy(sh1.full_region(), A.region((t * 16, 16), (0, 16)), is_async=True)
-                    b.copy(O.region((t * 16, 16), (0, 16)), sh1.full_region())
+                    b.copy(out_b.region((t * 16, 16), (0, 16)), sh1.full_region())
                 with b.serial_for("u", 4) as u:
                     b.copy(sh2.full_region(), A.region((u * 16, 16), (0, 16)), is_async=True)
-                    b.copy(O.region((u * 16, 16), (0, 16)), sh2.full_region())
+                    b.copy(out_b.region((u * 16, 16), (0, 16)), sh2.full_region())
         with pytest.raises(TransformError, match="different loops"):
-            analyze(Kernel("hand", [A, O], b.finish()))
+            analyze(Kernel("hand", [A, out_b], b.finish()))
 
     def test_already_pipelined_rejected(self):
         kernel, _ = build_kernel(cfg=pipelined_cfg())

@@ -98,12 +98,12 @@ class TestVerifyInBounds:
 
     def test_detects_overflow(self):
         A = Buffer("A", (32,))
-        O = Buffer("O", (32,))
+        out_b = Buffer("O", (32,))
         b = IRBuilder()
         with b.serial_for("t", 4) as t:
-            b.copy(O.region((t * 10, 8)), A.region((t * 8, 8)))  # t=3 -> [30, 38)
+            b.copy(out_b.region((t * 10, 8)), A.region((t * 8, 8)))  # t=3 -> [30, 38)
         with pytest.raises(BoundsError, match="outside"):
-            verify_in_bounds(Kernel("bad", [A, O], b.finish()))
+            verify_in_bounds(Kernel("bad", [A, out_b], b.finish()))
 
     def test_detects_unwrapped_shift(self):
         """An index shift *without* the modulo wrap must be caught — the

@@ -10,14 +10,11 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.codegen import lower
 from repro.interp import PipelineHazardError, run_kernel
 from repro.ir import validate_kernel
-from repro.ir.analysis import collect_syncs
 from repro.ir.stmt import PipelineSync, SyncKind
 from repro.ir.visitor import StmtMutator
-from repro.schedule import TileConfig, auto_schedule
-from repro.tensor import ELEMENTWISE_FNS, GemmSpec, contraction, elementwise, placeholder
+from repro.schedule import TileConfig
 from repro.transform import apply_pipelining
 
 from .conftest import build_kernel, random_inputs, reference

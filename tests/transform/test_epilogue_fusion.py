@@ -1,7 +1,6 @@
 """Tests for epilogue fusion (output-side elementwise chains)."""
 
 import numpy as np
-import pytest
 
 from repro.codegen import lower
 from repro.interp import run_kernel

@@ -7,12 +7,42 @@ compute — run the untransformed IR eagerly and the transformed IR under
 strict pipeline semantics, and require bit-identical outputs.
 """
 
+import dataclasses
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.interp import run_kernel
-from repro.ir import Buffer, IRBuilder, Kernel, Scope, validate_kernel
+from repro.ir import (
+    Allocate,
+    Buffer,
+    BufferRegion,
+    For,
+    ForKind,
+    IRBuilder,
+    IfThenElse,
+    IntImm,
+    Kernel,
+    MemCopy,
+    PipelineSync,
+    Scope,
+    SeqStmt,
+    Stmt,
+    SyncKind,
+    Var,
+    floormod,
+    validate_kernel,
+)
+from repro.ir.analysis import walk_with_path
+from repro.ir.syncheck import (
+    RULE_PROLOGUE_SHORTFALL,
+    RULE_READ_BEFORE_ARRIVAL,
+    RULE_STAGE_ALIAS,
+    RULE_UNBALANCED_SYNC,
+    RULE_UNGUARDED_COPY,
+    check_kernel,
+)
 from repro.transform import apply_pipelining
 
 
@@ -95,3 +125,299 @@ def test_streaming_group_structure(n_tiles, stages):
     assert len(groups) == 1
     assert groups[0].stages == stages
     assert len(groups[0].buffers) == 2
+
+
+# ---------------------------------------------------------------------------
+# Mutation fuzzing: differential validation of the static sync checker.
+#
+# Each operator below takes a *correctly* transformed kernel and seeds one
+# specific synchronization race by dropping, reordering, misguarding or
+# re-indexing sync primitives / async copies. The checker must flag every
+# mutant (with the expected rule class) while the unmutated corpus stays
+# clean. Five rule classes x >= 3 distinct mutants each.
+# ---------------------------------------------------------------------------
+
+_MISS = object()
+
+
+def _rebuild(stmt: Stmt, mapping):
+    """Structurally rebuild ``stmt``, replacing nodes by identity.
+
+    ``mapping`` maps ``id(node)`` to ``None`` (delete), a replacement
+    ``Stmt``, or a list of statements (spliced into the parent SeqStmt).
+    """
+    hit = mapping.get(id(stmt), _MISS)
+    if hit is not _MISS:
+        return hit
+    if isinstance(stmt, (For, Allocate)):
+        body = _rebuild(stmt.body, mapping)
+        if isinstance(body, list):
+            body = SeqStmt(body)
+        return stmt if body is stmt.body else stmt.with_body(body)
+    if isinstance(stmt, SeqStmt):
+        out, changed = [], False
+        for s in stmt.stmts:
+            ns = _rebuild(s, mapping)
+            if ns is not s:
+                changed = True
+            if ns is None:
+                continue
+            out.extend(ns) if isinstance(ns, list) else out.append(ns)
+        return stmt if not changed else SeqStmt(out)
+    if isinstance(stmt, IfThenElse):
+        then_body = _rebuild(stmt.then_body, mapping)
+        else_body = (
+            _rebuild(stmt.else_body, mapping) if stmt.else_body is not None else None
+        )
+        if then_body is stmt.then_body and else_body is stmt.else_body:
+            return stmt
+        return IfThenElse(stmt.cond, then_body, else_body)
+    return stmt
+
+
+def _is_sync(s, kind):
+    return isinstance(s, PipelineSync) and s.kind is kind
+
+
+@dataclasses.dataclass
+class _MutationCtx:
+    kernel: Kernel
+    loop: For  # the software-pipelined loop
+    parent: SeqStmt  # its parent sequence (prologue lives here)
+    stages: int
+    leader: Buffer
+
+    @property
+    def body(self):
+        return list(self.loop.body.stmts)
+
+    @property
+    def prologue(self):
+        stmts = []
+        for s in self.parent.stmts:
+            if s is self.loop:
+                break
+            stmts.append(s)
+        return stmts
+
+    def prologue_triples(self):
+        """Prologue statements grouped into (acquire, copies..., commit)."""
+        triples, cur = [], []
+        for s in self.prologue:
+            cur.append(s)
+            if _is_sync(s, SyncKind.PRODUCER_COMMIT):
+                triples.append(cur)
+                cur = []
+        return triples
+
+    def with_loop_body(self, new_stmts):
+        new_loop = self.loop.with_body(SeqStmt(new_stmts))
+        return self.kernel.with_body(
+            _rebuild(self.kernel.body, {id(self.loop): new_loop})
+        )
+
+    def with_parent_stmts(self, new_stmts):
+        return self.kernel.with_body(
+            _rebuild(self.kernel.body, {id(self.parent): SeqStmt(new_stmts)})
+        )
+
+
+def _mutation_ctx(kernel):
+    for node, path in walk_with_path(kernel.body):
+        if isinstance(node, For) and node.annotations.get("software_pipelined"):
+            parent = path[-1]
+            assert isinstance(parent, SeqStmt), "pipelined loop must have a prologue"
+            group = kernel.attrs["pipeline_groups"][0]
+            return _MutationCtx(kernel, node, parent, group.stages, group.leader)
+    raise AssertionError("no software-pipelined loop in transformed kernel")
+
+
+def _drop(stmts, kind, which=0):
+    hits = [i for i, s in enumerate(stmts) if _is_sync(s, kind)]
+    i = hits[which]
+    return stmts[:i] + stmts[i + 1 :]
+
+
+def _rewrite_producer_stage(ctx, stage_expr_fn):
+    mapping = {}
+    for s in ctx.body:
+        if isinstance(s, MemCopy) and s.is_async:
+            dst = s.dst
+            new_dst = BufferRegion(
+                dst.buffer, [stage_expr_fn(ctx)] + list(dst.offsets[1:]), dst.extents
+            )
+            mapping[id(s)] = MemCopy(new_dst, s.src, is_async=True)
+    new_loop = ctx.loop.with_body(_rebuild(ctx.loop.body, mapping))
+    return ctx.kernel.with_body(_rebuild(ctx.kernel.body, {id(ctx.loop): new_loop}))
+
+
+# --- R1: async copy outside a producer_acquire/commit window ---------------
+
+def _m_drop_inloop_acquire(ctx):
+    return ctx.with_loop_body(_drop(ctx.body, SyncKind.PRODUCER_ACQUIRE))
+
+
+def _m_commit_before_copies(ctx):
+    body = _drop(ctx.body, SyncKind.PRODUCER_COMMIT)
+    i = next(j for j, s in enumerate(body) if _is_sync(s, SyncKind.PRODUCER_ACQUIRE))
+    commit = PipelineSync(ctx.leader, SyncKind.PRODUCER_COMMIT)
+    return ctx.with_loop_body(body[: i + 1] + [commit] + body[i + 1 :])
+
+
+def _m_drop_prologue_acquire(ctx):
+    stmts = list(ctx.parent.stmts)
+    i = next(j for j, s in enumerate(stmts) if _is_sync(s, SyncKind.PRODUCER_ACQUIRE))
+    return ctx.with_parent_stmts(stmts[:i] + stmts[i + 1 :])
+
+
+# --- R2: consumer read not covered by a consumer_wait ----------------------
+
+def _m_drop_inloop_wait(ctx):
+    return ctx.with_loop_body(_drop(ctx.body, SyncKind.CONSUMER_WAIT))
+
+
+def _m_guard_wait_first_iter(ctx):
+    body = ctx.body
+    i = next(j for j, s in enumerate(body) if _is_sync(s, SyncKind.CONSUMER_WAIT))
+    guarded = IfThenElse(ctx.loop.var.equal(0), body[i])
+    return ctx.with_loop_body(body[:i] + [guarded] + body[i + 1 :])
+
+
+def _m_reads_before_wait(ctx):
+    body = ctx.body
+    i_w = next(j for j, s in enumerate(body) if _is_sync(s, SyncKind.CONSUMER_WAIT))
+    i_r = next(j for j, s in enumerate(body) if _is_sync(s, SyncKind.CONSUMER_RELEASE))
+    reads = body[i_w + 1 : i_r]
+    return ctx.with_loop_body(body[:i_w] + reads + [body[i_w]] + body[i_r:])
+
+
+# --- R3: producer stage aliases an in-flight / consumed stage --------------
+
+def _m_unshifted_producer_stage(ctx):
+    return _rewrite_producer_stage(
+        ctx, lambda c: floormod(c.loop.var, c.stages)
+    )
+
+
+def _m_constant_producer_stage(ctx):
+    return _rewrite_producer_stage(ctx, lambda c: IntImm(0))
+
+
+def _m_drop_inloop_release(ctx):
+    return ctx.with_loop_body(_drop(ctx.body, SyncKind.CONSUMER_RELEASE))
+
+
+# --- R4: prologue does not prefetch exactly num_stages - 1 chunks ----------
+
+def _m_drop_last_prologue_triple(ctx):
+    triples = ctx.prologue_triples()
+    mapping = {id(s): None for s in triples[-1]}
+    return ctx.kernel.with_body(_rebuild(ctx.kernel.body, mapping))
+
+
+def _m_drop_all_prologue(ctx):
+    mapping = {id(s): None for s in ctx.prologue}
+    return ctx.kernel.with_body(_rebuild(ctx.kernel.body, mapping))
+
+
+def _m_duplicate_prologue_triple(ctx):
+    triples = ctx.prologue_triples()
+    first = triples[0]
+    mapping = {id(first[-1]): [first[-1]] + first}
+    return ctx.kernel.with_body(_rebuild(ctx.kernel.body, mapping))
+
+
+# --- R5: commit/wait balance broken along some path ------------------------
+
+def _m_extra_release_after_loop(ctx):
+    stmts = list(ctx.parent.stmts)
+    i = stmts.index(ctx.loop)
+    extra = PipelineSync(ctx.leader, SyncKind.CONSUMER_RELEASE)
+    return ctx.with_parent_stmts(stmts[: i + 1] + [extra] + stmts[i + 1 :])
+
+
+def _m_dangling_acquire_after_loop(ctx):
+    stmts = list(ctx.parent.stmts)
+    i = stmts.index(ctx.loop)
+    extra = PipelineSync(ctx.leader, SyncKind.PRODUCER_ACQUIRE)
+    return ctx.with_parent_stmts(stmts[: i + 1] + [extra] + stmts[i + 1 :])
+
+
+def _m_thread_divergent_release(ctx):
+    body = ctx.body
+    i = next(j for j, s in enumerate(body) if _is_sync(s, SyncKind.CONSUMER_RELEASE))
+    w = Var("w_mut")
+    diverged = For(w, 2, IfThenElse(w.equal(0), body[i]), ForKind.THREAD)
+    return ctx.with_loop_body(body[:i] + [diverged] + body[i + 1 :])
+
+
+#: (name, rule class the mutation seeds, mutation operator)
+MUTATION_OPERATORS = [
+    ("drop-inloop-acquire", RULE_UNGUARDED_COPY, _m_drop_inloop_acquire),
+    ("commit-before-copies", RULE_UNGUARDED_COPY, _m_commit_before_copies),
+    ("drop-prologue-acquire", RULE_UNGUARDED_COPY, _m_drop_prologue_acquire),
+    ("drop-inloop-wait", RULE_READ_BEFORE_ARRIVAL, _m_drop_inloop_wait),
+    ("guard-wait-first-iter", RULE_READ_BEFORE_ARRIVAL, _m_guard_wait_first_iter),
+    ("reads-before-wait", RULE_READ_BEFORE_ARRIVAL, _m_reads_before_wait),
+    ("unshifted-producer-stage", RULE_STAGE_ALIAS, _m_unshifted_producer_stage),
+    ("constant-producer-stage", RULE_STAGE_ALIAS, _m_constant_producer_stage),
+    ("drop-inloop-release", RULE_STAGE_ALIAS, _m_drop_inloop_release),
+    ("drop-last-prologue-triple", RULE_PROLOGUE_SHORTFALL, _m_drop_last_prologue_triple),
+    ("drop-all-prologue", RULE_PROLOGUE_SHORTFALL, _m_drop_all_prologue),
+    ("duplicate-prologue-triple", RULE_PROLOGUE_SHORTFALL, _m_duplicate_prologue_triple),
+    ("extra-release-after-loop", RULE_UNBALANCED_SYNC, _m_extra_release_after_loop),
+    ("dangling-acquire-after-loop", RULE_UNBALANCED_SYNC, _m_dangling_acquire_after_loop),
+    ("thread-divergent-release", RULE_UNBALANCED_SYNC, _m_thread_divergent_release),
+]
+
+#: (n_tiles, stages, n_buffers, with_compute) base kernels the mutants seed
+MUTATION_CORPUS = [
+    (5, 3, 1, False),
+    (6, 4, 2, True),
+    (4, 2, 2, True),
+]
+
+
+def test_mutation_fuzz_detects_seeded_races():
+    """Differential validation of the checker: every seeded race is caught
+    (>= 95% detection required, with the expected rule class), and the
+    unmutated corpus is clean."""
+    detected = expected_hits = total = 0
+    per_rule_mutants = {}
+    misses = []
+    for n_tiles, stages, n_buffers, with_compute in MUTATION_CORPUS:
+        base = apply_pipelining(
+            build_streaming_kernel(n_tiles, 8, stages, n_buffers, with_compute)
+        )
+        assert check_kernel(base) == [], "unmutated corpus must be clean"
+        for name, rule, op in MUTATION_OPERATORS:
+            ctx = _mutation_ctx(base)
+            mutant = op(ctx)
+            diags = [d for d in check_kernel(mutant) if d.severity == "error"]
+            total += 1
+            per_rule_mutants.setdefault(rule, set()).add(name)
+            if diags:
+                detected += 1
+            else:
+                misses.append((name, (n_tiles, stages, n_buffers)))
+            if any(d.rule == rule for d in diags):
+                expected_hits += 1
+    assert detected / total >= 0.95, f"detection {detected}/{total}; missed: {misses}"
+    assert expected_hits / total >= 0.95, (
+        f"expected-rule hits only {expected_hits}/{total}"
+    )
+    for rule, names in sorted(per_rule_mutants.items()):
+        assert len(names) >= 3, f"{rule} exercised by only {sorted(names)}"
+    assert len(per_rule_mutants) == 5
+
+
+@pytest.mark.parametrize("name,rule,op", MUTATION_OPERATORS, ids=[m[0] for m in MUTATION_OPERATORS])
+def test_each_mutation_operator_detected(name, rule, op):
+    """Every individual mutant is flagged, and with its seeded rule class."""
+    base = apply_pipelining(build_streaming_kernel(5, 8, 3, 2, True))
+    mutant = op(_mutation_ctx(base))
+    diags = check_kernel(mutant)
+    assert any(d.severity == "error" for d in diags), f"{name} went undetected"
+    assert any(d.rule == rule for d in diags), (
+        f"{name}: expected {rule}, got {sorted({d.rule for d in diags})}"
+    )

@@ -2,17 +2,7 @@
 
 import pytest
 
-from repro.ir import (
-    Allocate,
-    For,
-    IfThenElse,
-    MemCopy,
-    PipelineSync,
-    Scope,
-    SyncKind,
-    format_kernel,
-    validate_kernel,
-)
+from repro.ir import For, IfThenElse, PipelineSync, Scope, SyncKind, format_kernel, validate_kernel
 from repro.ir.analysis import collect, collect_allocates, collect_copies, collect_syncs
 from repro.schedule import TileConfig
 from repro.transform import apply_pipelining
@@ -110,7 +100,10 @@ class TestSyncInjection:
         assert by[(Scope.REGISTER, SyncKind.CONSUMER_WAIT)] == 1
 
     def test_loop_annotated(self, pipelined):
-        loops = collect(pipelined.body, lambda s: isinstance(s, For) and s.annotations.get("software_pipelined"))
+        loops = collect(
+            pipelined.body,
+            lambda s: isinstance(s, For) and s.annotations.get("software_pipelined"),
+        )
         assert len(loops) == 2
 
     def test_group_info_published(self, pipelined):

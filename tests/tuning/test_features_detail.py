@@ -4,9 +4,9 @@ import numpy as np
 import pytest
 
 from repro.gpusim import A100
-from repro.tuning import FEATURE_NAMES, featurize, featurize_batch
 from repro.schedule import TileConfig
 from repro.tensor import GemmSpec
+from repro.tuning import FEATURE_NAMES, featurize, featurize_batch
 
 SPEC = GemmSpec("f", 1, 512, 512, 1024)
 
@@ -33,7 +33,8 @@ class TestFeaturize:
 
     def test_launchable_flag(self):
         ok = featurize(SPEC, cfg())
-        bad = featurize(SPEC, cfg(block_m=256, block_n=256, block_k=64, warp_m=64, warp_n=64, smem_stages=4))
+        bad = featurize(SPEC, cfg(block_m=256, block_n=256, block_k=64, warp_m=64,
+                                  warp_n=64, smem_stages=4))
         names_ok = dict(zip(FEATURE_NAMES, ok))
         names_bad = dict(zip(FEATURE_NAMES, bad))
         assert names_ok["launchable"] == 1.0

@@ -4,19 +4,17 @@ import math
 
 import pytest
 
-from repro.gpusim import A100
+from repro.schedule import TileConfig
 from repro.tensor import GemmSpec
 from repro.tuning import (
     FAILED,
     Measurer,
     SpaceOptions,
-    SUBSPACES,
     TuneHistory,
     best_in_top_k,
     enumerate_space,
     restrict_space,
 )
-from repro.schedule import TileConfig
 
 
 SPEC = GemmSpec("mm", 1, 512, 512, 512)

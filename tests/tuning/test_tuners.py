@@ -3,8 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.gpusim.occupancy import CompileError
-from repro.schedule import TileConfig
 from repro.tensor import GemmSpec
 from repro.tuning import (
     AnalyticalOnlyTuner,
@@ -45,7 +43,8 @@ class TestSampler:
 
         def score(cs):
             return np.array(
-                [-sum(abs(np.log2(a) - np.log2(b)) for a, b in zip(c.key()[:6], target.key()[:6])) for c in cs]
+                [-sum(abs(np.log2(a) - np.log2(b))
+                      for a, b in zip(c.key()[:6], target.key()[:6])) for c in cs]
             )
 
         sampler = SimulatedAnnealingSampler(SPACE, seed=1, n_iters=120)

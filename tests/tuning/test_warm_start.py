@@ -1,7 +1,6 @@
 """Tests for tuner warm starting from saved logs (transfer tuning)."""
 
 import numpy as np
-import pytest
 
 from repro.tensor import GemmSpec
 from repro.tuning import (
