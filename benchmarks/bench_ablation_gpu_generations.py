@@ -19,9 +19,9 @@ import pytest
 
 from repro.gpusim import A100, H100, V100
 from repro.tensor import GemmSpec
-from repro.tuning import Measurer, SpaceOptions, enumerate_space, restrict_space
+from repro.tuning import SpaceOptions, enumerate_space, restrict_space
 
-from conftest import write_result
+from conftest import make_measurer, write_result
 
 SPEC = GemmSpec("gen_mm", 1, 512, 768, 3072)
 GPUS = [V100, A100, H100]
@@ -30,7 +30,7 @@ GPUS = [V100, A100, H100]
 def run_experiment() -> dict:
     out = {}
     for gpu in GPUS:
-        measurer = Measurer(gpu, via_ir=False)
+        measurer = make_measurer(gpu)
         space = enumerate_space(SPEC, gpu, options=SpaceOptions(max_size=600))
         _, tvm_best = measurer.best(SPEC, restrict_space(space, "tvm"))
         alcop_cfg, alcop_best = measurer.best(SPEC, restrict_space(space, "alcop"))
@@ -75,6 +75,6 @@ def test_gpu_generations(generations, benchmark):
     assert h100["gain"] > 1.5
     assert h100["compute_memory_ratio"] > a100["compute_memory_ratio"]
 
-    measurer = Measurer(H100, via_ir=False)
+    measurer = make_measurer(H100)
     space = restrict_space(enumerate_space(SPEC, H100, options=SpaceOptions(max_size=200)), "alcop")
     benchmark(measurer.best, SPEC, space)

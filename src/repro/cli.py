@@ -29,6 +29,28 @@ def _add_problem_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--space", type=int, default=600, help="design-space cap (strided)")
 
 
+def _add_measure_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--jobs", type=int, default=1,
+                   help="parallel measurement worker processes")
+    p.add_argument("--cache-dir", default=None,
+                   help="disk-persistent measurement cache directory "
+                        "(repeat runs warm-start; see docs/tuning_cache.md)")
+
+
+def _measurer(args, gpu):
+    from .tuning.cache import MeasurementCache
+    from .tuning.measure import Measurer
+
+    cache = MeasurementCache(args.cache_dir) if args.cache_dir else None
+    return Measurer(gpu, via_ir=False, cache=cache, jobs=args.jobs)
+
+
+def _print_telemetry(measurer, wall_s: float) -> None:
+    print(f"telemetry: {measurer.telemetry.summary()}; wall {wall_s:.2f}s")
+    if measurer.cache is not None:
+        print(f"cache    : {len(measurer.cache)} entries in {measurer.cache.path}")
+
+
 def _spec(args):
     from .tensor.operation import GemmSpec
 
@@ -36,14 +58,16 @@ def _spec(args):
 
 
 def _cmd_compile(args) -> int:
+    import time
+
     from .baselines.tvm_like import tvm_compiler
     from .core.compiler import AlcopCompiler
-    from .tuning.measure import Measurer
     from .tuning.space import SpaceOptions
 
+    t0 = time.perf_counter()
     spec = _spec(args)
     gpu = _GPUS[args.gpu]
-    measurer = Measurer(gpu, via_ir=False)
+    measurer = _measurer(args, gpu)
     options = SpaceOptions(max_size=args.space)
     alcop = AlcopCompiler(
         gpu=gpu, variant=args.variant, measurer=measurer, space_options=options
@@ -56,6 +80,7 @@ def _cmd_compile(args) -> int:
     )
     print(f"tvm     : {tvm.latency_us:9.1f} us  {tvm.tflops:7.1f} TFLOP/s  {tvm.config}")
     print(f"speedup : {tvm.latency_us / alcop.latency_us:.2f}x")
+    _print_telemetry(measurer, time.perf_counter() - t0)
     return 0
 
 
@@ -98,7 +123,8 @@ def _cmd_cuda(args) -> int:
 
 
 def _cmd_tune(args) -> int:
-    from .tuning.measure import Measurer
+    import time
+
     from .tuning.record import save_history
     from .tuning.space import SpaceOptions, enumerate_space
     from .tuning.tuners import (
@@ -116,9 +142,10 @@ def _cmd_tune(args) -> int:
         "analytical": AnalyticalOnlyTuner,
         "model-assisted-xgb": ModelAssistedXGBTuner,
     }
+    t0 = time.perf_counter()
     spec = _spec(args)
     gpu = _GPUS[args.gpu]
-    measurer = Measurer(gpu, via_ir=False)
+    measurer = _measurer(args, gpu)
     space = enumerate_space(spec, gpu, options=SpaceOptions(max_size=args.space))
     _, best = measurer.best(spec, space)
     tuner = methods[args.method](spec, space, measurer=measurer, gpu=gpu, seed=args.seed)
@@ -128,6 +155,7 @@ def _cmd_tune(args) -> int:
         if k <= args.trials:
             print(f"  best-in-{k:<3d}: {history.normalized_curve([k], best)[0]:.3f}")
     print(f"best schedule: {history.best_config_at(args.trials)}")
+    _print_telemetry(measurer, time.perf_counter() - t0)
     if args.out:
         save_history(history, args.out)
         print(f"log written to {args.out}")
@@ -135,12 +163,14 @@ def _cmd_tune(args) -> int:
 
 
 def _cmd_suite(args) -> int:
-    from .tuning.measure import Measurer
+    import time
+
     from .tuning.space import SpaceOptions, enumerate_space, restrict_space
     from .workloads.suite import OPERATOR_SUITE
 
+    t0 = time.perf_counter()
     gpu = _GPUS[args.gpu]
-    measurer = Measurer(gpu, via_ir=False)
+    measurer = _measurer(args, gpu)
     options = SpaceOptions(max_size=args.space)
     names = args.ops.split(",") if args.ops else list(OPERATOR_SUITE)
     print(f"{'operator':16s} | {'TVM (us)':>9s} | {'ALCOP (us)':>10s} | {'speedup':>7s}")
@@ -150,6 +180,7 @@ def _cmd_suite(args) -> int:
         _, tvm = measurer.best(spec, restrict_space(space, "tvm"))
         _, alcop = measurer.best(spec, restrict_space(space, "alcop"))
         print(f"{name:16s} | {tvm:9.1f} | {alcop:10.1f} | {tvm / alcop:7.2f}")
+    _print_telemetry(measurer, time.perf_counter() - t0)
     return 0
 
 
@@ -227,6 +258,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("compile", help="search + pipeline + time one problem")
     _add_problem_args(p)
+    _add_measure_args(p)
     p.add_argument("--variant", default="alcop",
                    choices=["alcop", "alcop-no-ml", "alcop-no-ml-no-ms", "tvm-db", "tvm"])
     p.set_defaults(fn=_cmd_compile)
@@ -244,6 +276,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("tune", help="run one tuning method")
     _add_problem_args(p)
+    _add_measure_args(p)
     p.add_argument("--method", default="model-assisted-xgb",
                    choices=["grid", "random", "xgb", "analytical", "model-assisted-xgb"])
     p.add_argument("--trials", type=int, default=50)
@@ -255,6 +288,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--gpu", choices=sorted(_GPUS), default="a100")
     p.add_argument("--space", type=int, default=400)
     p.add_argument("--ops", default=None, help="comma-separated operator names")
+    _add_measure_args(p)
     p.set_defaults(fn=_cmd_suite)
 
     p = sub.add_parser(

@@ -2,9 +2,15 @@
 cost-model features, boosted trees, simulated annealing, and the four
 tuning methods of Table II."""
 
+from .cache import (
+    MeasurementCache,
+    compiler_version_hash,
+    gpu_fingerprint,
+    measurement_key,
+)
 from .features import FEATURE_NAMES, featurize, featurize_batch
 from .gbt import GradientBoostedTrees, RegressionTree
-from .measure import FAILED, Measurer
+from .measure import FAILED, Measurer, MeasureTelemetry
 from .record import TrialRecord, TuneHistory, best_in_top_k
 from .sa import SimulatedAnnealingSampler
 from .space import SUBSPACES, SpaceOptions, enumerate_space, restrict_space
@@ -19,6 +25,11 @@ from .tuners import (
 )
 
 __all__ = [
+    "MeasurementCache",
+    "MeasureTelemetry",
+    "compiler_version_hash",
+    "gpu_fingerprint",
+    "measurement_key",
     "FEATURE_NAMES",
     "featurize",
     "featurize_batch",

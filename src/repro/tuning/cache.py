@@ -1,0 +1,170 @@
+"""Content-addressed, disk-persistent measurement cache.
+
+Every measurement the harness produces is a pure function of its full
+identity: the GPU model, the GEMM problem, the schedule configuration, the
+measurement mode (``via_ir``) and the compiler itself. This module hashes
+that identity into a content address and persists ``address -> latency``
+as an append-only JSON-lines file, so sweeps, tuner comparisons and repeat
+benchmark runs never redo a compile the repo has already paid for.
+
+Invalidation is automatic: the content address folds in a hash over the
+source of every compile-path package (``transform``, ``codegen``,
+``schedule``, ``gpusim``, ``perfmodel``, ``tensor``, ``ir`` and the
+measurement harness itself), so editing a transform pass orphans old
+entries instead of serving stale latencies. See ``docs/tuning_cache.md``
+for the key anatomy and the CLI flags that drive this.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import hashlib
+import json
+import math
+import pathlib
+from typing import Dict, Optional, Union
+
+from ..gpusim.config import GpuSpec
+from ..schedule.config import TileConfig
+from ..tensor.operation import GemmSpec
+
+__all__ = [
+    "MeasurementCache",
+    "compiler_version_hash",
+    "gpu_fingerprint",
+    "measurement_key",
+]
+
+#: Packages (under ``src/repro``) whose source defines what a measurement
+#: means; any edit to them must invalidate persisted latencies.
+_VERSION_PACKAGES = (
+    "codegen",
+    "gpusim",
+    "ir",
+    "perfmodel",
+    "schedule",
+    "tensor",
+    "transform",
+)
+
+_version_hash: Optional[str] = None
+
+
+def compiler_version_hash() -> str:
+    """Hex digest over the compile-path sources (cached per process)."""
+    global _version_hash
+    if _version_hash is None:
+        root = pathlib.Path(__file__).resolve().parent.parent
+        h = hashlib.sha256()
+        for pkg in _VERSION_PACKAGES:
+            for path in sorted((root / pkg).rglob("*.py")):
+                h.update(str(path.relative_to(root)).encode())
+                h.update(path.read_bytes())
+        # The harness itself participates: it defines how specs are built
+        # and timed, so a measure.py change also invalidates.
+        h.update((root / "tuning" / "measure.py").read_bytes())
+        _version_hash = h.hexdigest()[:16]
+    return _version_hash
+
+
+@functools.lru_cache(maxsize=None)
+def gpu_fingerprint(gpu: GpuSpec) -> str:
+    """Stable digest of every hardware parameter of ``gpu`` (not just its
+    name — two presets that differ in any simulated quantity must never
+    share cache entries)."""
+    payload = json.dumps(dataclasses.asdict(gpu), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def measurement_key(
+    gpu: GpuSpec,
+    spec: GemmSpec,
+    cfg: TileConfig,
+    via_ir: bool,
+    version: Optional[str] = None,
+) -> str:
+    """Content address of one measurement: the full identity, hashed."""
+    payload = {
+        "gpu": gpu_fingerprint(gpu),
+        "spec": dataclasses.asdict(spec),
+        "config": cfg.as_dict(),
+        "via_ir": bool(via_ir),
+        "version": version if version is not None else compiler_version_hash(),
+    }
+    return hashlib.sha256(json.dumps(payload, sort_keys=True).encode()).hexdigest()
+
+
+_MISS = object()
+
+
+class MeasurementCache:
+    """Append-only JSON-lines store of measured latencies under a directory.
+
+    Entries from other compiler versions are skipped on load (their content
+    addresses can never match anyway), so a version bump behaves exactly
+    like an empty cache without deleting the history. Failed builds are
+    cached as ``"inf"`` — re-running a sweep does not re-discover known
+    compile failures.
+    """
+
+    FILENAME = "measurements.jsonl"
+
+    def __init__(
+        self, cache_dir: Union[str, pathlib.Path], version: Optional[str] = None
+    ) -> None:
+        self.dir = pathlib.Path(cache_dir)
+        self.dir.mkdir(parents=True, exist_ok=True)
+        self.path = self.dir / self.FILENAME
+        self.version = version if version is not None else compiler_version_hash()
+        self._entries: Dict[str, float] = {}
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn write from a crashed run: skip, don't crash
+            if entry.get("version") != self.version or "key" not in entry:
+                continue
+            latency = entry.get("latency_us")
+            self._entries[entry["key"]] = (
+                math.inf if latency == "inf" else float(latency)
+            )
+
+    def get(self, key: str) -> Optional[float]:
+        """Cached latency (``math.inf`` for cached failures) or None."""
+        hit = self._entries.get(key, _MISS)
+        if hit is _MISS:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return hit
+
+    def put(self, key: str, latency_us: float, meta: Optional[dict] = None) -> None:
+        """Record one measurement; ``meta`` rides along for humans reading
+        the log (the key alone is opaque)."""
+        if key in self._entries:
+            return
+        self._entries[key] = latency_us
+        entry = dict(meta or {})
+        entry.update(
+            {
+                "key": key,
+                "version": self.version,
+                "latency_us": "inf" if math.isinf(latency_us) else latency_us,
+            }
+        )
+        with self.path.open("a") as f:
+            f.write(json.dumps(entry, sort_keys=True) + "\n")
+
+    def __len__(self) -> int:
+        return len(self._entries)

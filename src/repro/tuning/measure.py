@@ -4,14 +4,19 @@ This plays the role of AutoTVM's builder+runner: each measurement runs the
 full compiler path — automatic schedule, lowering, pipelining program
 transformation, timing-spec extraction from the produced IR — and then the
 discrete-event simulator (the reproduction's "hardware"). Results are
-cached by (problem, config) so exhaustive studies and tuner comparisons
-re-use timings.
+cached by their full identity (GPU, problem, config, measurement mode) in
+memory, optionally persisted to disk (:class:`~repro.tuning.cache.
+MeasurementCache`), and batch measurements can fan out over a process pool
+(``jobs > 1``) while returning bitwise-identical latencies to the serial
+path.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import math
-from typing import Dict, List, Sequence, Tuple
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..codegen import lower
 from ..gpusim.config import A100, GpuSpec
@@ -22,11 +27,43 @@ from ..perfmodel.static_spec import timing_spec_from_config
 from ..schedule.auto import auto_schedule
 from ..schedule.config import TileConfig
 from ..tensor.operation import GemmSpec, contraction, placeholder
+from .cache import MeasurementCache, measurement_key
 
-__all__ = ["Measurer", "FAILED"]
+__all__ = ["Measurer", "MeasureTelemetry", "FAILED"]
 
 #: Latency recorded for configurations that fail to compile/launch.
 FAILED = math.inf
+
+
+@dataclasses.dataclass(frozen=True)
+class MeasureTelemetry:
+    """Where a measurer's answers came from, and what the compiles cost."""
+
+    n_compiled: int
+    memory_hits: int
+    disk_hits: int
+    compile_time_s: float
+
+    @property
+    def n_measured(self) -> int:
+        return self.n_compiled + self.memory_hits + self.disk_hits
+
+    def summary(self) -> str:
+        return (
+            f"{self.n_measured} measurements: {self.n_compiled} compiled "
+            f"({self.compile_time_s:.2f}s), {self.memory_hits} memory hits, "
+            f"{self.disk_hits} disk-cache hits"
+        )
+
+
+def _measure_worker(args: Tuple[GpuSpec, bool, GemmSpec, TileConfig]) -> float:
+    """Process-pool entry point: one compile+simulate in a fresh Measurer.
+
+    Runs exactly the serial code path, so a parallel sweep returns the same
+    bits as a serial one.
+    """
+    gpu, via_ir, spec, cfg = args
+    return Measurer(gpu, via_ir=via_ir)._compile_and_time(spec, cfg)
 
 
 class Measurer:
@@ -41,13 +78,47 @@ class Measurer:
         compiled IR — the honest path that measures the compiler's actual
         output. When False, the statically derived spec is used (proven
         equal in tests, ~3x faster for huge sweeps).
+    cache:
+        Optional disk-persistent :class:`MeasurementCache`; misses are
+        compiled and written back, so later runs (or other measurers
+        sharing the directory) warm-start.
+    jobs:
+        Process-pool width for batch measurement (:meth:`sweep` /
+        :meth:`measure_many`). 1 (default) keeps everything in-process.
     """
 
-    def __init__(self, gpu: GpuSpec = A100, via_ir: bool = True) -> None:
+    def __init__(
+        self,
+        gpu: GpuSpec = A100,
+        via_ir: bool = True,
+        cache: Optional[MeasurementCache] = None,
+        jobs: int = 1,
+    ) -> None:
         self.gpu = gpu
         self.via_ir = via_ir
+        self.cache = cache
+        self.jobs = max(1, int(jobs))
         self._cache: Dict[Tuple, float] = {}
         self.n_compiled = 0
+        self.n_memory_hits = 0
+        self.n_disk_hits = 0
+        self.compile_time_s = 0.0
+
+    @property
+    def telemetry(self) -> MeasureTelemetry:
+        return MeasureTelemetry(
+            n_compiled=self.n_compiled,
+            memory_hits=self.n_memory_hits,
+            disk_hits=self.n_disk_hits,
+            compile_time_s=self.compile_time_s,
+        )
+
+    def _key(self, spec: GemmSpec, cfg: TileConfig) -> Tuple:
+        """Full in-memory identity. The GPU spec and the ``via_ir`` mode are
+        part of it: a measurer retargeted across GPU generations (the
+        ``bench_ablation_gpu_generations`` pattern) or flipped between
+        measurement modes must never serve stale latencies."""
+        return (self.gpu, self.via_ir, spec, cfg.key())
 
     def _build_timing_spec(self, spec: GemmSpec, cfg: TileConfig):
         if not self.via_ir:
@@ -62,24 +133,119 @@ class Measurer:
         kernel = apply_pipelining(lower(auto_schedule(c, cfg)))
         return extract_timing_spec(kernel)
 
-    def measure(self, spec: GemmSpec, cfg: TileConfig) -> float:
-        """Latency in us, or :data:`FAILED` when compilation fails."""
-        key = (spec.name, spec.batch, spec.m, spec.n, spec.k, spec.dtype, cfg.key())
-        hit = self._cache.get(key)
-        if hit is not None:
-            return hit
+    def _compile_and_time(self, spec: GemmSpec, cfg: TileConfig) -> float:
         self.n_compiled += 1
+        t0 = time.perf_counter()
         try:
             ts = self._build_timing_spec(spec, cfg)
             latency = simulate_kernel(ts, self.gpu).latency_us
         except (CompileError, ValueError):
             latency = FAILED
-        self._cache[key] = latency
+        self.compile_time_s += time.perf_counter() - t0
         return latency
 
-    def sweep(self, spec: GemmSpec, space: Sequence[TileConfig]) -> List[float]:
-        """Measure every config; failed builds yield :data:`FAILED`."""
-        return [self.measure(spec, cfg) for cfg in space]
+    def _record(self, key: Tuple, spec: GemmSpec, cfg: TileConfig, latency: float) -> None:
+        self._cache[key] = latency
+        if self.cache is not None:
+            self.cache.put(
+                measurement_key(self.gpu, spec, cfg, self.via_ir, version=self.cache.version),
+                latency,
+                meta={
+                    "gpu": self.gpu.name,
+                    "spec": spec.name,
+                    "dims": [spec.batch, spec.m, spec.n, spec.k],
+                    "config": list(cfg.key()),
+                    "via_ir": self.via_ir,
+                },
+            )
+
+    def _lookup(self, key: Tuple, spec: GemmSpec, cfg: TileConfig) -> Optional[float]:
+        """Memory cache, then disk cache (promoting disk hits to memory)."""
+        hit = self._cache.get(key)
+        if hit is not None:
+            self.n_memory_hits += 1
+            return hit
+        if self.cache is not None:
+            disk = self.cache.get(
+                measurement_key(self.gpu, spec, cfg, self.via_ir, version=self.cache.version)
+            )
+            if disk is not None:
+                self.n_disk_hits += 1
+                self._cache[key] = disk
+                return disk
+        return None
+
+    def measure(self, spec: GemmSpec, cfg: TileConfig) -> float:
+        """Latency in us, or :data:`FAILED` when compilation fails."""
+        key = self._key(spec, cfg)
+        hit = self._lookup(key, spec, cfg)
+        if hit is not None:
+            return hit
+        latency = self._compile_and_time(spec, cfg)
+        self._record(key, spec, cfg, latency)
+        return latency
+
+    def measure_many(self, spec: GemmSpec, cfgs: Sequence[TileConfig]) -> List[float]:
+        """Measure a batch; fans out over ``jobs`` worker processes.
+
+        Cache hits are answered in-process; only distinct uncached configs
+        reach the pool. Results (and cache writes) are merged in input
+        order, so the output is identical to ``[measure(spec, c) for c in
+        cfgs]`` bit for bit.
+        """
+        if self.jobs <= 1 or len(cfgs) <= 1:
+            return [self.measure(spec, cfg) for cfg in cfgs]
+        results: Dict[int, float] = {}
+        pending: Dict[Tuple, List[int]] = {}
+        order: List[Tuple[Tuple, TileConfig]] = []
+        for i, cfg in enumerate(cfgs):
+            key = self._key(spec, cfg)
+            if key in pending:  # duplicate within the batch: compile once
+                pending[key].append(i)
+                continue
+            hit = self._lookup(key, spec, cfg)
+            if hit is not None:
+                results[i] = hit
+                continue
+            pending[key] = [i]
+            order.append((key, cfg))
+        if order:
+            import concurrent.futures
+
+            t0 = time.perf_counter()
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(order))
+            ) as pool:
+                latencies = list(
+                    pool.map(
+                        _measure_worker,
+                        [(self.gpu, self.via_ir, spec, cfg) for _, cfg in order],
+                        chunksize=max(1, len(order) // (4 * self.jobs)),
+                    )
+                )
+            self.compile_time_s += time.perf_counter() - t0
+            self.n_compiled += len(order)
+            for (key, cfg), latency in zip(order, latencies):
+                self._record(key, spec, cfg, latency)
+                for i in pending[key]:
+                    results[i] = latency
+        return [results[i] for i in range(len(cfgs))]
+
+    def sweep(
+        self, spec: GemmSpec, space: Sequence[TileConfig], jobs: Optional[int] = None
+    ) -> List[float]:
+        """Measure every config; failed builds yield :data:`FAILED`.
+
+        ``jobs`` temporarily overrides the pool width for this sweep.
+        """
+        if jobs is None:
+            return self.measure_many(spec, list(space))
+        saved = self.jobs
+        self.jobs = max(1, int(jobs))
+        try:
+            return self.measure_many(spec, list(space))
+        finally:
+            self.jobs = saved
 
     def best(self, spec: GemmSpec, space: Sequence[TileConfig]) -> Tuple[TileConfig, float]:
         """Exhaustive-search optimum over ``space``."""

@@ -13,6 +13,18 @@ from ..schedule.config import TileConfig
 
 __all__ = ["TrialRecord", "TuneHistory", "best_in_top_k", "save_history", "load_history"]
 
+#: Floor for latency denominators in normalized metrics. A zero/denormal
+#: simulated latency (degenerate spec, pathological config) must clamp to
+#: a finite ratio instead of raising ZeroDivisionError or producing inf.
+_MIN_LATENCY_US = 1e-9
+
+
+def _normalized(exhaustive_best_us: float, latency_us: float) -> float:
+    """``exhaustive_best_us / latency_us`` with failure and zero guards."""
+    if math.isinf(latency_us) or not math.isfinite(exhaustive_best_us):
+        return 0.0
+    return exhaustive_best_us / max(latency_us, _MIN_LATENCY_US)
+
 
 @dataclasses.dataclass(frozen=True)
 class TrialRecord:
@@ -59,11 +71,7 @@ class TuneHistory:
         """best-in-k performance relative to the exhaustive optimum
         (1.0 = matched the best schedule in the whole space; 0.0 = nothing
         valid found yet)."""
-        out = []
-        for k in ks:
-            b = self.best_latency_at(k)
-            out.append(0.0 if math.isinf(b) else exhaustive_best_us / b)
-        return out
+        return [_normalized(exhaustive_best_us, self.best_latency_at(k)) for k in ks]
 
 
 def save_history(history: TuneHistory, path: Union[str, pathlib.Path]) -> None:
@@ -102,5 +110,4 @@ def best_in_top_k(
     window = [x for x in ranked_latencies[:k]]
     if not window:
         return 0.0
-    best = min(window)
-    return 0.0 if math.isinf(best) else exhaustive_best_us / best
+    return _normalized(exhaustive_best_us, min(window))

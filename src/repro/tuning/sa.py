@@ -122,12 +122,15 @@ class SimulatedAnnealingSampler:
                 break
         if len(out) < n_propose:
             # Top up with unmeasured random points to keep batch sizes fixed.
+            out_keys = {c.key() for c in out}
             perm = self.rng.permutation(n)
             for idx in perm:
                 cfg = self.space[int(idx)]
-                if cfg.key() in exclude or any(c.key() == cfg.key() for c in out):
+                key = cfg.key()
+                if key in exclude or key in out_keys:
                     continue
                 out.append(cfg)
+                out_keys.add(key)
                 if len(out) == n_propose:
                     break
         return out

@@ -89,14 +89,33 @@ class Tuner:
         raise NotImplementedError
 
     def tune(self, n_trials: int) -> TuneHistory:
-        """Run until ``n_trials`` measurements have been recorded."""
+        """Run until ``n_trials`` measurements have been recorded.
+
+        Proposals that re-visit an already-measured config (an SA chain or
+        cold-start batch can re-propose one) are dropped before they reach
+        the history, so the trial budget is only ever spent on distinct
+        schedules and best-in-k curves never flatten on duplicates.
+        """
         while len(self.history) < n_trials:
             want = n_trials - len(self.history)
             batch = self._next_batch(want)
             if not batch:
                 break  # space exhausted
-            for cfg in batch[:want]:
-                self.history.append(cfg, self.measurer.measure(self.spec, cfg))
+            measured = self._measured_keys()
+            fresh = []
+            for cfg in batch:
+                key = cfg.key()
+                if key in measured:
+                    continue
+                measured.add(key)
+                fresh.append(cfg)
+                if len(fresh) == want:
+                    break
+            if not fresh:
+                break  # proposer can only re-offer measured points
+            latencies = self.measurer.measure_many(self.spec, fresh)
+            for cfg, latency in zip(fresh, latencies):
+                self.history.append(cfg, latency)
         return self.history
 
     def _measured_keys(self) -> set:

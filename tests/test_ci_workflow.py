@@ -49,6 +49,15 @@ def test_job_command_lines(workflow):
     assert "PYTHONPATH=src python -m repro.cli check" in job_commands(
         workflow["jobs"]["sync-safety"]
     )
-    assert "PYTHONPATH=src python -m pytest benchmarks --smoke -q" in job_commands(
-        workflow["jobs"]["bench-smoke"]
+    assert "PYTHONPATH=src python -m pytest benchmarks --smoke -q --cache-dir .bench-cache" in (
+        job_commands(workflow["jobs"]["bench-smoke"])
     )
+
+
+def test_bench_smoke_runs_cold_then_warm(workflow):
+    """The bench job must exercise the measurement cache twice against the
+    same --cache-dir: the first run populates it, the second warm-starts."""
+    bench = [c for c in job_commands(workflow["jobs"]["bench-smoke"]) if "pytest benchmarks" in c]
+    assert len(bench) == 2, "bench-smoke must run the suite twice (cold, then warm)"
+    assert all("--cache-dir .bench-cache" in c for c in bench)
+    assert bench[0] == bench[1], "both runs must target the same cache directory"

@@ -26,6 +26,15 @@ class TestParser:
                 ["compile", "--m", "64", "--n", "64", "--k", "64", "--variant", "fastest"]
             )
 
+    def test_measure_flags_accepted(self):
+        for cmd in (["compile", "--m", "64", "--n", "64", "--k", "64"],
+                    ["tune", "--m", "64", "--n", "64", "--k", "64"],
+                    ["suite"]):
+            args = build_parser().parse_args(cmd + ["--jobs", "4", "--cache-dir", "/tmp/c"])
+            assert args.jobs == 4 and args.cache_dir == "/tmp/c"
+            args = build_parser().parse_args(cmd)
+            assert args.jobs == 1 and args.cache_dir is None
+
 
 class TestCommands:
     def test_compile_small(self, capsys):
@@ -57,6 +66,38 @@ class TestCommands:
         assert rc == 0
         history = load_history(log)
         assert len(history) == 8
+
+    def test_tune_warm_cache_skips_compiles(self, capsys, tmp_path):
+        """Acceptance: a repeat `repro tune` against a warm --cache-dir must
+        perform >= 5x fewer compiles (here: zero), with identical results."""
+        import re
+
+        argv = ["tune", "--m", "128", "--n", "128", "--k", "256", "--space", "60",
+                "--method", "random", "--trials", "8", "--cache-dir", str(tmp_path)]
+
+        def compiles(out):
+            return int(re.search(r"(\d+) compiled", out).group(1))
+
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert compiles(cold) >= 5
+        assert compiles(warm) * 5 <= compiles(cold)
+        strip = [ln for ln in cold.splitlines() if not ln.startswith(("telemetry", "cache"))]
+        assert strip == [
+            ln for ln in warm.splitlines() if not ln.startswith(("telemetry", "cache"))
+        ], "warm results must match cold results"
+
+    def test_tune_parallel_jobs_match_serial(self, capsys, tmp_path):
+        argv = ["tune", "--m", "128", "--n", "128", "--k", "256", "--space", "40",
+                "--method", "grid", "--trials", "6"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "4"]) == 0
+        parallel = capsys.readouterr().out
+        strip = [ln for ln in serial.splitlines() if not ln.startswith("telemetry")]
+        assert strip == [ln for ln in parallel.splitlines() if not ln.startswith("telemetry")]
 
     def test_cuda_emission(self, capsys, tmp_path):
         out = tmp_path / "k.cu"

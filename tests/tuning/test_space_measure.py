@@ -127,3 +127,34 @@ class TestRecords:
         assert best_in_top_k([100.0, 50.0, 25.0], 2, 25.0) == 0.5
         assert best_in_top_k([100.0, 50.0, 25.0], 3, 25.0) == 1.0
         assert best_in_top_k([FAILED, FAILED], 2, 25.0) == 0.0
+
+    def test_zero_latency_does_not_divide_by_zero(self):
+        """A zero/denormal simulated latency must clamp, not raise or inf."""
+        h = TuneHistory()
+        cfg = TileConfig(64, 64, 32, warp_m=32, warp_n=32, chunk_k=16)
+        h.append(cfg, 0.0)
+        (ratio,) = h.normalized_curve([1], exhaustive_best_us=10.0)
+        assert math.isfinite(ratio)
+        assert math.isfinite(best_in_top_k([0.0, 5e-324], 2, 10.0))
+
+    def test_infinite_exhaustive_best_yields_zero(self):
+        h = TuneHistory()
+        cfg = TileConfig(64, 64, 32, warp_m=32, warp_n=32, chunk_k=16)
+        h.append(cfg, 50.0)
+        assert h.normalized_curve([1], exhaustive_best_us=math.inf) == [0.0]
+        assert best_in_top_k([50.0], 1, math.inf) == 0.0
+
+    def test_save_load_round_trip_with_failures(self, tmp_path):
+        from repro.tuning.record import load_history, save_history
+
+        h = TuneHistory()
+        cfg = TileConfig(64, 64, 32, warp_m=32, warp_n=32, chunk_k=16)
+        for lat in (120.0, FAILED, 80.5, FAILED):
+            h.append(cfg, lat)
+        path = tmp_path / "log.json"
+        save_history(h, path)
+        back = load_history(path)
+        assert [r.latency_us for r in back.records] == [120.0, FAILED, 80.5, FAILED]
+        assert [r.failed for r in back.records] == [False, True, False, True]
+        assert [r.trial for r in back.records] == [0, 1, 2, 3]
+        assert [r.config for r in back.records] == [r.config for r in h.records]

@@ -12,6 +12,7 @@ from repro.tuning import (
     RandomSearchTuner,
     SimulatedAnnealingSampler,
     SpaceOptions,
+    Tuner,
     XGBTuner,
     analytical_rank,
     enumerate_space,
@@ -87,6 +88,33 @@ class TestTunerBasics:
         assert len(order) == len(SPACE)
         # ranks are a permutation
         assert sorted(order) == list(range(len(SPACE)))
+
+
+class TestNoDuplicateTrials:
+    """A tuner must never burn trial budget re-recording a measured config."""
+
+    def test_stubborn_proposer_is_deduped_and_terminates(self):
+        class StubbornTuner(Tuner):
+            """Always re-proposes the same two configs."""
+
+            def _next_batch(self, n):
+                return [SPACE[0], SPACE[0], SPACE[1]]
+
+        h = StubbornTuner(SPEC, SPACE, measurer=MEAS).tune(10)
+        keys = [r.config.key() for r in h.records]
+        assert keys == [SPACE[0].key(), SPACE[1].key()]
+
+    def test_every_tuner_records_distinct_configs(self):
+        for cls in (
+            GridSearchTuner,
+            RandomSearchTuner,
+            XGBTuner,
+            AnalyticalOnlyTuner,
+            ModelAssistedXGBTuner,
+        ):
+            h = cls(SPEC, SPACE, measurer=MEAS, seed=2).tune(24)
+            keys = [r.config.key() for r in h.records]
+            assert len(set(keys)) == len(keys) == 24, cls.name
 
 
 class TestTunerQuality:

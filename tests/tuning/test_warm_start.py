@@ -62,3 +62,44 @@ class TestWarmStart:
         t = XGBTuner(SPEC, SPACE, measurer=MEAS, seed=0, warm_start=prior)
         best = prior.best_config_at(len(prior))
         assert any(s.key() == best.key() for s in t._prior_seeds)
+
+    def test_warm_start_with_failed_trials(self):
+        """Transferred logs carry inf latencies for compile failures; they
+        must absorb as floor-score samples, not poison the fit."""
+        import math
+
+        from repro.tuning import FAILED
+
+        prior = _prior_history(n=20)
+        for cfg in SPACE[:5]:
+            prior.append(cfg, FAILED)
+        t = XGBTuner(SPEC, SPACE, measurer=MEAS, seed=0, warm_start=prior)
+        assert t.model.is_fitted
+        assert np.isfinite(t._pseudo_y).all()
+        h = t.tune(8)
+        assert len(h) == 8
+        assert math.isfinite(h.best_latency_at(8))
+
+    def test_warm_start_from_all_failed_history(self):
+        from repro.tuning import FAILED, TuneHistory
+
+        prior = TuneHistory()
+        for cfg in SPACE[:6]:
+            prior.append(cfg, FAILED)
+        t = XGBTuner(SPEC, SPACE, measurer=MEAS, seed=0, warm_start=prior)
+        assert t.model.is_fitted
+        assert len(t.tune(8)) == 8
+
+    def test_warm_start_round_trip_preserves_failures(self, tmp_path):
+        import math
+
+        from repro.tuning import FAILED
+
+        prior = _prior_history(n=6)
+        prior.append(SPACE[0], FAILED)
+        path = tmp_path / "log.json"
+        save_history(prior, path)
+        loaded = load_history(path)
+        assert math.isinf(loaded.records[-1].latency_us)
+        t = XGBTuner(SPEC, SPACE, measurer=MEAS, seed=0, warm_start=loaded)
+        assert t.model.is_fitted
