@@ -20,10 +20,10 @@ from .gpusim.config import A100, H100, V100
 _GPUS = {"a100": A100, "h100": H100, "v100": V100}
 
 
-def _add_problem_args(p: argparse.ArgumentParser) -> None:
-    p.add_argument("--m", type=int, required=True)
-    p.add_argument("--n", type=int, required=True)
-    p.add_argument("--k", type=int, required=True)
+def _add_problem_args(p: argparse.ArgumentParser, required: bool = True) -> None:
+    p.add_argument("--m", type=int, required=required)
+    p.add_argument("--n", type=int, required=required)
+    p.add_argument("--k", type=int, required=required)
     p.add_argument("--batch", type=int, default=1)
     p.add_argument("--gpu", choices=sorted(_GPUS), default="a100")
     p.add_argument("--space", type=int, default=600, help="design-space cap (strided)")
@@ -35,20 +35,55 @@ def _add_measure_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--cache-dir", default=None,
                    help="disk-persistent measurement cache directory "
                         "(repeat runs warm-start; see docs/tuning_cache.md)")
+    p.add_argument("--trial-timeout", type=float, default=0.0,
+                   help="per-trial wall-clock limit in seconds; a hung "
+                        "trial is killed and recorded as failed "
+                        "(0 disables; see docs/robustness.md)")
+    p.add_argument("--retries", type=int, default=2,
+                   help="resubmissions of a trial whose worker crashed "
+                        "before it is quarantined")
+    p.add_argument("--fault-plan", default=None,
+                   help="fault-injection plan (JSON or site:kind[:rate],... "
+                        "compact form); also read from $REPRO_FAULT_PLAN")
 
 
 def _measurer(args, gpu):
+    from . import faults
     from .tuning.cache import MeasurementCache
     from .tuning.measure import Measurer
 
+    if getattr(args, "fault_plan", None):
+        faults.activate(faults.FaultPlan.parse(args.fault_plan))
     cache = MeasurementCache(args.cache_dir) if args.cache_dir else None
-    return Measurer(gpu, via_ir=False, cache=cache, jobs=args.jobs)
+    return Measurer(
+        gpu,
+        via_ir=False,
+        cache=cache,
+        jobs=args.jobs,
+        trial_timeout_s=args.trial_timeout if args.trial_timeout > 0 else None,
+        retries=args.retries,
+    )
 
 
 def _print_telemetry(measurer, wall_s: float) -> None:
     print(f"telemetry: {measurer.telemetry.summary()}; wall {wall_s:.2f}s")
     if measurer.cache is not None:
         print(f"cache    : {len(measurer.cache)} entries in {measurer.cache.path}")
+    if measurer.quarantined:
+        print(f"quarantined: {len(measurer.quarantined)} config(s) "
+              "repeatedly killed workers and were excluded")
+
+
+def _interrupted(measurer, wall_s: float, what: str) -> int:
+    """Uniform Ctrl-C epilogue: everything measured so far is already
+    committed (disk cache appends and journal lines are flushed per
+    trial), so report the partial state and exit 130."""
+    print(f"\ninterrupted: {what}; partial results are saved", file=sys.stderr)
+    try:
+        _print_telemetry(measurer, wall_s)
+    except Exception:
+        pass
+    return 130
 
 
 def _spec(args):
@@ -122,10 +157,14 @@ def _cmd_cuda(args) -> int:
     return 0
 
 
+_TRIALS_DEFAULT = 50
+
+
 def _cmd_tune(args) -> int:
     import time
 
     from .tuning.record import save_history
+    from .tuning.session import TuneSession
     from .tuning.space import SpaceOptions, enumerate_space
     from .tuning.tuners import (
         AnalyticalOnlyTuner,
@@ -142,20 +181,60 @@ def _cmd_tune(args) -> int:
         "analytical": AnalyticalOnlyTuner,
         "model-assisted-xgb": ModelAssistedXGBTuner,
     }
+    session = None
+    if not args.resume and None in (args.m, args.n, args.k):
+        print("tune: --m/--n/--k are required unless resuming a session "
+              "(--resume DIR)", file=sys.stderr)
+        return 2
+    if args.resume:
+        # The session metadata is the source of truth for the problem and
+        # method; only --trials may be raised on the command line.
+        session = TuneSession.load(args.resume)
+        meta = session.meta
+        for field in ("m", "n", "k", "batch", "seed", "space"):
+            if field in meta:
+                setattr(args, field, meta[field])
+        args.gpu = meta.get("gpu", args.gpu)
+        args.method = meta.get("method", args.method)
+        if args.trials == _TRIALS_DEFAULT:
+            args.trials = int(meta.get("trials", args.trials))
+        print(f"resuming {session.describe()}")
+    elif args.session_dir:
+        session = TuneSession.create(
+            args.session_dir,
+            m=args.m, n=args.n, k=args.k, batch=args.batch,
+            gpu=args.gpu, method=args.method, trials=args.trials,
+            seed=args.seed, space=args.space,
+        )
+        print(f"journalling trials to {session.path}")
+
     t0 = time.perf_counter()
     spec = _spec(args)
     gpu = _GPUS[args.gpu]
     measurer = _measurer(args, gpu)
-    space = enumerate_space(spec, gpu, options=SpaceOptions(max_size=args.space))
-    _, best = measurer.best(spec, space)
-    tuner = methods[args.method](spec, space, measurer=measurer, gpu=gpu, seed=args.seed)
-    history = tuner.tune(args.trials)
+    if session is not None and len(session):
+        n = session.preload(measurer, spec)
+        print(f"replaying {n} journalled trial(s) from the session")
+    try:
+        space = enumerate_space(spec, gpu, options=SpaceOptions(max_size=args.space))
+        _, best = measurer.best(spec, space)
+        tuner = methods[args.method](spec, space, measurer=measurer, gpu=gpu, seed=args.seed)
+        on_trial = session.log_trial if session is not None else None
+        history = tuner.tune(args.trials, on_trial=on_trial)
+    except KeyboardInterrupt:
+        what = "tuning stopped"
+        if session is not None:
+            session.close()
+            what += f"; resume with: repro tune --resume {session.path}"
+        return _interrupted(measurer, time.perf_counter() - t0, what)
     print(f"space: {len(space)} schedules; exhaustive best {best:.1f} us")
     for k in (1, 2, 4, 8, 16, 32, args.trials):
         if k <= args.trials:
             print(f"  best-in-{k:<3d}: {history.normalized_curve([k], best)[0]:.3f}")
     print(f"best schedule: {history.best_config_at(args.trials)}")
     _print_telemetry(measurer, time.perf_counter() - t0)
+    if session is not None:
+        session.close()
     if args.out:
         save_history(history, args.out)
         print(f"log written to {args.out}")
@@ -165,21 +244,38 @@ def _cmd_tune(args) -> int:
 def _cmd_suite(args) -> int:
     import time
 
-    from .tuning.space import SpaceOptions, enumerate_space, restrict_space
-    from .workloads.suite import OPERATOR_SUITE
+    from .tuning.space import SpaceOptions, enumerate_space
+    from .workloads.suite import OPERATOR_SUITE, degraded_best
 
     t0 = time.perf_counter()
     gpu = _GPUS[args.gpu]
     measurer = _measurer(args, gpu)
     options = SpaceOptions(max_size=args.space)
     names = args.ops.split(",") if args.ops else list(OPERATOR_SUITE)
+    events = []
     print(f"{'operator':16s} | {'TVM (us)':>9s} | {'ALCOP (us)':>10s} | {'speedup':>7s}")
-    for name in names:
-        spec = OPERATOR_SUITE[name]
-        space = enumerate_space(spec, gpu, options=options)
-        _, tvm = measurer.best(spec, restrict_space(space, "tvm"))
-        _, alcop = measurer.best(spec, restrict_space(space, "alcop"))
-        print(f"{name:16s} | {tvm:9.1f} | {alcop:10.1f} | {tvm / alcop:7.2f}")
+    try:
+        for name in names:
+            spec = OPERATOR_SUITE[name]
+            space = enumerate_space(spec, gpu, options=options)
+            _, tvm, tvm_used = degraded_best(
+                measurer, spec, space, variant="tvm", events=events
+            )
+            _, alcop, alcop_used = degraded_best(
+                measurer, spec, space, variant="alcop", events=events
+            )
+            # A degraded rung is flagged in the table; details follow below.
+            note = "" if alcop_used == "alcop" and tvm_used == "tvm" else (
+                f"  [{tvm_used}/{alcop_used}]"
+            )
+            print(f"{name:16s} | {tvm:9.1f} | {alcop:10.1f} | {tvm / alcop:7.2f}{note}")
+    except KeyboardInterrupt:
+        return _interrupted(measurer, time.perf_counter() - t0, "suite stopped")
+    if events:
+        print(f"degradations: {len(events)} ladder step(s) over "
+              f"{len({ev.op for ev in events})} operator(s)")
+        for ev in events:
+            print(f"  {ev}")
     _print_telemetry(measurer, time.perf_counter() - t0)
     return 0
 
@@ -275,13 +371,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_cuda)
 
     p = sub.add_parser("tune", help="run one tuning method")
-    _add_problem_args(p)
+    _add_problem_args(p, required=False)
     _add_measure_args(p)
     p.add_argument("--method", default="model-assisted-xgb",
                    choices=["grid", "random", "xgb", "analytical", "model-assisted-xgb"])
-    p.add_argument("--trials", type=int, default=50)
+    p.add_argument("--trials", type=int, default=_TRIALS_DEFAULT)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", default=None, help="write a JSON tuning log here")
+    p.add_argument("--session-dir", default=None,
+                   help="journal every trial to this directory so a killed "
+                        "run can be continued with --resume")
+    p.add_argument("--resume", default=None, metavar="DIR",
+                   help="continue a journalled session; problem/method/seed "
+                        "are read back from its session.json")
     p.set_defaults(fn=_cmd_tune)
 
     p = sub.add_parser("suite", help="TVM vs ALCOP over the operator suite")

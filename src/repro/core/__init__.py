@@ -1,8 +1,25 @@
-"""ALCOP core: the top-level automatic-pipelining compiler (paper Fig. 4)
-and the split-K extension."""
+"""ALCOP core: the top-level automatic-pipelining compiler (paper Fig. 4),
+the split-K extension, and the unified error taxonomy.
 
-from .compiler import VARIANTS, AlcopCompiler, CompiledKernel
-from .splitk import SplitKCompiled, SplitKCompiler, build_reduce_kernel, reduce_latency_us
+Only :mod:`repro.core.errors` (a leaf module) is imported eagerly; the
+compiler drivers load lazily (PEP 562) so that low-level packages
+(``gpusim``, ``schedule``, ``transform``) can import the taxonomy without
+creating an import cycle through the full compiler stack.
+"""
+
+from . import errors
+from .errors import (
+    CompileError,
+    DegradationEvent,
+    FaultInjected,
+    MeasurementTimeout,
+    ReproError,
+    ScheduleError,
+    SimulationError,
+    SyncVerificationError,
+    TransformError,
+    WorkerCrash,
+)
 
 __all__ = [
     "VARIANTS",
@@ -12,4 +29,39 @@ __all__ = [
     "SplitKCompiler",
     "build_reduce_kernel",
     "reduce_latency_us",
+    "errors",
+    "ReproError",
+    "ScheduleError",
+    "TransformError",
+    "SyncVerificationError",
+    "SimulationError",
+    "CompileError",
+    "MeasurementTimeout",
+    "WorkerCrash",
+    "FaultInjected",
+    "DegradationEvent",
 ]
+
+_COMPILER_EXPORTS = {"VARIANTS", "AlcopCompiler", "CompiledKernel"}
+_SPLITK_EXPORTS = {
+    "SplitKCompiled",
+    "SplitKCompiler",
+    "build_reduce_kernel",
+    "reduce_latency_us",
+}
+
+
+def __getattr__(name: str):
+    if name in _COMPILER_EXPORTS:
+        from . import compiler
+
+        return getattr(compiler, name)
+    if name in _SPLITK_EXPORTS:
+        from . import splitk
+
+        return getattr(splitk, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | _COMPILER_EXPORTS | _SPLITK_EXPORTS)

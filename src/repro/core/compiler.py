@@ -20,10 +20,11 @@ otherwise identical stack.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .. import faults
 from ..codegen import lower
 from ..gpusim.config import A100, GpuSpec
 from ..gpusim.engine import SimResult, simulate_kernel
@@ -37,9 +38,14 @@ from ..transform import apply_pipelining
 from ..tuning.measure import Measurer
 from ..tuning.space import SpaceOptions, enumerate_space, restrict_space
 from ..tuning.tuners import ModelAssistedXGBTuner, XGBTuner
+from .errors import CompileError, DegradationEvent, ReproError
 
 __all__ = ["CompiledKernel", "AlcopCompiler", "VARIANTS"]
 
+#: Compiler variants in decreasing pipelining capability. The order doubles
+#: as the graceful-degradation ladder: when a build fails at one rung, the
+#: per-op fallback steps rightward until something compiles (and finally to
+#: the roofline fallback in :mod:`repro.models.runtime`).
 VARIANTS = ("alcop", "alcop-no-ml", "alcop-no-ml-no-ms", "tvm-db", "tvm")
 
 _SEARCH_METHODS = ("exhaustive", "model-assisted-xgb", "xgb")
@@ -82,6 +88,7 @@ class AlcopCompiler:
         measurer: Optional[Measurer] = None,
         space_options: Optional[SpaceOptions] = None,
         verify_sync: bool = True,
+        degrade: bool = True,
     ) -> None:
         if variant not in VARIANTS:
             raise ValueError(f"unknown variant {variant!r}; choose from {VARIANTS}")
@@ -97,13 +104,32 @@ class AlcopCompiler:
         #: run the static synchronization race checker on every built kernel
         #: (repro.ir.syncheck); a mis-transformed pipeline fails the build.
         self.verify_sync = verify_sync
+        #: when used as an end-to-end backend (:meth:`gemm_latency`), step
+        #: down the variant ladder per-op instead of failing the model.
+        self.degrade = degrade
+        #: every ladder step taken, in order (surfaced by ``repro suite``
+        #: and :func:`repro.models.runtime.estimate_model_latency`).
+        self.degradations: List[DegradationEvent] = []
         self._cache: Dict[Tuple, CompiledKernel] = {}
+        #: per-op ladder resolution: op identity -> first variant that
+        #: compiled, so repeated calls skip known-failing rungs (and record
+        #: each degradation exactly once).
+        self._resolved: Dict[Tuple, str] = {}
+        self._failed: Dict[Tuple, ReproError] = {}
 
     # ------------------------------------------------------------------ search
-    def _search_config(self, spec: GemmSpec) -> TileConfig:
+    def _search_config(self, spec: GemmSpec, variant: Optional[str] = None) -> TileConfig:
+        variant = variant or self.variant
         space = restrict_space(
-            enumerate_space(spec, self.gpu, self.space_options), self.variant
+            enumerate_space(spec, self.gpu, self.space_options), variant
         )
+        if not space:
+            raise CompileError(
+                f"design space for {spec.name} is empty under the {variant!r} "
+                "variant restriction (no tiling divides the problem within "
+                "the space bounds)",
+                diagnostic={"spec": spec.name, "variant": variant},
+            )
         if self.search == "exhaustive":
             cfg, _ = self.measurer.best(spec, space)
             return cfg
@@ -112,7 +138,12 @@ class AlcopCompiler:
         history = tuner.tune(self.n_trials)
         cfg = history.best_config_at(self.n_trials)
         if cfg is None:
-            raise RuntimeError(f"no valid schedule found for {spec.name} in {self.n_trials} trials")
+            raise CompileError(
+                f"no valid schedule found for {spec.name} (variant {variant!r}) "
+                f"in {self.n_trials} trials: every measured config failed to compile",
+                diagnostic={"spec": spec.name, "variant": variant,
+                            "trials": len(history)},
+            )
         return cfg
 
     # ------------------------------------------------------------------ build
@@ -131,20 +162,76 @@ class AlcopCompiler:
 
     def compile(self, spec: GemmSpec, graph_output: Optional[Tensor] = None) -> CompiledKernel:
         """Search, build and time a kernel for ``spec`` (cached)."""
-        key = (spec.name, spec.batch, spec.m, spec.n, spec.k, spec.dtype)
+        return self._compile_as(spec, self.variant, graph_output)
+
+    def _compile_as(
+        self, spec: GemmSpec, variant: str, graph_output: Optional[Tensor] = None
+    ) -> CompiledKernel:
+        """One rung of the ladder: compile ``spec`` under ``variant``'s
+        search-space restriction (cached per variant)."""
+        key = (variant, spec.name, spec.batch, spec.m, spec.n, spec.k, spec.dtype)
         hit = self._cache.get(key)
         if hit is not None:
             return hit
-        config = self._search_config(spec)
+        faults.inject("build", token=f"variant={variant};op={spec.name}")
+        config = self._search_config(spec, variant)
         kernel = self.build(spec, config, graph_output)
         sim = simulate_kernel(extract_timing_spec(kernel), self.gpu)
         out = CompiledKernel(spec=spec, config=config, kernel=kernel, sim=sim)
         self._cache[key] = out
         return out
 
+    def compile_with_fallback(
+        self, spec: GemmSpec, graph_output: Optional[Tensor] = None
+    ) -> CompiledKernel:
+        """Compile ``spec``, stepping down the variant ladder on failure.
+
+        A transform rejection, sync-verification race, launch failure or
+        injected fault at one rung degrades to the next more conservative
+        variant (``alcop → … → tvm``) instead of failing the caller; each
+        step is recorded as a :class:`DegradationEvent`. When even ``tvm``
+        cannot compile the op, the last error is re-raised — the model
+        runtime then prices the op with its roofline fallback.
+        """
+        op_key = (spec.name, spec.batch, spec.m, spec.n, spec.k, spec.dtype)
+        known_failure = self._failed.get(op_key)
+        if known_failure is not None:
+            raise known_failure
+        start = self._resolved.get(op_key, self.variant)
+        ladder = VARIANTS[VARIANTS.index(start):]
+        last_error: Optional[Exception] = None
+        for i, variant in enumerate(ladder):
+            try:
+                out = self._compile_as(spec, variant, graph_output)
+                self._resolved[op_key] = variant
+                return out
+            except (ReproError, ValueError) as e:
+                last_error = e
+                next_rung = ladder[i + 1] if i + 1 < len(ladder) else "roofline"
+                self.degradations.append(
+                    DegradationEvent(
+                        op=spec.name,
+                        from_variant=variant,
+                        to_variant=next_rung,
+                        stage=getattr(e, "stage", "unknown"),
+                        reason=str(e).splitlines()[0] if str(e) else repr(e),
+                    )
+                )
+        if not isinstance(last_error, ReproError):
+            last_error = CompileError(
+                f"every variant of the ladder failed for {spec.name}",
+                diagnostic={"spec": spec.name, "ladder": list(ladder)},
+            )
+        self._failed[op_key] = last_error
+        raise last_error
+
     # ---------------------------------------------------------------- backend
     def gemm_latency(self, spec: GemmSpec) -> float:
-        """Backend hook for the end-to-end model runtime."""
+        """Backend hook for the end-to-end model runtime. With
+        :attr:`degrade` (the default) a failing pipelined build steps down
+        the variant ladder per-op instead of failing the whole model."""
+        if self.degrade:
+            return self.compile_with_fallback(spec).latency_us
         return self.compile(spec).latency_us
 
     #: bandwidth efficiency multiplier for unfused elementwise ops (TVM and

@@ -1,0 +1,145 @@
+"""Unified error taxonomy for the ALCOP flow (schedule → transform →
+sync-verify → simulate → measure).
+
+Every failure mode of the compile/tune/serve stack derives from
+:class:`ReproError` and carries a structured ``stage`` (which phase of the
+Fig. 4 pipeline failed) plus an optional ``diagnostic`` payload, so callers
+can degrade gracefully (:mod:`repro.models.runtime`), quarantine offenders
+(:mod:`repro.tuning.measure`) or report precisely (``repro suite``) without
+string-matching exception text.
+
+This module is a leaf: it imports nothing from the rest of the package, so
+any layer (gpusim, schedule, transform, tuning) can depend on it without
+import cycles. Pre-existing error types fold in with back-compat
+re-exports:
+
+* ``repro.gpusim.occupancy.CompileError``   is :class:`CompileError`;
+* ``repro.schedule.errors.ScheduleError``   is :class:`ScheduleError`;
+* ``repro.transform.TransformError``        is :class:`TransformError`;
+* ``repro.ir.syncheck.SyncCheckError``      subclasses
+  :class:`SyncVerificationError`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+__all__ = [
+    "ReproError",
+    "ScheduleError",
+    "TransformError",
+    "SyncVerificationError",
+    "SimulationError",
+    "CompileError",
+    "MeasurementTimeout",
+    "WorkerCrash",
+    "FaultInjected",
+    "DegradationEvent",
+]
+
+
+class ReproError(Exception):
+    """Base class of every structured failure in the ALCOP flow.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description of the failure.
+    diagnostic:
+        Optional structured payload (e.g. the offending config, the sync
+        diagnostics, the injected fault) for machine consumers.
+    """
+
+    #: which phase of the compile/tune flow this error belongs to.
+    stage: str = "unknown"
+
+    def __init__(self, message: str = "", *, diagnostic: Optional[object] = None) -> None:
+        super().__init__(message)
+        self.message = message
+        self.diagnostic = diagnostic
+
+    def describe(self) -> str:
+        """``[stage] message`` (+ diagnostic when present)."""
+        out = f"[{self.stage}] {self.message}"
+        if self.diagnostic is not None:
+            out += f"\n  diagnostic: {self.diagnostic}"
+        return out
+
+
+class ScheduleError(ReproError):
+    """Automatic schedule construction failed (Sec. II rules)."""
+
+    stage = "schedule"
+
+
+class TransformError(ReproError):
+    """The pipelining program transformation rejected the kernel (Sec. III)."""
+
+    stage = "transform"
+
+
+class SyncVerificationError(ReproError):
+    """Static synchronization verification found races in transformed IR."""
+
+    stage = "sync-verify"
+
+
+class SimulationError(ReproError):
+    """The discrete-event GPU simulator failed or produced garbage."""
+
+    stage = "simulate"
+
+
+class CompileError(ReproError):
+    """The kernel cannot be compiled/launched on the target GPU — analogous
+    to nvcc register-overflow or over-sized shared memory failures, which
+    the paper's Fig. 12 reports as 'compile fail'."""
+
+    stage = "compile"
+
+
+class MeasurementTimeout(ReproError):
+    """A measurement trial exceeded its wall-clock budget (hung worker)."""
+
+    stage = "measure"
+
+
+class WorkerCrash(ReproError):
+    """A measurement worker process died without reporting a result."""
+
+    stage = "measure"
+
+
+class FaultInjected(ReproError):
+    """An injected fault fired (:mod:`repro.faults`); chaos tests assert on
+    this type to separate injected failures from organic ones."""
+
+    stage = "fault"
+
+    def __init__(self, message: str = "", *, site: str = "", kind: str = "",
+                 diagnostic: Optional[object] = None) -> None:
+        super().__init__(message, diagnostic=diagnostic)
+        self.site = site
+        self.kind = kind
+
+
+@dataclasses.dataclass(frozen=True)
+class DegradationEvent:
+    """One step down the compiler degradation ladder for one operator.
+
+    Recorded whenever a build fails and a more conservative variant (or the
+    roofline fallback) is used instead: ``alcop → tvm-db → tvm → roofline``.
+    """
+
+    op: str
+    from_variant: str
+    to_variant: str
+    stage: str
+    reason: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.op}: {self.from_variant} -> {self.to_variant} "
+            f"({self.stage}: {self.reason})"
+        )

@@ -1,0 +1,322 @@
+"""Deterministic, seedable fault injection for the compile/tune stack.
+
+Chaos engineering for the ALCOP flow: a :class:`FaultPlan` names *where*
+(injection sites wired into the compile path, the measurement pool worker,
+the simulator and the compiler driver) and *what* (``crash``, ``hang``,
+``corrupt-latency``, ``worker-death``) goes wrong, deterministically.
+Every recovery path of the fault-tolerance layer — worker respawn, trial
+timeout, retry-with-backoff, quarantine, the degradation ladder, journal
+resume — can then be exercised in tests and CI without flakiness.
+
+Injection sites
+---------------
+``compile``
+    Inside :meth:`repro.tuning.measure.Measurer._compile_and_time`, i.e.
+    the schedule→lower→transform→simulate path of one measurement trial.
+``worker``
+    At entry of a measurement pool worker process (before it compiles).
+    ``worker-death`` here hard-kills the process (``os._exit``), the way a
+    segfaulting compiler would.
+``simulate``
+    Inside :func:`repro.gpusim.engine.simulate_kernel`; ``corrupt-latency``
+    multiplies the simulated latency, modelling a misbehaving runner.
+``build``
+    Inside :meth:`repro.core.compiler.AlcopCompiler` builds, tokenized by
+    ``variant=<v>;op=<name>`` so chaos tests can fail one rung of the
+    degradation ladder and watch the compiler step down.
+
+Determinism
+-----------
+Whether a rule fires for a given event is a pure function of
+``(plan.seed, site, kind, token)`` — the *token* identifies the event
+(config key, attempt number). The same plan over the same work always
+fails the same trials, regardless of pool width or scheduling order.
+Rules can also pin an exact token substring (``match``) for surgically
+targeted chaos, and bound themselves with ``max_hits`` (per process).
+
+Activation
+----------
+Programmatic (``activate(plan)`` / ``with injected(plan): ...``) or via
+the ``REPRO_FAULT_PLAN`` environment variable, which is how fresh worker
+processes and CI jobs pick the plan up. ``activate`` exports the plan to
+``os.environ`` so spawned children inherit it.
+
+Example::
+
+    plan = FaultPlan([FaultRule("worker", "worker-death", match="#a0")])
+    with injected(plan):
+        measurer.sweep(spec, space)   # first attempt of every trial dies;
+                                      # retries succeed, sweep completes
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from .core.errors import FaultInjected, SimulationError
+
+__all__ = [
+    "ENV_VAR",
+    "SITES",
+    "KINDS",
+    "FaultRule",
+    "FaultPlan",
+    "FaultInjected",
+    "activate",
+    "deactivate",
+    "active_plan",
+    "ensure_env_plan",
+    "injected",
+    "inject",
+    "corrupt",
+    "push_token",
+    "current_token",
+]
+
+ENV_VAR = "REPRO_FAULT_PLAN"
+
+#: Named injection sites (``"*"`` in a rule matches any site).
+SITES = ("compile", "worker", "simulate", "build")
+
+#: Fault kinds.
+KINDS = ("crash", "hang", "corrupt-latency", "worker-death")
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultRule:
+    """One kind of fault at one site.
+
+    Parameters
+    ----------
+    site:
+        Injection site name, or ``"*"`` for every site.
+    kind:
+        ``crash`` (raise :class:`FaultInjected`), ``hang`` (sleep
+        ``hang_s`` — rely on the trial timeout to recover),
+        ``corrupt-latency`` (multiply reported latency by
+        ``corrupt_factor``), ``worker-death`` (``os._exit`` the process).
+    rate:
+        Probability a matching event fires, decided deterministically from
+        ``(seed, site, kind, token)``. 1.0 = always.
+    match:
+        Optional substring the event token must contain; lets tests target
+        e.g. only first attempts (``"#a0"``) or one config.
+    max_hits:
+        Stop firing after this many injections *in this process*.
+    """
+
+    site: str
+    kind: str
+    rate: float = 1.0
+    match: Optional[str] = None
+    max_hits: Optional[int] = None
+    hang_s: float = 3600.0
+    corrupt_factor: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.site != "*" and self.site not in SITES:
+            raise ValueError(f"unknown fault site {self.site!r}; choose from {SITES} or '*'")
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; choose from {KINDS}")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+
+
+class FaultPlan:
+    """A seeded set of :class:`FaultRule`\\ s."""
+
+    def __init__(self, rules: Sequence[FaultRule], seed: int = 0) -> None:
+        self.rules: List[FaultRule] = list(rules)
+        self.seed = int(seed)
+        self._hits: Dict[int, int] = {}
+
+    # ------------------------------------------------------------ decisions
+    def _fires(self, rule_id: int, rule: FaultRule, site: str, token: str) -> bool:
+        if rule.site != "*" and rule.site != site:
+            return False
+        if rule.match is not None and rule.match not in token:
+            return False
+        if rule.max_hits is not None and self._hits.get(rule_id, 0) >= rule.max_hits:
+            return False
+        if rule.rate < 1.0:
+            payload = f"{self.seed}:{site}:{rule.kind}:{rule.match}:{token}"
+            h = int.from_bytes(hashlib.sha256(payload.encode()).digest()[:8], "big")
+            if (h % 1_000_000) / 1_000_000 >= rule.rate:
+                return False
+        self._hits[rule_id] = self._hits.get(rule_id, 0) + 1
+        return True
+
+    def matching(self, site: str, token: str, kinds: Sequence[str]) -> Optional[FaultRule]:
+        """First rule of one of ``kinds`` that fires for this event."""
+        for i, rule in enumerate(self.rules):
+            if rule.kind in kinds and self._fires(i, rule, site, token):
+                return rule
+        return None
+
+    # -------------------------------------------------------- serialization
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "seed": self.seed,
+                "rules": [
+                    {k: v for k, v in dataclasses.asdict(r).items() if v is not None}
+                    for r in self.rules
+                ],
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        data = json.loads(text)
+        return cls([FaultRule(**r) for r in data.get("rules", [])], seed=data.get("seed", 0))
+
+    @classmethod
+    def parse(cls, text: str, seed: int = 0) -> "FaultPlan":
+        """Parse either the JSON form or the compact CLI form
+        ``site:kind[:rate][,site:kind[:rate]...]``."""
+        text = text.strip()
+        if not text:
+            return cls([], seed=seed)
+        if text.startswith("{"):
+            return cls.from_json(text)
+        rules = []
+        for part in text.split(","):
+            fields = part.strip().split(":")
+            if len(fields) not in (2, 3):
+                raise ValueError(
+                    f"bad fault spec {part!r}: expected site:kind[:rate]"
+                )
+            rate = float(fields[2]) if len(fields) == 3 else 1.0
+            rules.append(FaultRule(fields[0], fields[1], rate=rate))
+        return cls(rules, seed=seed)
+
+
+# ------------------------------------------------------------------ activation
+_active: Optional[FaultPlan] = None
+_env_checked = False
+_lock = threading.Lock()
+
+
+def activate(plan: FaultPlan, export_env: bool = True) -> None:
+    """Install ``plan`` process-wide; with ``export_env`` the plan is also
+    placed in ``os.environ`` so child processes (fork or spawn) inherit it."""
+    global _active, _env_checked
+    with _lock:
+        _active = plan
+        _env_checked = True
+        if export_env:
+            os.environ[ENV_VAR] = plan.to_json()
+
+
+def deactivate() -> None:
+    """Remove the active plan (and its environment export)."""
+    global _active, _env_checked
+    with _lock:
+        _active = None
+        _env_checked = True
+        os.environ.pop(ENV_VAR, None)
+
+
+def ensure_env_plan() -> None:
+    """In a fresh process: adopt the plan from ``REPRO_FAULT_PLAN`` if no
+    plan is active yet. Called at worker entry points; cheap when already
+    resolved."""
+    global _active, _env_checked
+    if _env_checked:
+        return
+    with _lock:
+        if not _env_checked:
+            text = os.environ.get(ENV_VAR)
+            if text:
+                _active = FaultPlan.parse(text)
+            _env_checked = True
+
+
+def active_plan() -> Optional[FaultPlan]:
+    ensure_env_plan()
+    return _active
+
+
+@contextmanager
+def injected(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Scoped activation for tests: ``with injected(plan): ...``."""
+    prev, prev_env = _active, os.environ.get(ENV_VAR)
+    activate(plan)
+    try:
+        yield plan
+    finally:
+        if prev is None:
+            deactivate()
+            if prev_env is not None:
+                os.environ[ENV_VAR] = prev_env
+        else:
+            activate(prev, export_env=prev_env is not None)
+
+
+# ---------------------------------------------------------------- event token
+_context = threading.local()
+
+
+@contextmanager
+def push_token(token: str) -> Iterator[None]:
+    """Set the ambient event token (config identity + attempt) so nested
+    injection sites — e.g. ``simulate`` deep inside a trial — make
+    deterministic per-trial decisions without plumbing the token through
+    every call signature."""
+    prev = getattr(_context, "token", "")
+    _context.token = token
+    try:
+        yield
+    finally:
+        _context.token = prev
+
+
+def current_token() -> str:
+    return getattr(_context, "token", "")
+
+
+# ------------------------------------------------------------------ injection
+def inject(site: str, token: Optional[str] = None) -> None:
+    """Fire any matching ``crash``/``hang``/``worker-death`` rule at
+    ``site``. No-op without an active plan (the production fast path is one
+    None-check)."""
+    plan = _active if _env_checked else active_plan()
+    if plan is None:
+        return
+    tok = token if token is not None else current_token()
+    rule = plan.matching(site, tok, ("crash", "hang", "worker-death"))
+    if rule is None:
+        return
+    if rule.kind == "worker-death":
+        os._exit(17)
+    if rule.kind == "hang":
+        time.sleep(rule.hang_s)
+        return
+    err = FaultInjected(
+        f"injected {rule.kind} at site {site!r} (token {tok!r})",
+        site=site,
+        kind=rule.kind,
+    )
+    if site == "simulate":
+        raise SimulationError(str(err), diagnostic=err)
+    raise err
+
+
+def corrupt(site: str, value: float, token: Optional[str] = None) -> float:
+    """Apply any matching ``corrupt-latency`` rule to ``value``."""
+    plan = _active if _env_checked else active_plan()
+    if plan is None:
+        return value
+    tok = token if token is not None else current_token()
+    rule = plan.matching(site, tok, ("corrupt-latency",))
+    if rule is None:
+        return value
+    return value * rule.corrupt_factor

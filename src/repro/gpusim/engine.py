@@ -228,7 +228,15 @@ def simulate_kernel(
     max_outer_iters: Optional[int] = 64,
 ) -> SimResult:
     """Simulate a full kernel launch; raises :class:`CompileError` when the
-    kernel cannot be built or launched on ``gpu``."""
+    kernel cannot be built or launched on ``gpu``.
+
+    Carries the ``simulate`` fault-injection site (:mod:`repro.faults`):
+    chaos plans can crash the simulator (:class:`SimulationError`) or
+    corrupt the reported latency here.
+    """
+    from .. import faults
+
+    faults.inject("simulate")
     ts.validate()
     if ts.async_smem_copy and not gpu.has_async_copy:
         raise CompileError(
@@ -261,7 +269,7 @@ def simulate_kernel(
         if not full_waves:
             dram_frac = tail_frac
 
-    latency = _LAUNCH_OVERHEAD + full_waves * wave_lat + tail_lat
+    latency = faults.corrupt("simulate", _LAUNCH_OVERHEAD + full_waves * wave_lat + tail_lat)
     return SimResult(
         latency_us=latency,
         tb_per_sm=occ,

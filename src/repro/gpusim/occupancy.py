@@ -9,16 +9,13 @@ model) and it divides the per-threadblock bandwidth share.
 
 from __future__ import annotations
 
-
+from ..core.errors import CompileError
 from .config import GpuSpec
 
+#: Back-compat re-export: the canonical class now lives in the unified
+#: error taxonomy (:mod:`repro.core.errors`); existing imports of
+#: ``repro.gpusim.occupancy.CompileError`` keep working unchanged.
 __all__ = ["CompileError", "tb_per_sm", "check_launchable"]
-
-
-class CompileError(Exception):
-    """The kernel cannot be compiled/launched on the target GPU — analogous
-    to nvcc register-overflow or over-sized shared memory failures, which
-    the paper's Fig. 12 reports as 'compile fail'."""
 
 
 def check_launchable(gpu: GpuSpec, smem_bytes: int, regs_per_thread: int, threads: int) -> None:

@@ -54,6 +54,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, FrozenSet, List, Sequence, Tuple
 
+from ..core.errors import SyncVerificationError
 from .buffer import Buffer, BufferRegion
 from .expr import evaluate, free_vars
 from .stmt import (
@@ -135,15 +136,17 @@ class SyncDiagnostic:
         return f"[{self.severity}] {self.rule} on {self.buffer}: {self.message}\n    at {self.path}"
 
 
-class SyncCheckError(Exception):
+class SyncCheckError(SyncVerificationError):
     """Raised by ``apply_pipelining(..., verify_sync=True)`` when the static
-    checker finds error-severity synchronization races."""
+    checker finds error-severity synchronization races. Part of the unified
+    taxonomy via :class:`repro.core.errors.SyncVerificationError`."""
 
     def __init__(self, diagnostics: Sequence[SyncDiagnostic]) -> None:
         self.diagnostics = list(diagnostics)
         super().__init__(
             f"{len(self.diagnostics)} pipeline synchronization race(s) detected:\n"
-            + format_diagnostics(self.diagnostics)
+            + format_diagnostics(self.diagnostics),
+            diagnostic=self.diagnostics,
         )
 
 

@@ -1,10 +1,13 @@
-"""Schedule-level error types."""
+"""Schedule-level error types.
+
+:class:`ScheduleError` is the taxonomy class from
+:mod:`repro.core.errors` (re-exported for back compatibility); the
+schedule-specific refinements below subclass it.
+"""
+
+from ..core.errors import ScheduleError
 
 __all__ = ["ScheduleError", "OrderingError", "PipelineRejected"]
-
-
-class ScheduleError(Exception):
-    """Base class for schedule construction errors."""
 
 
 class OrderingError(ScheduleError):
@@ -15,6 +18,6 @@ class PipelineRejected(ScheduleError):
     """A buffer failed the pipelining applicability rules (Sec. II-A)."""
 
     def __init__(self, rule: str, message: str) -> None:
-        super().__init__(f"[{rule}] {message}")
+        super().__init__(f"[{rule}] {message}", diagnostic=rule)
         self.rule = rule
         self.message = message

@@ -35,11 +35,12 @@ from ..ir.analysis import (
 from ..ir.buffer import Buffer, Scope
 from ..ir.stmt import Allocate, For, ForKind, Kernel, MemCopy, Stmt
 
+from ..core.errors import TransformError
+
+#: Back-compat re-export: :class:`TransformError` is the taxonomy class
+#: from :mod:`repro.core.errors` ("the IR violates an assumption of the
+#: pipelining pass").
 __all__ = ["TransformError", "BufferPlan", "GroupPlan", "PipelinePlan", "analyze"]
-
-
-class TransformError(Exception):
-    """Raised when the IR violates an assumption of the pipelining pass."""
 
 
 @dataclasses.dataclass(eq=False)

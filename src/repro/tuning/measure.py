@@ -6,9 +6,21 @@ transformation, timing-spec extraction from the produced IR — and then the
 discrete-event simulator (the reproduction's "hardware"). Results are
 cached by their full identity (GPU, problem, config, measurement mode) in
 memory, optionally persisted to disk (:class:`~repro.tuning.cache.
-MeasurementCache`), and batch measurements can fan out over a process pool
+MeasurementCache`), and batch measurements fan out over worker processes
 (``jobs > 1``) while returning bitwise-identical latencies to the serial
 path.
+
+Fault tolerance (docs/robustness.md): per-trial crashes, hangs and worker
+deaths are ordinary measurement outcomes, never sweep aborts. Each pooled
+trial runs in its own process so a dying worker takes down exactly one
+attempt; crashed attempts retry with exponential backoff up to
+``retries`` times before the config is recorded :data:`FAILED` and
+quarantined; trials exceeding ``trial_timeout_s`` are terminated and
+recorded :data:`FAILED`. Crash/timeout failures are kept out of the disk
+cache (they are properties of the run, not of the config), while genuine
+compile failures persist as ``inf``. The ``compile`` and ``worker``
+fault-injection sites (:mod:`repro.faults`) live here, so every one of
+those recovery paths is exercised by the chaos suite.
 """
 
 from __future__ import annotations
@@ -18,10 +30,11 @@ import math
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import faults
 from ..codegen import lower
+from ..core.errors import CompileError, MeasurementTimeout, ReproError, WorkerCrash
 from ..gpusim.config import A100, GpuSpec
 from ..gpusim.engine import simulate_kernel
-from ..gpusim.occupancy import CompileError
 from ..gpusim.spec import extract_timing_spec
 from ..perfmodel.static_spec import timing_spec_from_config
 from ..schedule.auto import auto_schedule
@@ -29,7 +42,7 @@ from ..schedule.config import TileConfig
 from ..tensor.operation import GemmSpec, contraction, placeholder
 from .cache import MeasurementCache, measurement_key
 
-__all__ = ["Measurer", "MeasureTelemetry", "FAILED"]
+__all__ = ["Measurer", "MeasureTelemetry", "MeasureFailure", "FAILED"]
 
 #: Latency recorded for configurations that fail to compile/launch.
 FAILED = math.inf
@@ -43,31 +56,94 @@ class MeasureTelemetry:
     memory_hits: int
     disk_hits: int
     compile_time_s: float
+    #: worker attempts that crashed or died (injected or organic)
+    n_crashes: int = 0
+    #: trials terminated at the wall-clock budget
+    n_timeouts: int = 0
+    #: crashed attempts that were resubmitted
+    n_retries: int = 0
+    #: configs that exhausted their retries by killing workers
+    n_quarantined: int = 0
 
     @property
     def n_measured(self) -> int:
         return self.n_compiled + self.memory_hits + self.disk_hits
 
     def summary(self) -> str:
-        return (
+        out = (
             f"{self.n_measured} measurements: {self.n_compiled} compiled "
             f"({self.compile_time_s:.2f}s), {self.memory_hits} memory hits, "
             f"{self.disk_hits} disk-cache hits"
         )
+        if self.n_crashes or self.n_timeouts:
+            out += (
+                f"; {self.n_crashes} crashed attempt(s) "
+                f"({self.n_retries} retried, {self.n_quarantined} quarantined), "
+                f"{self.n_timeouts} timeout(s)"
+            )
+        return out
 
 
-def _measure_worker(args: Tuple[GpuSpec, bool, GemmSpec, TileConfig]) -> float:
-    """Process-pool entry point: one compile+simulate in a fresh Measurer.
+@dataclasses.dataclass(frozen=True)
+class MeasureFailure:
+    """One abnormal measurement outcome (crash or timeout), for telemetry
+    and post-mortems. Genuine compile failures are *not* failures in this
+    sense — they are valid ``inf`` measurements."""
 
-    Runs exactly the serial code path, so a parallel sweep returns the same
-    bits as a serial one.
+    spec: str
+    config: Tuple
+    reason: str  # "crash" | "timeout"
+    detail: str
+    attempt: int
+
+    def as_error(self) -> ReproError:
+        """This failure as its taxonomy exception
+        (:class:`MeasurementTimeout` or :class:`WorkerCrash`), for callers
+        that want to raise rather than inspect telemetry."""
+        cls = MeasurementTimeout if self.reason == "timeout" else WorkerCrash
+        return cls(
+            f"trial {self.config} of {self.spec} "
+            f"(attempt {self.attempt}): {self.detail}",
+            diagnostic=self,
+        )
+
+
+def _cfg_token(spec: GemmSpec, cfg: TileConfig) -> str:
+    """Deterministic event token identifying one (problem, config) trial,
+    used by the fault-injection layer to make per-trial decisions."""
+    return (
+        f"{spec.name}:{spec.batch}x{spec.m}x{spec.n}x{spec.k}"
+        f"|{','.join(str(x) for x in cfg.key())}"
+    )
+
+
+def _trial_main(conn, gpu: GpuSpec, via_ir: bool, spec: GemmSpec, cfg: TileConfig,
+                token: str) -> None:
+    """Measurement worker process: one compile+simulate in a fresh Measurer.
+
+    Runs exactly the serial code path, so a pooled sweep returns the same
+    bits as a serial one. Sends ``("ok", latency, compile_s)`` on success
+    (``inf`` for genuine compile failures), ``("crash", detail)`` when the
+    trial raised, and nothing at all when the process is killed outright
+    (worker death) — the parent treats silence as a crash.
     """
-    gpu, via_ir, spec, cfg = args
-    return Measurer(gpu, via_ir=via_ir)._compile_and_time(spec, cfg)
+    try:
+        faults.ensure_env_plan()
+        faults.inject("worker", token=token)
+        m = Measurer(gpu, via_ir=via_ir)
+        latency = m._compile_and_time(spec, cfg, token=token)
+        conn.send(("ok", latency, m.compile_time_s))
+    except Exception as e:  # crash-class fault or unexpected compiler bug
+        try:
+            conn.send(("crash", repr(e)))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        conn.close()
 
 
 class Measurer:
-    """Compile-and-simulate with caching.
+    """Compile-and-simulate with caching and fault tolerance.
 
     Parameters
     ----------
@@ -83,8 +159,19 @@ class Measurer:
         compiled and written back, so later runs (or other measurers
         sharing the directory) warm-start.
     jobs:
-        Process-pool width for batch measurement (:meth:`sweep` /
-        :meth:`measure_many`). 1 (default) keeps everything in-process.
+        Worker-process width for batch measurement (:meth:`sweep` /
+        :meth:`measure_many`). 1 (default) keeps everything in-process
+        unless ``trial_timeout_s`` forces process isolation.
+    trial_timeout_s:
+        Per-trial wall-clock budget. Trials exceeding it are terminated
+        and recorded :data:`FAILED`. Requires process isolation, so when
+        set, even ``jobs=1`` measurements run in a worker process.
+    retries:
+        How many times a crashed attempt (dead or raising worker) is
+        resubmitted before the config is recorded :data:`FAILED` and
+        quarantined.
+    backoff_s:
+        Base of the exponential retry backoff (``backoff_s * 2**attempt``).
     """
 
     def __init__(
@@ -93,16 +180,30 @@ class Measurer:
         via_ir: bool = True,
         cache: Optional[MeasurementCache] = None,
         jobs: int = 1,
+        trial_timeout_s: Optional[float] = None,
+        retries: int = 2,
+        backoff_s: float = 0.05,
     ) -> None:
         self.gpu = gpu
         self.via_ir = via_ir
         self.cache = cache
         self.jobs = max(1, int(jobs))
+        self.trial_timeout_s = trial_timeout_s
+        self.retries = max(0, int(retries))
+        self.backoff_s = backoff_s
         self._cache: Dict[Tuple, float] = {}
         self.n_compiled = 0
         self.n_memory_hits = 0
         self.n_disk_hits = 0
         self.compile_time_s = 0.0
+        self.n_crashes = 0
+        self.n_timeouts = 0
+        self.n_retries = 0
+        #: in-memory keys of configs that exhausted retries by killing
+        #: workers; they are never resubmitted by this measurer.
+        self.quarantined: set = set()
+        #: abnormal outcomes (crashes/timeouts) observed, newest last.
+        self.failures: List[MeasureFailure] = []
 
     @property
     def telemetry(self) -> MeasureTelemetry:
@@ -111,6 +212,10 @@ class Measurer:
             memory_hits=self.n_memory_hits,
             disk_hits=self.n_disk_hits,
             compile_time_s=self.compile_time_s,
+            n_crashes=self.n_crashes,
+            n_timeouts=self.n_timeouts,
+            n_retries=self.n_retries,
+            n_quarantined=len(self.quarantined),
         )
 
     def _key(self, spec: GemmSpec, cfg: TileConfig) -> Tuple:
@@ -133,20 +238,32 @@ class Measurer:
         kernel = apply_pipelining(lower(auto_schedule(c, cfg)))
         return extract_timing_spec(kernel)
 
-    def _compile_and_time(self, spec: GemmSpec, cfg: TileConfig) -> float:
-        self.n_compiled += 1
+    def _compile_and_time(self, spec: GemmSpec, cfg: TileConfig, token: str = "") -> float:
+        """One compile+simulate. Genuine compile/launch rejections return
+        :data:`FAILED`; anything else (injected crashes, compiler bugs)
+        propagates for the recovery layer to classify."""
         t0 = time.perf_counter()
         try:
-            ts = self._build_timing_spec(spec, cfg)
-            latency = simulate_kernel(ts, self.gpu).latency_us
-        except (CompileError, ValueError):
-            latency = FAILED
-        self.compile_time_s += time.perf_counter() - t0
+            with faults.push_token(token):
+                faults.inject("compile")
+                try:
+                    ts = self._build_timing_spec(spec, cfg)
+                    latency = simulate_kernel(ts, self.gpu).latency_us
+                except (CompileError, ValueError):
+                    latency = FAILED
+        finally:
+            self.compile_time_s += time.perf_counter() - t0
+        self.n_compiled += 1
         return latency
 
-    def _record(self, key: Tuple, spec: GemmSpec, cfg: TileConfig, latency: float) -> None:
+    def _record(
+        self, key: Tuple, spec: GemmSpec, cfg: TileConfig, latency: float,
+        persist: bool = True,
+    ) -> None:
+        """Commit a result to the memory cache and (for genuine
+        measurements, not crash/timeout placeholders) the disk cache."""
         self._cache[key] = latency
-        if self.cache is not None:
+        if self.cache is not None and persist:
             self.cache.put(
                 measurement_key(self.gpu, spec, cfg, self.via_ir, version=self.cache.version),
                 latency,
@@ -175,26 +292,168 @@ class Measurer:
                 return disk
         return None
 
+    # ------------------------------------------------------------- recovery
+    def _note_failure(
+        self, spec: GemmSpec, cfg: TileConfig, reason: str, detail: str, attempt: int
+    ) -> None:
+        self.failures.append(
+            MeasureFailure(
+                spec=spec.name, config=cfg.key(), reason=reason,
+                detail=detail, attempt=attempt,
+            )
+        )
+
+    def _measure_with_recovery(self, spec: GemmSpec, cfg: TileConfig, key: Tuple) -> None:
+        """Serial (in-process) trial with bounded retry; crash-class
+        exceptions become :data:`FAILED` + quarantine instead of aborting
+        the sweep."""
+        token_base = _cfg_token(spec, cfg)
+        for attempt in range(self.retries + 1):
+            try:
+                latency = self._compile_and_time(spec, cfg, token=f"{token_base}#a{attempt}")
+                self._record(key, spec, cfg, latency)
+                return
+            except Exception as e:
+                self.n_crashes += 1
+                self._note_failure(spec, cfg, "crash", repr(e), attempt)
+                if attempt < self.retries:
+                    self.n_retries += 1
+                    time.sleep(self.backoff_s * (2**attempt))
+        self.quarantined.add(key)
+        self._record(key, spec, cfg, FAILED, persist=False)
+
+    # ----------------------------------------------------------------- pool
+    def _run_pool(self, spec: GemmSpec, tasks: List[Tuple[Tuple, TileConfig]],
+                  width: int) -> None:
+        """Fault-tolerant worker pool: one process per trial attempt,
+        per-future deadlines, crash recovery with retry/backoff, quarantine
+        for repeat offenders. A dead or hung worker affects exactly its own
+        trial; the sweep always completes."""
+        import collections
+        import multiprocessing as mp
+        from multiprocessing import connection as mp_conn
+
+        ctx = mp.get_context()
+        # (key, cfg, attempt, not_before_monotonic)
+        queue = collections.deque((key, cfg, 0, 0.0) for key, cfg in tasks)
+        running: Dict[object, tuple] = {}
+
+        def pop_ready(now: float):
+            for _ in range(len(queue)):
+                item = queue.popleft()
+                if item[3] <= now:
+                    return item
+                queue.append(item)
+            return None
+
+        def on_crash(key, cfg, attempt, detail):
+            self.n_crashes += 1
+            self._note_failure(spec, cfg, "crash", detail, attempt)
+            if attempt < self.retries:
+                self.n_retries += 1
+                queue.append(
+                    (key, cfg, attempt + 1,
+                     time.monotonic() + self.backoff_s * (2**attempt))
+                )
+            else:
+                self.quarantined.add(key)
+                self._record(key, spec, cfg, FAILED, persist=False)
+
+        def reap(sid):
+            proc, conn, *_ = running.pop(sid)
+            proc.join(timeout=1.0)
+            conn.close()
+
+        try:
+            while queue or running:
+                now = time.monotonic()
+                while len(running) < width:
+                    item = pop_ready(now)
+                    if item is None:
+                        break
+                    key, cfg, attempt, _ = item
+                    if key in self.quarantined:
+                        self._record(key, spec, cfg, FAILED, persist=False)
+                        continue
+                    token = f"{_cfg_token(spec, cfg)}#a{attempt}"
+                    parent_conn, child_conn = ctx.Pipe(duplex=False)
+                    proc = ctx.Process(
+                        target=_trial_main,
+                        args=(child_conn, self.gpu, self.via_ir, spec, cfg, token),
+                        daemon=True,
+                    )
+                    proc.start()
+                    child_conn.close()
+                    deadline = (
+                        now + self.trial_timeout_s
+                        if self.trial_timeout_s is not None else None
+                    )
+                    running[proc.sentinel] = (proc, parent_conn, key, cfg, attempt, deadline)
+                if not running:
+                    # everything is backing off; wait out the shortest delay
+                    time.sleep(min(self.backoff_s, 0.05))
+                    continue
+                waitables = [r[1] for r in running.values()]
+                waitables += [r[0].sentinel for r in running.values()]
+                mp_conn.wait(waitables, timeout=0.05)
+                for sid in list(running):
+                    proc, conn, key, cfg, attempt, deadline = running[sid]
+                    if conn.poll():
+                        try:
+                            payload = conn.recv()
+                        except (EOFError, OSError):
+                            payload = None
+                        if payload is not None and payload[0] == "ok":
+                            _, latency, compile_s = payload
+                            self.n_compiled += 1
+                            self.compile_time_s += compile_s
+                            self._record(key, spec, cfg, latency)
+                        else:
+                            detail = payload[1] if payload else "worker closed pipe"
+                            on_crash(key, cfg, attempt, detail)
+                        reap(sid)
+                    elif not proc.is_alive():
+                        if conn.poll():
+                            continue  # result raced process exit; next pass
+                        on_crash(key, cfg, attempt, f"worker died (exit code {proc.exitcode})")
+                        reap(sid)
+                    elif deadline is not None and time.monotonic() > deadline:
+                        proc.terminate()
+                        self.n_timeouts += 1
+                        self._note_failure(
+                            spec, cfg, "timeout",
+                            f"exceeded {self.trial_timeout_s}s wall clock", attempt,
+                        )
+                        self._record(key, spec, cfg, FAILED, persist=False)
+                        reap(sid)
+        except KeyboardInterrupt:
+            # Completed trials are already committed to the caches; just
+            # put the workers down before propagating.
+            for proc, *_ in running.values():
+                proc.terminate()
+            for proc, conn, *_ in running.values():
+                proc.join(timeout=1.0)
+                conn.close()
+            raise
+
+    # ------------------------------------------------------------------ api
     def measure(self, spec: GemmSpec, cfg: TileConfig) -> float:
         """Latency in us, or :data:`FAILED` when compilation fails."""
-        key = self._key(spec, cfg)
-        hit = self._lookup(key, spec, cfg)
-        if hit is not None:
-            return hit
-        latency = self._compile_and_time(spec, cfg)
-        self._record(key, spec, cfg, latency)
-        return latency
+        return self.measure_many(spec, [cfg])[0]
 
-    def measure_many(self, spec: GemmSpec, cfgs: Sequence[TileConfig]) -> List[float]:
-        """Measure a batch; fans out over ``jobs`` worker processes.
+    def measure_many(
+        self, spec: GemmSpec, cfgs: Sequence[TileConfig], jobs: Optional[int] = None
+    ) -> List[float]:
+        """Measure a batch; fans out over worker processes.
 
-        Cache hits are answered in-process; only distinct uncached configs
-        reach the pool. Results (and cache writes) are merged in input
-        order, so the output is identical to ``[measure(spec, c) for c in
-        cfgs]`` bit for bit.
+        ``jobs`` explicitly overrides the pool width for this call only —
+        the measurer's configured width is never mutated, so re-entrant or
+        failed sweeps cannot leave a stale pool width behind. Cache hits
+        are answered in-process; only distinct uncached configs reach the
+        pool. Results (and cache writes) are merged in input order, so the
+        output is identical to the serial path bit for bit.
         """
-        if self.jobs <= 1 or len(cfgs) <= 1:
-            return [self.measure(spec, cfg) for cfg in cfgs]
+        width = self.jobs if jobs is None else max(1, int(jobs))
         results: Dict[int, float] = {}
         pending: Dict[Tuple, List[int]] = {}
         order: List[Tuple[Tuple, TileConfig]] = []
@@ -210,25 +469,14 @@ class Measurer:
             pending[key] = [i]
             order.append((key, cfg))
         if order:
-            import concurrent.futures
-
-            t0 = time.perf_counter()
-            with concurrent.futures.ProcessPoolExecutor(
-                max_workers=min(self.jobs, len(order))
-            ) as pool:
-                latencies = list(
-                    pool.map(
-                        _measure_worker,
-                        [(self.gpu, self.via_ir, spec, cfg) for _, cfg in order],
-                        chunksize=max(1, len(order) // (4 * self.jobs)),
-                    )
-                )
-            self.compile_time_s += time.perf_counter() - t0
-            self.n_compiled += len(order)
-            for (key, cfg), latency in zip(order, latencies):
-                self._record(key, spec, cfg, latency)
+            if width <= 1 and self.trial_timeout_s is None:
+                for key, cfg in order:
+                    self._measure_with_recovery(spec, cfg, key)
+            else:
+                self._run_pool(spec, order, width)
+            for key, _ in order:
                 for i in pending[key]:
-                    results[i] = latency
+                    results[i] = self._cache[key]
         return [results[i] for i in range(len(cfgs))]
 
     def sweep(
@@ -236,19 +484,19 @@ class Measurer:
     ) -> List[float]:
         """Measure every config; failed builds yield :data:`FAILED`.
 
-        ``jobs`` temporarily overrides the pool width for this sweep.
+        ``jobs`` overrides the pool width for this sweep only (passed
+        through :meth:`measure_many` explicitly, never stored).
         """
-        if jobs is None:
-            return self.measure_many(spec, list(space))
-        saved = self.jobs
-        self.jobs = max(1, int(jobs))
-        try:
-            return self.measure_many(spec, list(space))
-        finally:
-            self.jobs = saved
+        return self.measure_many(spec, list(space), jobs=jobs)
 
     def best(self, spec: GemmSpec, space: Sequence[TileConfig]) -> Tuple[TileConfig, float]:
         """Exhaustive-search optimum over ``space``."""
+        space = list(space)
+        if not space:
+            raise CompileError(
+                f"cannot search an empty design space for {spec.name}: every "
+                "candidate was removed by the variant/space restrictions"
+            )
         latencies = self.sweep(spec, space)
         idx = min(range(len(space)), key=lambda i: latencies[i])
         if latencies[idx] == FAILED:

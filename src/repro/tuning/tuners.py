@@ -88,13 +88,17 @@ class Tuner:
     def _next_batch(self, n: int) -> List[TileConfig]:
         raise NotImplementedError
 
-    def tune(self, n_trials: int) -> TuneHistory:
+    def tune(self, n_trials: int, on_trial=None) -> TuneHistory:
         """Run until ``n_trials`` measurements have been recorded.
 
         Proposals that re-visit an already-measured config (an SA chain or
         cold-start batch can re-propose one) are dropped before they reach
         the history, so the trial budget is only ever spent on distinct
         schedules and best-in-k curves never flatten on duplicates.
+
+        ``on_trial(config, latency_us)`` is invoked after each recorded
+        trial — the hook crash-safe tuning sessions use to journal every
+        measurement to disk (:class:`repro.tuning.session.TuneSession`).
         """
         while len(self.history) < n_trials:
             want = n_trials - len(self.history)
@@ -116,6 +120,8 @@ class Tuner:
             latencies = self.measurer.measure_many(self.spec, fresh)
             for cfg, latency in zip(fresh, latencies):
                 self.history.append(cfg, latency)
+                if on_trial is not None:
+                    on_trial(cfg, latency)
         return self.history
 
     def _measured_keys(self) -> set:

@@ -1,0 +1,151 @@
+"""The fault-injection machinery itself: plans, determinism, activation."""
+
+import os
+
+import pytest
+
+from repro import faults
+from repro.core.errors import FaultInjected, SimulationError
+
+
+class TestFaultRule:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            faults.FaultRule("warp-scheduler", "crash")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            faults.FaultRule("compile", "spontaneous-combustion")
+
+    def test_rate_bounds(self):
+        with pytest.raises(ValueError, match="rate"):
+            faults.FaultRule("compile", "crash", rate=1.5)
+
+    def test_wildcard_site_allowed(self):
+        faults.FaultRule("*", "crash")
+
+
+class TestFaultPlan:
+    def test_json_roundtrip(self):
+        plan = faults.FaultPlan(
+            [
+                faults.FaultRule("worker", "worker-death", rate=0.25, match="#a0"),
+                faults.FaultRule("simulate", "corrupt-latency", corrupt_factor=7.0),
+            ],
+            seed=42,
+        )
+        again = faults.FaultPlan.from_json(plan.to_json())
+        assert again.seed == 42
+        assert again.rules == plan.rules
+
+    def test_compact_parse(self):
+        plan = faults.FaultPlan.parse("worker:crash:0.5,simulate:hang", seed=3)
+        assert plan.seed == 3
+        assert plan.rules[0] == faults.FaultRule("worker", "crash", rate=0.5)
+        assert plan.rules[1] == faults.FaultRule("simulate", "hang")
+
+    def test_compact_parse_rejects_garbage(self):
+        with pytest.raises(ValueError, match="site:kind"):
+            faults.FaultPlan.parse("worker")
+
+    def test_rate_decision_is_deterministic(self):
+        rule = faults.FaultRule("compile", "crash", rate=0.5)
+        a = faults.FaultPlan([rule], seed=1)
+        b = faults.FaultPlan([rule], seed=1)
+        tokens = [f"cfg-{i}" for i in range(64)]
+        da = [a.matching("compile", t, ("crash",)) is not None for t in tokens]
+        db = [b.matching("compile", t, ("crash",)) is not None for t in tokens]
+        assert da == db
+        # Rate ~0.5 must actually split the population.
+        assert 8 < sum(da) < 56
+
+    def test_seed_changes_decisions(self):
+        rule = faults.FaultRule("compile", "crash", rate=0.5)
+        tokens = [f"cfg-{i}" for i in range(64)]
+        d1 = [
+            faults.FaultPlan([rule], seed=1).matching("compile", t, ("crash",)) is not None
+            for t in tokens
+        ]
+        d2 = [
+            faults.FaultPlan([rule], seed=2).matching("compile", t, ("crash",)) is not None
+            for t in tokens
+        ]
+        assert d1 != d2
+
+    def test_match_substring_targets_tokens(self):
+        plan = faults.FaultPlan([faults.FaultRule("compile", "crash", match="#a0")])
+        assert plan.matching("compile", "cfg#a0", ("crash",)) is not None
+        assert plan.matching("compile", "cfg#a1", ("crash",)) is None
+
+    def test_max_hits_caps_firing(self):
+        plan = faults.FaultPlan([faults.FaultRule("compile", "crash", max_hits=2)])
+        fired = [plan.matching("compile", f"t{i}", ("crash",)) is not None for i in range(5)]
+        assert fired == [True, True, False, False, False]
+
+    def test_duplicate_rules_count_hits_separately(self):
+        rule = faults.FaultRule("compile", "crash", max_hits=1)
+        plan = faults.FaultPlan([rule, rule])
+        assert plan.matching("compile", "t0", ("crash",)) is not None
+        assert plan.matching("compile", "t1", ("crash",)) is not None
+        assert plan.matching("compile", "t2", ("crash",)) is None
+
+
+class TestActivation:
+    def test_injected_context_restores_previous_state(self):
+        faults.deactivate()
+        plan = faults.FaultPlan([faults.FaultRule("compile", "crash")])
+        with faults.injected(plan):
+            assert faults.active_plan() is plan
+            assert os.environ.get(faults.ENV_VAR) == plan.to_json()
+        assert faults.active_plan() is None
+        assert faults.ENV_VAR not in os.environ
+
+    def test_injected_nests(self):
+        faults.deactivate()
+        outer = faults.FaultPlan([faults.FaultRule("compile", "crash")])
+        inner = faults.FaultPlan([faults.FaultRule("simulate", "hang")])
+        with faults.injected(outer):
+            with faults.injected(inner):
+                assert faults.active_plan() is inner
+            assert faults.active_plan() is outer
+        assert faults.active_plan() is None
+
+    def test_env_plan_adopted_by_fresh_process_state(self, monkeypatch):
+        plan = faults.FaultPlan([faults.FaultRule("compile", "crash")], seed=9)
+        monkeypatch.setenv(faults.ENV_VAR, plan.to_json())
+        # Simulate a freshly spawned worker: module state not yet resolved.
+        monkeypatch.setattr(faults, "_active", None)
+        monkeypatch.setattr(faults, "_env_checked", False)
+        adopted = faults.active_plan()
+        assert adopted is not None and adopted.seed == 9
+
+    def test_inject_noop_without_plan(self):
+        faults.deactivate()
+        faults.inject("compile", token="anything")  # must not raise
+
+    def test_inject_crash_raises_fault(self):
+        with faults.injected(faults.FaultPlan([faults.FaultRule("compile", "crash")])):
+            with pytest.raises(FaultInjected) as ei:
+                faults.inject("compile", token="t")
+        assert ei.value.site == "compile"
+        assert ei.value.stage == "fault"
+
+    def test_simulate_crash_raises_simulation_error(self):
+        with faults.injected(faults.FaultPlan([faults.FaultRule("simulate", "crash")])):
+            with pytest.raises(SimulationError):
+                faults.inject("simulate", token="t")
+
+    def test_corrupt_multiplies(self):
+        rule = faults.FaultRule("simulate", "corrupt-latency", corrupt_factor=10.0)
+        with faults.injected(faults.FaultPlan([rule])):
+            assert faults.corrupt("simulate", 2.0, token="t") == 20.0
+        assert faults.corrupt("simulate", 2.0, token="t") == 2.0
+
+    def test_ambient_token_reaches_nested_site(self):
+        plan = faults.FaultPlan([faults.FaultRule("simulate", "crash", match="special")])
+        with faults.injected(plan):
+            faults.inject("simulate")  # no ambient token: no match
+            with faults.push_token("special-trial"):
+                with pytest.raises(SimulationError):
+                    faults.inject("simulate")
+            faults.inject("simulate")  # token popped again

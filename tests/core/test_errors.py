@@ -1,0 +1,101 @@
+"""The unified error taxonomy: stages, structure, and back-compat aliases."""
+
+import pytest
+
+from repro.core.errors import (
+    CompileError,
+    DegradationEvent,
+    FaultInjected,
+    MeasurementTimeout,
+    ReproError,
+    ScheduleError,
+    SimulationError,
+    SyncVerificationError,
+    TransformError,
+    WorkerCrash,
+)
+
+STAGES = {
+    ScheduleError: "schedule",
+    TransformError: "transform",
+    SyncVerificationError: "sync-verify",
+    SimulationError: "simulate",
+    CompileError: "compile",
+    MeasurementTimeout: "measure",
+    WorkerCrash: "measure",
+    FaultInjected: "fault",
+}
+
+
+class TestTaxonomy:
+    @pytest.mark.parametrize("cls,stage", sorted(STAGES.items(), key=lambda kv: kv[0].__name__))
+    def test_stage_and_subclassing(self, cls, stage):
+        err = cls("boom")
+        assert isinstance(err, ReproError)
+        assert err.stage == stage
+        assert err.message == "boom"
+
+    def test_diagnostic_is_preserved(self):
+        err = CompileError("nope", diagnostic={"spec": "x"})
+        assert err.diagnostic == {"spec": "x"}
+
+    def test_describe_mentions_stage(self):
+        assert "transform" in TransformError("bad loop").describe()
+
+    def test_fault_injected_carries_site_and_kind(self):
+        err = FaultInjected("injected", site="worker", kind="crash")
+        assert err.site == "worker" and err.kind == "crash"
+
+    def test_catching_reproerror_catches_everything(self):
+        for cls in STAGES:
+            with pytest.raises(ReproError):
+                raise cls("x")
+
+
+class TestBackCompat:
+    def test_gpusim_compile_error_is_the_taxonomy_class(self):
+        from repro.gpusim.occupancy import CompileError as OccCompileError
+
+        assert OccCompileError is CompileError
+
+    def test_schedule_errors_fold_in(self):
+        from repro.schedule.errors import OrderingError, PipelineRejected
+
+        assert issubclass(OrderingError, ScheduleError)
+        assert issubclass(PipelineRejected, ScheduleError)
+        err = PipelineRejected("rule7", "too deep")
+        assert "rule7" in str(err)
+
+    def test_transform_error_folds_in(self):
+        from repro.transform.analysis import TransformError as TError
+
+        assert TError is TransformError
+
+    def test_synccheck_error_folds_in(self):
+        from repro.ir.syncheck import SyncCheckError
+
+        assert issubclass(SyncCheckError, SyncVerificationError)
+
+    def test_core_package_reexports(self):
+        import repro.core as core
+
+        assert core.CompileError is CompileError
+        assert core.ReproError is ReproError
+        # Lazy heavy exports still resolve.
+        assert core.VARIANTS[0] == "alcop"
+        assert "AlcopCompiler" in dir(core)
+
+
+class TestDegradationEvent:
+    def test_str_shows_transition(self):
+        ev = DegradationEvent(
+            op="MM", from_variant="alcop", to_variant="tvm-db",
+            stage="transform", reason="rejected",
+        )
+        s = str(ev)
+        assert "MM" in s and "alcop" in s and "tvm-db" in s
+
+    def test_frozen(self):
+        ev = DegradationEvent("a", "b", "c", "d", "e")
+        with pytest.raises(Exception):
+            ev.op = "x"

@@ -21,7 +21,7 @@ def job_commands(job):
 
 def test_workflow_parses_and_has_expected_jobs(workflow):
     assert workflow["name"] == "CI"
-    assert set(workflow["jobs"]) == {"lint", "tests", "sync-safety", "bench-smoke"}
+    assert set(workflow["jobs"]) == {"lint", "tests", "sync-safety", "bench-smoke", "chaos"}
 
 
 def test_triggers_cover_push_and_pr(workflow):
@@ -52,6 +52,22 @@ def test_job_command_lines(workflow):
     assert "PYTHONPATH=src python -m pytest benchmarks --smoke -q --cache-dir .bench-cache" in (
         job_commands(workflow["jobs"]["bench-smoke"])
     )
+
+
+def test_chaos_job_contract(workflow):
+    """The chaos job must run the chaos test suite AND an end-to-end tune
+    under an injected fault plan that exercises all three recovery paths
+    (dead workers, hung workers, corrupted latencies)."""
+    cmds = job_commands(workflow["jobs"]["chaos"])
+    assert "PYTHONPATH=src python -m pytest tests/chaos -q" in cmds
+    faulted = [c for c in cmds if "--fault-plan" in c]
+    assert len(faulted) == 1, "chaos job must run one faulted tune"
+    cmd = faulted[0]
+    assert "repro.cli tune" in cmd
+    assert "--trial-timeout" in cmd, "hang recovery needs a trial timeout"
+    assert "--jobs" in cmd, "worker-death recovery needs a process pool"
+    for kind in ("worker-death", "hang", "corrupt-latency"):
+        assert kind in cmd, f"fault plan must inject {kind}"
 
 
 def test_bench_smoke_runs_cold_then_warm(workflow):
