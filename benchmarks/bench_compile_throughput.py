@@ -1,0 +1,160 @@
+"""Compile-path throughput tracking (no paper figure — perf trajectory).
+
+Three numbers, recorded as JSON so their trajectory is tracked from PR to
+PR by the CI artifact:
+
+* **batch-model speedup** — ``analytical_rank`` via the vectorized batch
+  model (:mod:`repro.perfmodel.batch`) against the pre-batching scalar
+  loop, on a multi-thousand-config full space;
+* **cold configs/sec** — trials through the full ``via_ir`` compiler path
+  (schedule, lower, pipelining transform, spec extraction, simulation) on
+  an empty cache, with the per-stage breakdown alongside;
+* **warm configs/sec** — the same sweep answered from the measurement
+  cache.
+
+Runs two ways: as a pytest benchmark inside the suite, and as a plain
+script (``python benchmarks/bench_compile_throughput.py --smoke --out
+FILE``) for the CI bench-smoke job, which uploads the JSON artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+#: The rank micro-benchmark space must stay >= 2000 configs — that scale is
+#: where the batch/scalar contrast is meaningful (and what the recorded
+#: speedup is defined over).
+RANK_MNK = (1024, 1024, 1024)
+RANK_MIN_CONFIGS = 2000
+#: Loose floor on the batch speedup: typically ~20x; the assert tolerates a
+#: loaded CI runner, the JSON records the exact measurement.
+RANK_SPEEDUP_FLOOR = 5.0
+
+
+def _best_of(fn, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_experiment(quick: bool, jobs: int = 1) -> dict:
+    from repro.gpusim import A100
+    from repro.tensor import GemmSpec
+    from repro.tuning import Measurer, SpaceOptions, enumerate_space
+    from repro.tuning.tuners import _analytical_rank_scalar, analytical_rank
+
+    # --- batch-vs-scalar analytical ranking ---------------------------------
+    rank_spec = GemmSpec("throughput_rank", 1, *RANK_MNK)
+    rank_space = enumerate_space(rank_spec, A100)
+    assert len(rank_space) >= RANK_MIN_CONFIGS
+    rounds = 2 if quick else 3
+    scalar_s = _best_of(lambda: _analytical_rank_scalar(rank_spec, rank_space), rounds)
+    batch_s = _best_of(lambda: analytical_rank(rank_spec, rank_space), rounds)
+
+    # --- cold/warm sweep through the full via_ir compile path ---------------
+    sweep_spec = GemmSpec("throughput_sweep", 1, 256, 256, 256)
+    sweep_space = enumerate_space(
+        sweep_spec, A100, options=SpaceOptions(max_size=48 if quick else 160)
+    )
+    measurer = Measurer(A100, via_ir=True, jobs=jobs)
+    t0 = time.perf_counter()
+    measurer.sweep(sweep_spec, sweep_space)
+    cold_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    measurer.sweep(sweep_spec, sweep_space)
+    warm_s = time.perf_counter() - t0
+
+    return {
+        "quick": quick,
+        "rank_space_size": len(rank_space),
+        "scalar_rank_s": scalar_s,
+        "batch_rank_s": batch_s,
+        "batch_speedup": scalar_s / batch_s,
+        "sweep_space_size": len(sweep_space),
+        "cold_sweep_s": cold_s,
+        "cold_configs_per_s": len(sweep_space) / cold_s,
+        "warm_sweep_s": warm_s,
+        "warm_configs_per_s": len(sweep_space) / warm_s,
+        "stage_time_s": dict(measurer.stage_times.ordered()),
+    }
+
+
+def format_table(r: dict) -> str:
+    lines = ["Compile throughput — batch model and via_ir hot path"]
+    lines.append(
+        f"analytical rank ({r['rank_space_size']} configs): "
+        f"scalar {r['scalar_rank_s'] * 1e3:7.1f} ms, "
+        f"batch {r['batch_rank_s'] * 1e3:6.1f} ms, "
+        f"speedup {r['batch_speedup']:.1f}x"
+    )
+    lines.append(
+        f"via_ir sweep ({r['sweep_space_size']} configs): "
+        f"cold {r['cold_configs_per_s']:7.1f} configs/s, "
+        f"warm {r['warm_configs_per_s']:9.1f} configs/s"
+    )
+    lines.append("per-stage compile breakdown (cold sweep):")
+    total = sum(r["stage_time_s"].values()) or 1.0
+    for name, s in r["stage_time_s"].items():
+        lines.append(f"  {name:12s} {s:8.4f}s  {100.0 * s / total:5.1f}%")
+    return "\n".join(lines)
+
+
+def check_invariants(r: dict) -> None:
+    assert r["batch_speedup"] >= RANK_SPEEDUP_FLOOR, (
+        f"batch analytical model only {r['batch_speedup']:.1f}x faster than "
+        f"the scalar loop (floor {RANK_SPEEDUP_FLOOR}x)"
+    )
+    assert r["warm_configs_per_s"] > r["cold_configs_per_s"], (
+        "warm (cached) sweep should beat the cold compile path"
+    )
+    assert r["stage_time_s"], "cold via_ir sweep recorded no stage breakdown"
+
+
+# ------------------------------------------------------------------ pytest
+def test_compile_throughput(benchmark):
+    from conftest import JOBS, QUICK, RESULTS_DIR, write_result
+
+    result = run_experiment(QUICK, jobs=JOBS)
+    check_invariants(result)
+    write_result("compile_throughput", format_table(result))
+    out = RESULTS_DIR / "compile_throughput.json"
+    out.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    print(f"[json written to {out}]")
+
+    from repro.tensor import GemmSpec
+    from repro.tuning import enumerate_space
+    from repro.tuning.tuners import analytical_rank
+
+    spec = GemmSpec("throughput_rank", 1, *RANK_MNK)
+    space = enumerate_space(spec)
+    benchmark.pedantic(lambda: analytical_rank(spec, space), rounds=3, iterations=1)
+
+
+# ------------------------------------------------------------------ script
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="reduced sweep sizes")
+    parser.add_argument("--jobs", type=int, default=1, help="measurement pool width")
+    parser.add_argument("--out", default=None, help="write the JSON record here")
+    args = parser.parse_args(argv)
+
+    result = run_experiment(args.smoke, jobs=args.jobs)
+    check_invariants(result)
+    print(format_table(result))
+    if args.out:
+        path = pathlib.Path(args.out)
+        path.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+        print(f"[json written to {path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

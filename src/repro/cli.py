@@ -45,6 +45,13 @@ def _add_measure_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--fault-plan", default=None,
                    help="fault-injection plan (JSON or site:kind[:rate],... "
                         "compact form); also read from $REPRO_FAULT_PLAN")
+    p.add_argument("--profile", action="store_true",
+                   help="print the per-stage compile/simulate wall-clock "
+                        "breakdown with the telemetry (docs/performance.md)")
+    p.add_argument("--via-ir", action="store_true",
+                   help="measure through the full compiler path (schedule/"
+                        "lower/transform/extract) instead of the static "
+                        "timing spec; slower but exercises every stage")
 
 
 def _measurer(args, gpu):
@@ -57,7 +64,7 @@ def _measurer(args, gpu):
     cache = MeasurementCache(args.cache_dir) if args.cache_dir else None
     return Measurer(
         gpu,
-        via_ir=False,
+        via_ir=bool(getattr(args, "via_ir", False)),
         cache=cache,
         jobs=args.jobs,
         trial_timeout_s=args.trial_timeout if args.trial_timeout > 0 else None,
@@ -65,13 +72,18 @@ def _measurer(args, gpu):
     )
 
 
-def _print_telemetry(measurer, wall_s: float) -> None:
-    print(f"telemetry: {measurer.telemetry.summary()}; wall {wall_s:.2f}s")
+def _print_telemetry(measurer, wall_s: float, profile: bool = False) -> None:
+    telemetry = measurer.telemetry
+    print(f"telemetry: {telemetry.summary()}; wall {wall_s:.2f}s")
     if measurer.cache is not None:
         print(f"cache    : {len(measurer.cache)} entries in {measurer.cache.path}")
     if measurer.quarantined:
         print(f"quarantined: {len(measurer.quarantined)} config(s) "
               "repeatedly killed workers and were excluded")
+    if profile:
+        print("profile  : per-stage compile/simulate breakdown")
+        for line in telemetry.profile_summary().splitlines():
+            print(f"  {line}")
 
 
 def _interrupted(measurer, wall_s: float, what: str) -> int:
@@ -115,7 +127,7 @@ def _cmd_compile(args) -> int:
     )
     print(f"tvm     : {tvm.latency_us:9.1f} us  {tvm.tflops:7.1f} TFLOP/s  {tvm.config}")
     print(f"speedup : {tvm.latency_us / alcop.latency_us:.2f}x")
-    _print_telemetry(measurer, time.perf_counter() - t0)
+    _print_telemetry(measurer, time.perf_counter() - t0, profile=args.profile)
     return 0
 
 
@@ -218,7 +230,10 @@ def _cmd_tune(args) -> int:
     try:
         space = enumerate_space(spec, gpu, options=SpaceOptions(max_size=args.space))
         _, best = measurer.best(spec, space)
-        tuner = methods[args.method](spec, space, measurer=measurer, gpu=gpu, seed=args.seed)
+        tuner = methods[args.method](
+            spec, space, measurer=measurer, gpu=gpu, seed=args.seed,
+            prune_ratio=args.prune_ratio or None,
+        )
         on_trial = session.log_trial if session is not None else None
         history = tuner.tune(args.trials, on_trial=on_trial)
     except KeyboardInterrupt:
@@ -228,11 +243,13 @@ def _cmd_tune(args) -> int:
             what += f"; resume with: repro tune --resume {session.path}"
         return _interrupted(measurer, time.perf_counter() - t0, what)
     print(f"space: {len(space)} schedules; exhaustive best {best:.1f} us")
+    if tuner.prune_stats is not None:
+        print(f"{tuner.prune_stats.summary()}")
     for k in (1, 2, 4, 8, 16, 32, args.trials):
         if k <= args.trials:
             print(f"  best-in-{k:<3d}: {history.normalized_curve([k], best)[0]:.3f}")
     print(f"best schedule: {history.best_config_at(args.trials)}")
-    _print_telemetry(measurer, time.perf_counter() - t0)
+    _print_telemetry(measurer, time.perf_counter() - t0, profile=args.profile)
     if session is not None:
         session.close()
     if args.out:
@@ -276,7 +293,7 @@ def _cmd_suite(args) -> int:
               f"{len({ev.op for ev in events})} operator(s)")
         for ev in events:
             print(f"  {ev}")
-    _print_telemetry(measurer, time.perf_counter() - t0)
+    _print_telemetry(measurer, time.perf_counter() - t0, profile=args.profile)
     return 0
 
 
@@ -377,6 +394,11 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["grid", "random", "xgb", "analytical", "model-assisted-xgb"])
     p.add_argument("--trials", type=int, default=_TRIALS_DEFAULT)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--prune-ratio", type=float, default=0.0,
+                   help="model-guided pruning: drop configs the analytical "
+                        "model prices beyond RATIO x its best prediction "
+                        "before measuring (0 = off, the default; "
+                        "docs/performance.md)")
     p.add_argument("--out", default=None, help="write a JSON tuning log here")
     p.add_argument("--session-dir", default=None,
                    help="journal every trial to this directory so a killed "

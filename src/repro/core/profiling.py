@@ -1,0 +1,101 @@
+"""Lightweight per-stage wall-clock profiling for the compile hot path.
+
+The measurement harness compiles thousands of schedules per sweep; knowing
+*which* stage (automatic scheduling, lowering, the pipelining transform,
+sync verification, timing-spec extraction, simulation) dominates is what
+turns "the sweep is slow" into an actionable optimization. Stages are
+annotated at their definition sites with :func:`stage`; any code that wants
+a breakdown activates a collector around the region of interest with
+:func:`collect`::
+
+    times = StageTimes()
+    with collect(times):
+        measurer.sweep(spec, space)
+    print(times.summary())
+
+When no collector is active, :func:`stage` costs one dict lookup — the hot
+path pays nothing measurable for being instrumented. Collectors nest:
+every active collector sees every stage, so a per-trial collector and a
+session-wide collector can coexist.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from typing import Dict, Iterator, List, Mapping, Tuple
+
+__all__ = ["StageTimes", "collect", "stage", "STAGE_ORDER"]
+
+#: Canonical display order of the compile/measure pipeline stages.
+STAGE_ORDER: Tuple[str, ...] = (
+    "schedule",
+    "lower",
+    "transform",
+    "syncheck",
+    "spec-extract",
+    "simulate",
+)
+
+
+class StageTimes(Dict[str, float]):
+    """Accumulated seconds per named stage (a plain dict with helpers)."""
+
+    def add(self, name: str, seconds: float) -> None:
+        self[name] = self.get(name, 0.0) + seconds
+
+    def merge(self, other: Mapping[str, float]) -> None:
+        """Fold another breakdown (e.g. from a worker process) into this one."""
+        for name, seconds in other.items():
+            self.add(name, seconds)
+
+    @property
+    def total(self) -> float:
+        return sum(self.values())
+
+    def ordered(self) -> List[Tuple[str, float]]:
+        """Items in canonical stage order, unknown stages last (by name)."""
+        known = [(n, self[n]) for n in STAGE_ORDER if n in self]
+        extra = sorted((n, t) for n, t in self.items() if n not in STAGE_ORDER)
+        return known + extra
+
+    def summary(self) -> str:
+        """Multi-line human-readable breakdown with percentages."""
+        total = self.total
+        if total <= 0.0:
+            return "no stages recorded"
+        lines = []
+        for name, t in self.ordered():
+            lines.append(f"{name:12s} {t:9.4f}s  {100.0 * t / total:5.1f}%")
+        lines.append(f"{'total':12s} {total:9.4f}s")
+        return "\n".join(lines)
+
+
+#: Active collectors, innermost last. Process-local; worker processes ship
+#: their finished breakdowns back over the result pipe instead of sharing.
+_ACTIVE: List[StageTimes] = []
+
+
+@contextlib.contextmanager
+def collect(into: StageTimes) -> Iterator[StageTimes]:
+    """Route every :func:`stage` duration inside the block into ``into``."""
+    _ACTIVE.append(into)
+    try:
+        yield into
+    finally:
+        _ACTIVE.remove(into)
+
+
+@contextlib.contextmanager
+def stage(name: str) -> Iterator[None]:
+    """Time the enclosed block under ``name`` (no-op when nothing collects)."""
+    if not _ACTIVE:
+        yield
+        return
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        dt = time.perf_counter() - t0
+        for collector in _ACTIVE:
+            collector.add(name, dt)

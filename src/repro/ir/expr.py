@@ -106,10 +106,29 @@ class Expr:
         return _binop("or", self, as_expr(other))
 
 
+#: Interned small-integer immediates. Lowering a kernel allocates the same
+#: handful of extents/strides/offsets thousands of times; immediates are
+#: immutable (compared structurally, never mutated after construction), so
+#: sharing one node per small value cuts per-trial allocation churn.
+_INT_INTERN: dict = {}
+_INT_INTERN_MIN, _INT_INTERN_MAX = -16, 1024
+
+
 class IntImm(Expr):
-    """Integer immediate."""
+    """Integer immediate. Small values are interned: ``IntImm(4)`` returns
+    a shared node, which is safe because immediates are immutable and all
+    IR comparisons are structural."""
 
     __slots__ = ("value",)
+
+    def __new__(cls, value: int = 0) -> "IntImm":
+        if cls is IntImm and type(value) is int and _INT_INTERN_MIN <= value <= _INT_INTERN_MAX:
+            cached = _INT_INTERN.get(value)
+            if cached is None:
+                cached = super().__new__(cls)
+                _INT_INTERN[value] = cached
+            return cached
+        return super().__new__(cls)
 
     def __init__(self, value: int) -> None:
         if not isinstance(value, int) or isinstance(value, bool):

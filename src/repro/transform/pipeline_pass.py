@@ -421,9 +421,11 @@ def apply_pipelining(kernel: Kernel, verify_sync: bool = False) -> Kernel:
     out = Kernel(kernel.name, kernel.params, body, dict(kernel.attrs))
     out.attrs["pipeline_groups"] = rw.group_infos()
     if verify_sync:
+        from ..core import profiling
         from ..ir.syncheck import SyncCheckError, check_kernel
 
-        errors = [d for d in check_kernel(out) if d.severity == "error"]
+        with profiling.stage("syncheck"):
+            errors = [d for d in check_kernel(out) if d.severity == "error"]
         if errors:
             raise SyncCheckError(errors)
     return out

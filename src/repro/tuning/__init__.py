@@ -11,9 +11,16 @@ from .cache import (
 from .features import FEATURE_NAMES, featurize, featurize_batch
 from .gbt import GradientBoostedTrees, RegressionTree
 from .measure import FAILED, Measurer, MeasureTelemetry
+from .prune import DEFAULT_PRUNE_RATIO, PruneStats, prune_space
 from .record import TrialRecord, TuneHistory, best_in_top_k
 from .sa import SimulatedAnnealingSampler
-from .space import SUBSPACES, SpaceOptions, enumerate_space, restrict_space
+from .space import (
+    SUBSPACES,
+    SpaceOptions,
+    clear_space_caches,
+    enumerate_space,
+    restrict_space,
+)
 from .tuners import (
     AnalyticalOnlyTuner,
     GridSearchTuner,
@@ -41,8 +48,12 @@ __all__ = [
     "TuneHistory",
     "best_in_top_k",
     "SimulatedAnnealingSampler",
+    "DEFAULT_PRUNE_RATIO",
+    "PruneStats",
+    "prune_space",
     "SUBSPACES",
     "SpaceOptions",
+    "clear_space_caches",
     "enumerate_space",
     "restrict_space",
     "AnalyticalOnlyTuner",

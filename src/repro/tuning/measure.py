@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from .. import faults
 from ..codegen import lower
+from ..core import profiling
 from ..core.errors import CompileError, MeasurementTimeout, ReproError, WorkerCrash
 from ..gpusim.config import A100, GpuSpec
 from ..gpusim.engine import simulate_kernel
@@ -39,8 +40,9 @@ from ..gpusim.spec import extract_timing_spec
 from ..perfmodel.static_spec import timing_spec_from_config
 from ..schedule.auto import auto_schedule
 from ..schedule.config import TileConfig
-from ..tensor.operation import GemmSpec, contraction, placeholder
+from ..tensor.operation import GemmSpec, Tensor, contraction, placeholder
 from .cache import MeasurementCache, measurement_key
+from .prune import prune_space
 
 __all__ = ["Measurer", "MeasureTelemetry", "MeasureFailure", "FAILED"]
 
@@ -64,6 +66,10 @@ class MeasureTelemetry:
     n_retries: int = 0
     #: configs that exhausted their retries by killing workers
     n_quarantined: int = 0
+    #: configs dropped by model-guided pruning before any compile
+    n_pruned: int = 0
+    #: accumulated (stage, seconds) compile-path breakdown, canonical order
+    stage_time_s: Tuple[Tuple[str, float], ...] = ()
 
     @property
     def n_measured(self) -> int:
@@ -75,6 +81,8 @@ class MeasureTelemetry:
             f"({self.compile_time_s:.2f}s), {self.memory_hits} memory hits, "
             f"{self.disk_hits} disk-cache hits"
         )
+        if self.n_pruned:
+            out += f"; {self.n_pruned} pruned by the analytical model"
         if self.n_crashes or self.n_timeouts:
             out += (
                 f"; {self.n_crashes} crashed attempt(s) "
@@ -82,6 +90,12 @@ class MeasureTelemetry:
                 f"{self.n_timeouts} timeout(s)"
             )
         return out
+
+    def profile_summary(self) -> str:
+        """Per-stage wall-clock breakdown of the compile+simulate path."""
+        times = profiling.StageTimes()
+        times.merge(dict(self.stage_time_s))
+        return times.summary()
 
 
 @dataclasses.dataclass(frozen=True)
@@ -122,8 +136,9 @@ def _trial_main(conn, gpu: GpuSpec, via_ir: bool, spec: GemmSpec, cfg: TileConfi
     """Measurement worker process: one compile+simulate in a fresh Measurer.
 
     Runs exactly the serial code path, so a pooled sweep returns the same
-    bits as a serial one. Sends ``("ok", latency, compile_s)`` on success
-    (``inf`` for genuine compile failures), ``("crash", detail)`` when the
+    bits as a serial one. Sends ``("ok", latency, compile_s, stage_times)``
+    on success (``inf`` for genuine compile failures; ``stage_times`` is the
+    worker's per-stage breakdown dict), ``("crash", detail)`` when the
     trial raised, and nothing at all when the process is killed outright
     (worker death) — the parent treats silence as a crash.
     """
@@ -132,7 +147,7 @@ def _trial_main(conn, gpu: GpuSpec, via_ir: bool, spec: GemmSpec, cfg: TileConfi
         faults.inject("worker", token=token)
         m = Measurer(gpu, via_ir=via_ir)
         latency = m._compile_and_time(spec, cfg, token=token)
-        conn.send(("ok", latency, m.compile_time_s))
+        conn.send(("ok", latency, m.compile_time_s, dict(m.stage_times)))
     except Exception as e:  # crash-class fault or unexpected compiler bug
         try:
             conn.send(("crash", repr(e)))
@@ -192,6 +207,11 @@ class Measurer:
         self.retries = max(0, int(retries))
         self.backoff_s = backoff_s
         self._cache: Dict[Tuple, float] = {}
+        #: canonical tensor-expression graph per problem: building the
+        #: placeholders + contraction is config-independent, so one graph
+        #: serves every trial of a spec (auto_schedule never mutates it —
+        #: cache_read materializes new tensors).
+        self._te_cache: Dict[GemmSpec, Tensor] = {}
         self.n_compiled = 0
         self.n_memory_hits = 0
         self.n_disk_hits = 0
@@ -199,6 +219,13 @@ class Measurer:
         self.n_crashes = 0
         self.n_timeouts = 0
         self.n_retries = 0
+        #: configs dropped by model-guided pruning (opt-in, sweep-level)
+        self.n_pruned = 0
+        #: newest :class:`~repro.tuning.prune.PruneStats` from a pruned sweep
+        self.last_prune_stats = None
+        #: accumulated per-stage compile-path wall clock (schedule / lower /
+        #: transform / spec-extract / simulate), including pooled workers.
+        self.stage_times = profiling.StageTimes()
         #: in-memory keys of configs that exhausted retries by killing
         #: workers; they are never resubmitted by this measurer.
         self.quarantined: set = set()
@@ -216,6 +243,8 @@ class Measurer:
             n_timeouts=self.n_timeouts,
             n_retries=self.n_retries,
             n_quarantined=len(self.quarantined),
+            n_pruned=self.n_pruned,
+            stage_time_s=tuple(self.stage_times.ordered()),
         )
 
     def _key(self, spec: GemmSpec, cfg: TileConfig) -> Tuple:
@@ -225,18 +254,34 @@ class Measurer:
         measurement modes must never serve stale latencies."""
         return (self.gpu, self.via_ir, spec, cfg.key())
 
+    def _te_graph(self, spec: GemmSpec) -> Tensor:
+        """The canonical (placeholder + contraction) graph for ``spec``,
+        built once and reused by every trial of the sweep."""
+        c = self._te_cache.get(spec)
+        if c is None:
+            a_shape = (spec.batch, spec.m, spec.k) if spec.batch > 1 else (spec.m, spec.k)
+            b_shape = (spec.batch, spec.n, spec.k) if spec.batch > 1 else (spec.n, spec.k)
+            a = placeholder("A", a_shape, dtype=spec.dtype)
+            b = placeholder("B", b_shape, dtype=spec.dtype)
+            c = contraction(a, b, spec)
+            self._te_cache[spec] = c
+        return c
+
     def _build_timing_spec(self, spec: GemmSpec, cfg: TileConfig):
         if not self.via_ir:
-            return timing_spec_from_config(spec, cfg)
+            with profiling.stage("spec-extract"):
+                return timing_spec_from_config(spec, cfg)
         from ..transform import apply_pipelining
 
-        a_shape = (spec.batch, spec.m, spec.k) if spec.batch > 1 else (spec.m, spec.k)
-        b_shape = (spec.batch, spec.n, spec.k) if spec.batch > 1 else (spec.n, spec.k)
-        a = placeholder("A", a_shape, dtype=spec.dtype)
-        b = placeholder("B", b_shape, dtype=spec.dtype)
-        c = contraction(a, b, spec)
-        kernel = apply_pipelining(lower(auto_schedule(c, cfg)))
-        return extract_timing_spec(kernel)
+        c = self._te_graph(spec)
+        with profiling.stage("schedule"):
+            sched = auto_schedule(c, cfg)
+        with profiling.stage("lower"):
+            kernel = lower(sched)
+        with profiling.stage("transform"):
+            kernel = apply_pipelining(kernel)
+        with profiling.stage("spec-extract"):
+            return extract_timing_spec(kernel)
 
     def _compile_and_time(self, spec: GemmSpec, cfg: TileConfig, token: str = "") -> float:
         """One compile+simulate. Genuine compile/launch rejections return
@@ -244,11 +289,12 @@ class Measurer:
         propagates for the recovery layer to classify."""
         t0 = time.perf_counter()
         try:
-            with faults.push_token(token):
+            with faults.push_token(token), profiling.collect(self.stage_times):
                 faults.inject("compile")
                 try:
                     ts = self._build_timing_spec(spec, cfg)
-                    latency = simulate_kernel(ts, self.gpu).latency_us
+                    with profiling.stage("simulate"):
+                        latency = simulate_kernel(ts, self.gpu).latency_us
                 except (CompileError, ValueError):
                     latency = FAILED
         finally:
@@ -404,9 +450,10 @@ class Measurer:
                         except (EOFError, OSError):
                             payload = None
                         if payload is not None and payload[0] == "ok":
-                            _, latency, compile_s = payload
+                            _, latency, compile_s, stage_times = payload
                             self.n_compiled += 1
                             self.compile_time_s += compile_s
+                            self.stage_times.merge(stage_times)
                             self._record(key, spec, cfg, latency)
                         else:
                             detail = payload[1] if payload else "worker closed pipe"
@@ -480,14 +527,32 @@ class Measurer:
         return [results[i] for i in range(len(cfgs))]
 
     def sweep(
-        self, spec: GemmSpec, space: Sequence[TileConfig], jobs: Optional[int] = None
+        self,
+        spec: GemmSpec,
+        space: Sequence[TileConfig],
+        jobs: Optional[int] = None,
+        prune_ratio: Optional[float] = None,
     ) -> List[float]:
         """Measure every config; failed builds yield :data:`FAILED`.
 
         ``jobs`` overrides the pool width for this sweep only (passed
         through :meth:`measure_many` explicitly, never stored).
+
+        ``prune_ratio`` (opt-in, default off) runs the model-guided pruning
+        pass first: configs the analytical model prices beyond
+        ``prune_ratio`` times its best prediction are recorded
+        :data:`FAILED` without ever being compiled. Positions in the
+        returned list still correspond 1:1 to ``space``.
         """
-        return self.measure_many(spec, list(space), jobs=jobs)
+        space = list(space)
+        if not prune_ratio:
+            return self.measure_many(spec, space, jobs=jobs)
+        kept, stats = prune_space(spec, space, self.gpu, prune_ratio)
+        self.n_pruned += stats.n_total - stats.n_kept
+        self.last_prune_stats = stats
+        kept_latency = self.measure_many(spec, kept, jobs=jobs)
+        by_key = {cfg.key(): lat for cfg, lat in zip(kept, kept_latency)}
+        return [by_key.get(cfg.key(), FAILED) for cfg in space]
 
     def best(self, spec: GemmSpec, space: Sequence[TileConfig]) -> Tuple[TileConfig, float]:
         """Exhaustive-search optimum over ``space``."""

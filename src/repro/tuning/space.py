@@ -19,14 +19,21 @@ phenomenon of Fig. 12. Use ``launchable_only=True`` to pre-filter.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Sequence
+from collections import OrderedDict
+from typing import List, Optional, Sequence, Tuple
 
 from ..gpusim.config import A100, GpuSpec
 from ..gpusim.occupancy import CompileError, check_launchable
 from ..schedule.config import TileConfig
 from ..tensor.operation import GemmSpec
 
-__all__ = ["SpaceOptions", "enumerate_space", "SUBSPACES", "restrict_space"]
+__all__ = [
+    "SpaceOptions",
+    "enumerate_space",
+    "SUBSPACES",
+    "restrict_space",
+    "clear_space_caches",
+]
 
 _BLOCK_MN = (16, 32, 64, 128, 256)
 _BLOCK_K = (16, 32, 64)
@@ -48,6 +55,33 @@ class SpaceOptions:
     max_size: "int | None" = None
 
 
+# Enumeration and variant restriction are pure functions of hashable,
+# frozen inputs, and the compiler's variant ladder plus the benchmarks call
+# them with the same arguments over and over — so both are memoized in
+# small LRU caches. Tuples are stored internally; callers get a fresh list
+# each time, so mutating a returned space can never corrupt the cache.
+_ENUM_CACHE_SIZE = 64
+_enum_cache: "OrderedDict[Tuple[GemmSpec, GpuSpec, SpaceOptions], Tuple[TileConfig, ...]]" = (
+    OrderedDict()
+)
+_RESTRICT_CACHE_SIZE = 64
+_restrict_cache: "OrderedDict[Tuple[str, Tuple[TileConfig, ...]], Tuple[TileConfig, ...]]" = (
+    OrderedDict()
+)
+
+
+def clear_space_caches() -> None:
+    """Drop both memo caches (tests and long-lived sessions)."""
+    _enum_cache.clear()
+    _restrict_cache.clear()
+
+
+def _cache_put(cache: "OrderedDict", size: int, key, value) -> None:
+    cache[key] = value
+    while len(cache) > size:
+        cache.popitem(last=False)
+
+
 def enumerate_space(
     spec: GemmSpec,
     gpu: GpuSpec = A100,
@@ -55,6 +89,21 @@ def enumerate_space(
 ) -> List[TileConfig]:
     """All candidate schedules for ``spec``, in deterministic grid order."""
     opt = options or SpaceOptions()
+    key = (spec, gpu, opt)
+    cached = _enum_cache.get(key)
+    if cached is not None:
+        _enum_cache.move_to_end(key)
+        return list(cached)
+    out = _enumerate_space_uncached(spec, gpu, opt)
+    # Only successful enumerations are cached; the empty-space ValueError
+    # path stays uncached so its message is always raised fresh.
+    _cache_put(_enum_cache, _ENUM_CACHE_SIZE, key, tuple(out))
+    return out
+
+
+def _enumerate_space_uncached(
+    spec: GemmSpec, gpu: GpuSpec, opt: SpaceOptions
+) -> List[TileConfig]:
     out: List[TileConfig] = []
     for bm in _BLOCK_MN:
         if spec.m % bm:
@@ -122,4 +171,11 @@ def restrict_space(space: Sequence[TileConfig], variant: str) -> List[TileConfig
         pred = SUBSPACES[variant]
     except KeyError:
         raise ValueError(f"unknown variant {variant!r}; choose from {sorted(SUBSPACES)}")
-    return [c for c in space if pred(c)]
+    key = (variant, tuple(space))
+    cached = _restrict_cache.get(key)
+    if cached is not None:
+        _restrict_cache.move_to_end(key)
+        return list(cached)
+    out = [c for c in space if pred(c)]
+    _cache_put(_restrict_cache, _RESTRICT_CACHE_SIZE, key, tuple(out))
+    return out

@@ -21,13 +21,15 @@ import numpy as np
 
 from ..gpusim.config import A100, GpuSpec
 from ..gpusim.occupancy import CompileError
+from ..perfmodel.batch import predict_latency_batch
 from ..perfmodel.kernel_model import predict_latency
 from ..perfmodel.static_spec import timing_spec_from_config
 from ..schedule.config import TileConfig
 from ..tensor.operation import GemmSpec
 from .features import featurize_batch
 from .gbt import GradientBoostedTrees
-from .measure import FAILED, Measurer
+from .measure import Measurer
+from .prune import prune_space
 from .record import TuneHistory
 from .sa import SimulatedAnnealingSampler
 
@@ -42,13 +44,14 @@ __all__ = [
 ]
 
 
-def analytical_rank(
+def _analytical_rank_scalar(
     spec: GemmSpec, space: Sequence[TileConfig], gpu: GpuSpec = A100, model=predict_latency
 ) -> List[int]:
-    """Indices of ``space`` sorted by a static model's predicted latency.
+    """One scalar model call per config — the pre-batching reference path.
 
-    Configurations the model rejects (occupancy/compile checks) rank last,
-    in original order.
+    Kept (a) for custom ``model`` callables, which only speak the scalar
+    ``(KernelTimingSpec, GpuSpec)`` interface, and (b) as the baseline the
+    compile-throughput benchmark measures the batch speedup against.
     """
     scored = []
     rejected = []
@@ -60,6 +63,26 @@ def analytical_rank(
             rejected.append(i)
     scored.sort(key=lambda t: t[0])
     return [i for _, i in scored] + rejected
+
+
+def analytical_rank(
+    spec: GemmSpec, space: Sequence[TileConfig], gpu: GpuSpec = A100, model=predict_latency
+) -> List[int]:
+    """Indices of ``space`` sorted by a static model's predicted latency.
+
+    Configurations the model rejects (occupancy/compile checks) rank last,
+    in original order.
+
+    For the default analytical model this evaluates the whole space in one
+    vectorized :func:`predict_latency_batch` call; since the batch model is
+    bitwise-equal to the scalar one, a stable argsort (rejections map to
+    ``inf``, which sorts last in original order) reproduces the scalar
+    ranking index-for-index. Custom models take the scalar loop.
+    """
+    if model is not predict_latency:
+        return _analytical_rank_scalar(spec, space, gpu, model=model)
+    latency = predict_latency_batch(spec, space, gpu)
+    return [int(i) for i in np.argsort(latency, kind="stable")]
 
 
 class Tuner:
@@ -74,12 +97,19 @@ class Tuner:
         measurer: Optional[Measurer] = None,
         gpu: GpuSpec = A100,
         seed: int = 0,
+        prune_ratio: Optional[float] = None,
     ) -> None:
         if not space:
             raise ValueError("cannot tune over an empty space")
         self.spec = spec
         self.space = list(space)
         self.gpu = gpu
+        self.prune_stats = None
+        if prune_ratio:
+            # Opt-in model-guided pruning (off by default): drop candidates
+            # the analytical model prices far above its own best before any
+            # compile+simulate is spent on them.
+            self.space, self.prune_stats = prune_space(spec, self.space, gpu, prune_ratio)
         self.measurer = measurer or Measurer(gpu)
         self.rng = np.random.default_rng(seed)
         self.history = TuneHistory()
@@ -188,6 +218,10 @@ class XGBTuner(Tuner):
         self.sampler = SimulatedAnnealingSampler(
             self.space, n_iters=60, seed=int(self.rng.integers(2**31))
         )
+        # Lazily computed once and shared between pseudo-label pretraining
+        # and ModelAssistedXGBTuner's cold-start batch (previously each
+        # ranked the full space independently).
+        self._analytical_order_cache: Optional[List[int]] = None
         self._feature_cache: dict = {}
         self._prior_seeds: List[TileConfig] = []
         self.model = GradientBoostedTrees()
@@ -205,6 +239,12 @@ class XGBTuner(Tuner):
         if self._pseudo_X is not None:
             self._refit()
 
+    def _analytical_order(self) -> List[int]:
+        """Full-space analytical ranking, computed once per tuner."""
+        if self._analytical_order_cache is None:
+            self._analytical_order_cache = analytical_rank(self.spec, self.space, self.gpu)
+        return self._analytical_order_cache
+
     # -- pretraining on analytical predictions ---------------------------------
     def _build_pseudo(self, n_pseudo: int) -> None:
         idx = self.rng.permutation(len(self.space))[:n_pseudo]
@@ -212,7 +252,7 @@ class XGBTuner(Tuner):
         # Always include the analytical model's own favourites so the tree
         # model represents the top of the ranking accurately, not just the
         # bulk of the space.
-        top = analytical_rank(self.spec, self.space, self.gpu)[: max(32, n_pseudo // 8)]
+        top = self._analytical_order()[: max(32, n_pseudo // 8)]
         seen = {c.key() for c in configs}
         for i in top:
             cfg = self.space[i]
@@ -220,13 +260,11 @@ class XGBTuner(Tuner):
                 configs.append(cfg)
                 seen.add(cfg.key())
         self._prior_seeds = [self.space[i] for i in top[:8]]
-        ys = []
-        for cfg in configs:
-            try:
-                ts = timing_spec_from_config(self.spec, cfg)
-                ys.append(self._score_from_latency(predict_latency(ts, self.gpu)))
-            except (CompileError, ValueError):
-                ys.append(self._score_from_latency(FAILED))
+        # One vectorized model evaluation labels the whole pseudo pool;
+        # rejected configs come back as inf == FAILED and get the same
+        # floor score the scalar path assigned them.
+        latencies = predict_latency_batch(self.spec, configs, self.gpu)
+        ys = [self._score_from_latency(float(lat)) for lat in latencies]
         self._pseudo_X = self._features(configs)
         self._pseudo_y = np.array(ys)
 
@@ -316,14 +354,13 @@ class ModelAssistedXGBTuner(XGBTuner):
 
     def __init__(self, *args, n_pseudo: int = 256, **kwargs) -> None:
         super().__init__(*args, n_pseudo=n_pseudo, **kwargs)
-        self._analytical_order = analytical_rank(self.spec, self.space, self.gpu)
 
     def _next_batch(self, n: int) -> List[TileConfig]:
         if not self.history.records:
             n = min(n, self.batch_size)
             measured = self._measured_keys()
             first = []
-            for i in self._analytical_order:
+            for i in self._analytical_order():
                 cfg = self.space[i]
                 if cfg.key() not in measured:
                     first.append(cfg)

@@ -1,0 +1,106 @@
+"""Batch analytical model vs. the scalar reference, config for config.
+
+The vectorized model (repro.perfmodel.batch) promises *bitwise* agreement
+with predict_latency(timing_spec_from_config(...)) — analytical_rank's
+ordering, the fig12/fig13 outputs, and the model-guided pruner all lean on
+that guarantee, so these tests sweep entire enumerated spaces (including
+non-launchable configs) rather than sampling.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.gpusim import A100, V100, CompileError
+from repro.perfmodel import (
+    derive_timing_arrays,
+    predict_latency,
+    predict_latency_batch,
+    timing_spec_from_config,
+)
+from repro.schedule import TileConfig
+from repro.tensor import GemmSpec
+from repro.tuning import enumerate_space
+from repro.tuning.tuners import _analytical_rank_scalar, analytical_rank
+
+# Three shapes with different divisibility/occupancy structure: a big square
+# GEMM (plenty of unlaunchable 4-stage tiles), a batched skinny one, and a
+# small odd one where most of the space is cut down by divisibility.
+SPECS = [
+    GemmSpec("batch_big", 1, 1024, 1024, 1024),
+    GemmSpec("batch_batched", 8, 128, 128, 256),
+    GemmSpec("batch_small", 1, 96, 96, 96),
+]
+
+
+def scalar_latency(spec, cfg, gpu):
+    """The pre-batching path: inf where it raises (the FAILED convention)."""
+    try:
+        return predict_latency(timing_spec_from_config(spec, cfg), gpu)
+    except (CompileError, ValueError):
+        return math.inf
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.name)
+def test_batch_matches_scalar_on_full_space(spec):
+    space = enumerate_space(spec, A100)
+    batch = predict_latency_batch(spec, space, A100)
+    assert batch.shape == (len(space),)
+    for i, cfg in enumerate(space):
+        expected = scalar_latency(spec, cfg, A100)
+        # Same classification (rejected <-> inf) and *equal* latency — the
+        # batch path mirrors the scalar arithmetic operation for operation,
+        # so no tolerance is needed.
+        assert batch[i] == expected, (i, cfg)
+
+
+def test_batch_matches_scalar_on_other_gpu():
+    spec = SPECS[0]
+    space = enumerate_space(spec, V100)
+    batch = predict_latency_batch(spec, space, V100)
+    for i, cfg in enumerate(space):
+        assert batch[i] == scalar_latency(spec, cfg, V100), (i, cfg)
+
+
+def test_space_exercises_rejections():
+    """The parity sweep above is only meaningful if it covers rejected
+    configs too — make sure the big space actually contains some."""
+    spec = SPECS[0]
+    space = enumerate_space(spec, A100)
+    batch = predict_latency_batch(spec, space, A100)
+    assert np.isinf(batch).any(), "no non-launchable configs in the sweep"
+    assert np.isfinite(batch).any()
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.name)
+def test_analytical_rank_reproduces_scalar_ranking(spec):
+    space = enumerate_space(spec, A100)
+    assert analytical_rank(spec, space, A100) == _analytical_rank_scalar(spec, space, A100)
+
+
+def test_custom_model_takes_scalar_path():
+    from repro.perfmodel import bottleneck_latency
+
+    spec = SPECS[2]
+    space = enumerate_space(spec, A100)
+    assert analytical_rank(spec, space, A100, model=bottleneck_latency) == (
+        _analytical_rank_scalar(spec, space, A100, model=bottleneck_latency)
+    )
+
+
+def test_empty_space():
+    out = predict_latency_batch(SPECS[0], [], A100)
+    assert out.shape == (0,) and out.dtype == np.float64
+
+
+def test_non_divisible_config_marked_not_ok():
+    spec = GemmSpec("odd", 1, 64, 64, 64)
+    cfgs = [
+        TileConfig(48, 48, 16, warp_m=16, warp_n=16, chunk_k=8),  # 64 % 48 != 0
+        TileConfig(32, 32, 32, warp_m=16, warp_n=16, chunk_k=16),
+    ]
+    ta = derive_timing_arrays(spec, cfgs)
+    assert list(ta.ok) == [False, True]
+    lat = predict_latency_batch(spec, cfgs, A100)
+    assert math.isinf(lat[0]) and math.isfinite(lat[1])

@@ -77,3 +77,20 @@ def test_bench_smoke_runs_cold_then_warm(workflow):
     assert len(bench) == 2, "bench-smoke must run the suite twice (cold, then warm)"
     assert all("--cache-dir .bench-cache" in c for c in bench)
     assert bench[0] == bench[1], "both runs must target the same cache directory"
+
+
+def test_bench_smoke_records_compile_throughput(workflow):
+    """The bench job must emit the compile-throughput JSON record (batch
+    model speedup, cold/warm configs/sec) and upload it as an artifact so
+    the perf trajectory is tracked PR over PR."""
+    cmds = job_commands(workflow["jobs"]["bench-smoke"])
+    throughput = [c for c in cmds if "bench_compile_throughput.py" in c]
+    assert len(throughput) == 1, "bench-smoke must run the throughput script once"
+    assert "--smoke" in throughput[0]
+    assert "--out compile-throughput.json" in throughput[0]
+    uploads = [
+        s for s in workflow["jobs"]["bench-smoke"]["steps"]
+        if "upload-artifact" in s.get("uses", "")
+    ]
+    assert len(uploads) == 1, "the throughput JSON must be uploaded as an artifact"
+    assert uploads[0]["with"]["path"] == "compile-throughput.json"

@@ -99,6 +99,31 @@ class TestCommands:
         strip = [ln for ln in serial.splitlines() if not ln.startswith("telemetry")]
         assert strip == [ln for ln in parallel.splitlines() if not ln.startswith("telemetry")]
 
+    def test_tune_profile_prints_stage_breakdown(self, capsys):
+        argv = ["tune", "--m", "128", "--n", "128", "--k", "256", "--space", "30",
+                "--method", "grid", "--trials", "4", "--profile", "--via-ir"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "per-stage compile/simulate breakdown" in out
+        for stage_name in ("schedule", "lower", "transform", "simulate"):
+            assert stage_name in out, stage_name
+
+    def test_tune_prune_ratio_reports_and_matches(self, capsys):
+        base = ["tune", "--m", "128", "--n", "128", "--k", "256", "--space", "40",
+                "--method", "grid", "--trials", "6"]
+        assert main(base) == 0
+        plain = capsys.readouterr().out
+        assert "prune(" not in plain  # off by default
+        assert main(base + ["--prune-ratio", "0"]) == 0
+        explicit_off = capsys.readouterr().out
+        strip = [ln for ln in plain.splitlines() if not ln.startswith("telemetry")]
+        assert strip == [
+            ln for ln in explicit_off.splitlines() if not ln.startswith("telemetry")
+        ], "--prune-ratio 0 must reproduce the default run exactly"
+        assert main(base + ["--prune-ratio", "1.5"]) == 0
+        pruned = capsys.readouterr().out
+        assert "prune(ratio=1.5): kept" in pruned
+
     def test_cuda_emission(self, capsys, tmp_path):
         out = tmp_path / "k.cu"
         rc = main(
