@@ -6,7 +6,9 @@ Commands
 ``ir``        print the lowered and pipelined IR for a fixed schedule;
 ``tune``      run one tuning method and report the best-in-k curve;
 ``suite``     TVM-vs-ALCOP speedups over the paper's operator suite;
-``check``     static sync-race check of pipelined IR over the workload suite.
+``check``     static sync-race check of pipelined IR over the workload suite;
+``serve``     long-running compile-as-a-service daemon (docs/serving.md);
+``client``    talk to a running daemon: compile | tune | status | stop.
 """
 
 from __future__ import annotations
@@ -18,6 +20,11 @@ from typing import List, Optional
 from .gpusim.config import A100, H100, V100
 
 _GPUS = {"a100": A100, "h100": H100, "v100": V100}
+
+# Mirrored from repro.serve.server so --help works without importing the
+# (heavier) serving stack; tests/serve pin them equal.
+_SERVE_WORKERS = 4
+_SERVE_SPACE = 600
 
 
 def _add_problem_args(p: argparse.ArgumentParser, required: bool = True) -> None:
@@ -365,6 +372,160 @@ def _cmd_check(args) -> int:
     return 0 if total_diags == 0 else 1
 
 
+def _cmd_serve(args) -> int:
+    import signal
+
+    from .serve.registry import ArtifactRegistry
+    from .serve.server import ReproServer
+
+    if args.socket is None and args.port is None:
+        print("serve: give --socket PATH and/or --port N to listen on", file=sys.stderr)
+        return 2
+    registry = ArtifactRegistry(args.registry_dir) if args.registry_dir else ArtifactRegistry()
+    workers = args.workers if args.workers is not None else _SERVE_WORKERS
+    space = args.space if args.space is not None else _SERVE_SPACE
+    server = ReproServer(
+        gpu=_GPUS[args.gpu],
+        socket_path=args.socket,
+        port=args.port,
+        host=args.host,
+        registry=registry,
+        cache_dir=args.cache_dir,
+        jobs=args.jobs,
+        workers=workers,
+        via_ir=bool(args.via_ir),
+        default_space=space,
+    )
+
+    def _stop(signum, frame):
+        print("\nshutting down: draining workers, flushing the registry", file=sys.stderr)
+        server.stop()
+
+    try:
+        signal.signal(signal.SIGINT, _stop)
+        signal.signal(signal.SIGTERM, _stop)
+    except ValueError:
+        pass  # not the main thread (tests drive the server object directly)
+    server.start()
+    where = []
+    if args.socket:
+        where.append(f"unix socket {args.socket} (newline-JSON)")
+    if server.port is not None:
+        where.append(f"http://{args.host}:{server.port}/rpc")
+    print(f"repro serve: session {server.session_id} on {_GPUS[args.gpu].name}")
+    for w in where:
+        print(f"  listening on {w}")
+    if args.registry_dir:
+        print(f"  artifact registry: {args.registry_dir} ({len(registry)} artifact(s))")
+    print(f"  workers={workers} jobs={args.jobs} default space cap={space}", flush=True)
+    server.serve_forever()
+    print(f"stopped; registry holds {len(registry)} artifact(s)")
+    return 0
+
+
+def _client_connection(args):
+    from .serve.client import ServeClient
+
+    if (args.socket is None) == (args.port is None):
+        print("client: give exactly one of --socket PATH or --port N", file=sys.stderr)
+        return None
+    return ServeClient(
+        socket_path=args.socket, host=args.host, port=args.port, timeout=args.timeout
+    )
+
+
+def _print_client_result(result: dict, as_json: bool) -> None:
+    import json
+
+    if as_json:
+        print(json.dumps(result, indent=1, sort_keys=True))
+        return
+    cfg = result.get("config")
+    if cfg:
+        from .schedule.config import TileConfig
+
+        print(f"config   : {TileConfig(**cfg)}")
+    if "latency_us" in result:
+        print(f"latency  : {result['latency_us']:.1f} us")
+    if "served_from" in result:
+        print(f"served   : {result['served_from']}")
+    stages = result.get("stages") or {}
+    if stages:
+        total = sum(stages.values())
+        print(f"stages   : {', '.join(f'{k} {v:.4f}s' for k, v in stages.items())} "
+              f"(total {total:.4f}s)")
+    else:
+        print("stages   : none (no compile work on this request)")
+    prov = result.get("provenance") or {}
+    if prov:
+        print(f"artifact : {result.get('key', '')[:16]}… "
+              f"(session {prov.get('session')}, compiler {prov.get('compiler_version')})")
+
+
+def _cmd_client(args) -> int:
+    import json
+
+    from .core.errors import ServeError
+
+    client = _client_connection(args)
+    if client is None:
+        return 2
+    try:
+        if args.wait:
+            if not client.wait_until_ready(timeout=args.wait):
+                print(f"client: daemon not ready after {args.wait}s", file=sys.stderr)
+                return 1
+        if args.action in ("compile", "tune"):
+            if None in (args.m, args.n, args.k):
+                print(f"client {args.action}: --m/--n/--k are required", file=sys.stderr)
+                return 2
+            params = {
+                "m": args.m, "n": args.n, "k": args.k, "batch": args.batch,
+                "variant": args.variant,
+            }
+            if args.space:
+                params["space"] = args.space
+            result = client.request(args.action, params)
+            if args.action == "compile" and args.out:
+                with open(args.out, "w") as f:
+                    f.write(result.get("cuda_source", ""))
+                print(f"wrote CUDA source to {args.out}")
+            _print_client_result(result, args.json)
+        elif args.action == "status":
+            result = client.status()
+            if args.json:
+                print(json.dumps(result, indent=1, sort_keys=True))
+            else:
+                c = result.get("counters", {})
+                m = result.get("measurer", {})
+                print(f"daemon   : pid {result.get('pid')} session {result.get('session')} "
+                      f"up {result.get('uptime_s', 0):.0f}s on {result.get('gpu')}")
+                print(f"registry : {result.get('registry', {}).get('size', 0)} artifact(s), "
+                      f"{c.get('registry_hits', 0)} hit(s) / "
+                      f"{c.get('registry_misses', 0)} miss(es)")
+                print(f"tuning   : {c.get('sweeps_run', 0)} sweep(s), "
+                      f"{c.get('dedup_hits', 0)} deduped request(s), "
+                      f"{m.get('n_compiled', 0)} compile(s)")
+                print(f"queue    : depth {result.get('queue_depth', 0)}, "
+                      f"{result.get('inflight', 0)} in flight, "
+                      f"{result.get('workers', 0)} worker(s)")
+                for op, snap in sorted((result.get("endpoints") or {}).items()):
+                    if snap.get("requests"):
+                        print(f"  {op:9s} {snap['requests']:5d} req "
+                              f"({snap['errors']} err) "
+                              f"p50 {snap['p50_ms']:.1f}ms p95 {snap['p95_ms']:.1f}ms")
+        elif args.action == "stop":
+            result = client.shutdown()
+            print(f"daemon stopping (session {result.get('session')})")
+        else:  # ping
+            result = client.ping()
+            print(f"ok: protocol v{result.get('protocol')} session {result.get('session')}")
+    except ServeError as e:
+        print(f"client: {e}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro.cli", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -426,6 +587,63 @@ def build_parser() -> argparse.ArgumentParser:
                    help="pipelined schedules checked per operator")
     p.add_argument("--verbose", action="store_true", help="print full diagnostics")
     p.set_defaults(fn=_cmd_check)
+
+    p = sub.add_parser(
+        "serve",
+        help="long-running compile-as-a-service daemon (docs/serving.md)",
+    )
+    p.add_argument("--socket", default=None, metavar="PATH",
+                   help="listen on a Unix socket (newline-delimited JSON)")
+    p.add_argument("--port", type=int, default=None,
+                   help="listen on TCP with an HTTP POST /rpc endpoint "
+                        "(0 picks an ephemeral port)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--gpu", choices=sorted(_GPUS), default="a100")
+    p.add_argument("--registry-dir", default=None,
+                   help="content-addressed kernel artifact registry root; "
+                        "omitted = in-memory only (lost on exit)")
+    p.add_argument("--cache-dir", default=None,
+                   help="disk-persistent measurement cache directory shared "
+                        "with batch runs (docs/tuning_cache.md)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="parallel measurement worker processes per sweep")
+    p.add_argument("--workers", type=int, default=None,
+                   help="request worker threads (default %d)" % _SERVE_WORKERS)
+    p.add_argument("--space", type=int, default=None,
+                   help="default design-space cap for requests that do not "
+                        "send one (default %d)" % _SERVE_SPACE)
+    p.add_argument("--via-ir", action="store_true",
+                   help="tune through the full compiler path instead of the "
+                        "static timing spec")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "client",
+        help="talk to a running repro serve daemon",
+    )
+    p.add_argument("action", choices=["compile", "tune", "status", "stop", "ping"])
+    p.add_argument("--socket", default=None, metavar="PATH",
+                   help="daemon Unix socket path")
+    p.add_argument("--port", type=int, default=None, help="daemon TCP port")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="request round-trip limit in seconds")
+    p.add_argument("--wait", type=float, default=0.0, metavar="S",
+                   help="poll until the daemon answers ping, up to S seconds, "
+                        "before sending the request")
+    p.add_argument("--m", type=int, default=None)
+    p.add_argument("--n", type=int, default=None)
+    p.add_argument("--k", type=int, default=None)
+    p.add_argument("--batch", type=int, default=1)
+    p.add_argument("--space", type=int, default=None,
+                   help="design-space cap for this request (default: server's)")
+    p.add_argument("--variant", default="alcop",
+                   choices=["alcop", "alcop-no-ml", "alcop-no-ml-no-ms", "tvm-db", "tvm"])
+    p.add_argument("--json", action="store_true",
+                   help="print the raw result payload as JSON")
+    p.add_argument("--out", default=None,
+                   help="compile only: write the CUDA source here")
+    p.set_defaults(fn=_cmd_client)
     return parser
 
 

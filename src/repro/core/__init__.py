@@ -13,8 +13,11 @@ from .errors import (
     DegradationEvent,
     FaultInjected,
     MeasurementTimeout,
+    ProtocolError,
+    RegistryError,
     ReproError,
     ScheduleError,
+    ServeError,
     SimulationError,
     SyncVerificationError,
     TransformError,
@@ -39,6 +42,9 @@ __all__ = [
     "MeasurementTimeout",
     "WorkerCrash",
     "FaultInjected",
+    "ServeError",
+    "ProtocolError",
+    "RegistryError",
     "DegradationEvent",
 ]
 

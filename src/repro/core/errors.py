@@ -35,6 +35,9 @@ __all__ = [
     "MeasurementTimeout",
     "WorkerCrash",
     "FaultInjected",
+    "ServeError",
+    "ProtocolError",
+    "RegistryError",
     "DegradationEvent",
 ]
 
@@ -109,6 +112,31 @@ class WorkerCrash(ReproError):
     """A measurement worker process died without reporting a result."""
 
     stage = "measure"
+
+
+class ServeError(ReproError):
+    """The compile-as-a-service layer failed (:mod:`repro.serve`): the
+    daemon could not satisfy a request, a client lost its connection, or
+    the server reported a structured error envelope. ``diagnostic`` holds
+    the remote error payload when one was received."""
+
+    stage = "serve"
+
+
+class ProtocolError(ServeError):
+    """A malformed serve request/response: unparseable JSON, an unknown
+    operation, missing/invalid parameters, or a protocol-version mismatch.
+    Always a client-side (caller) bug, never a reason to retry."""
+
+    stage = "serve"
+
+
+class RegistryError(ServeError):
+    """The kernel artifact registry is unusable (unwritable directory,
+    unrecoverable store state). Individual corrupt artifacts never raise
+    this — they are quarantined and treated as misses."""
+
+    stage = "registry"
 
 
 class FaultInjected(ReproError):

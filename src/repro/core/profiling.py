@@ -17,11 +17,19 @@ When no collector is active, :func:`stage` costs one dict lookup — the hot
 path pays nothing measurable for being instrumented. Collectors nest:
 every active collector sees every stage, so a per-trial collector and a
 session-wide collector can coexist.
+
+Thread model (the serve daemon shares one measurer across request
+threads): the collector stack is **thread-local** — a request thread that
+activates a collector sees only the stages its own thread executes, never
+a concurrent request's — while :class:`StageTimes` accumulation itself is
+lock-protected, so several threads may safely collect into one shared
+instance (the measurer's session-wide breakdown).
 """
 
 from __future__ import annotations
 
 import contextlib
+import threading
 import time
 from typing import Dict, Iterator, List, Mapping, Tuple
 
@@ -39,15 +47,27 @@ STAGE_ORDER: Tuple[str, ...] = (
 
 
 class StageTimes(Dict[str, float]):
-    """Accumulated seconds per named stage (a plain dict with helpers)."""
+    """Accumulated seconds per named stage (a plain dict with helpers).
+
+    Accumulation (:meth:`add` / :meth:`merge`) is thread-safe: one
+    instance can be the target of collectors on many threads at once.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._lock = threading.Lock()
 
     def add(self, name: str, seconds: float) -> None:
-        self[name] = self.get(name, 0.0) + seconds
+        with self._lock:
+            self[name] = self.get(name, 0.0) + seconds
 
     def merge(self, other: Mapping[str, float]) -> None:
         """Fold another breakdown (e.g. from a worker process) into this one."""
-        for name, seconds in other.items():
-            self.add(name, seconds)
+        # Snapshot first: merging a StageTimes into itself must not deadlock.
+        items = list(other.items())
+        with self._lock:
+            for name, seconds in items:
+                self[name] = self.get(name, 0.0) + seconds
 
     @property
     def total(self) -> float:
@@ -71,25 +91,42 @@ class StageTimes(Dict[str, float]):
         return "\n".join(lines)
 
 
-#: Active collectors, innermost last. Process-local; worker processes ship
-#: their finished breakdowns back over the result pipe instead of sharing.
-_ACTIVE: List[StageTimes] = []
+#: Active collectors, innermost last — one stack per thread, so concurrent
+#: request threads (the serve daemon) never observe each other's stages.
+#: Worker processes ship finished breakdowns back over the result pipe
+#: instead of sharing.
+_local = threading.local()
+
+
+def _active() -> List[StageTimes]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
 
 
 @contextlib.contextmanager
 def collect(into: StageTimes) -> Iterator[StageTimes]:
-    """Route every :func:`stage` duration inside the block into ``into``."""
-    _ACTIVE.append(into)
+    """Route every :func:`stage` duration inside the block (on this
+    thread) into ``into``."""
+    stack = _active()
+    stack.append(into)
     try:
         yield into
     finally:
-        _ACTIVE.remove(into)
+        # Remove by identity: StageTimes is a dict subclass, so equal
+        # *contents* would make list.remove() pop the wrong collector.
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] is into:
+                del stack[i]
+                break
 
 
 @contextlib.contextmanager
 def stage(name: str) -> Iterator[None]:
     """Time the enclosed block under ``name`` (no-op when nothing collects)."""
-    if not _ACTIVE:
+    stack = _active()
+    if not stack:
         yield
         return
     t0 = time.perf_counter()
@@ -97,5 +134,5 @@ def stage(name: str) -> Iterator[None]:
         yield
     finally:
         dt = time.perf_counter() - t0
-        for collector in _ACTIVE:
+        for collector in stack:
             collector.add(name, dt)

@@ -24,6 +24,12 @@ Injection sites
     Inside :meth:`repro.core.compiler.AlcopCompiler` builds, tokenized by
     ``variant=<v>;op=<name>`` so chaos tests can fail one rung of the
     degradation ladder and watch the compiler step down.
+``registry``
+    Inside the kernel artifact registry (:mod:`repro.serve.registry`),
+    between writing an artifact's temp file and publishing it (token
+    ``put:<key>``) and on artifact reads (token ``get:<key>``). A
+    ``crash`` at the put site models a daemon dying mid-write: the orphan
+    temp file must be quarantined — never served — by the next open.
 
 Determinism
 -----------
@@ -83,7 +89,7 @@ __all__ = [
 ENV_VAR = "REPRO_FAULT_PLAN"
 
 #: Named injection sites (``"*"`` in a rule matches any site).
-SITES = ("compile", "worker", "simulate", "build")
+SITES = ("compile", "worker", "simulate", "build", "registry")
 
 #: Fault kinds.
 KINDS = ("crash", "hang", "corrupt-latency", "worker-death")

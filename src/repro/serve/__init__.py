@@ -1,0 +1,25 @@
+"""Compile-as-a-service: the ``repro serve`` daemon, its client, and the
+content-addressed kernel artifact registry.
+
+The batch CLI pays process startup and cold caches on every invocation;
+this package keeps that state resident. See ``docs/serving.md`` for the
+protocol, registry layout, telemetry fields and dedup semantics.
+"""
+
+from .client import ServeClient
+from .protocol import OPS, PROTOCOL_VERSION
+from .registry import ArtifactRegistry, KernelArtifact, artifact_key
+from .server import DEFAULT_SPACE, DEFAULT_WORKERS, EndpointStats, ReproServer
+
+__all__ = [
+    "ArtifactRegistry",
+    "KernelArtifact",
+    "artifact_key",
+    "ReproServer",
+    "EndpointStats",
+    "ServeClient",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "DEFAULT_SPACE",
+    "DEFAULT_WORKERS",
+]

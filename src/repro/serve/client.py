@@ -1,0 +1,141 @@
+"""Client for the ``repro serve`` daemon.
+
+:class:`ServeClient` speaks both transports — newline-JSON over the Unix
+socket, HTTP POST over TCP — one short-lived connection per request, so N
+client instances (or one instance across N threads) exercise the daemon's
+concurrent path naturally. Server-side failures arrive as structured
+error envelopes and are re-raised as taxonomy exceptions
+(:class:`~repro.core.errors.ServeError` /
+:class:`~repro.core.errors.ProtocolError`); transport failures (daemon not
+up, connection reset) are wrapped in :class:`ServeError` so callers catch
+one family.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+import uuid
+from typing import Dict, Optional
+
+from ..core.errors import ServeError
+from . import protocol
+from .protocol import decode_message, encode_message, raise_remote_error
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """Talk to a running daemon over its Unix socket or TCP port.
+
+    Exactly one of ``socket_path`` / ``port`` must be given. ``timeout``
+    bounds each whole request round-trip (a cold tune compiles a design
+    space, so the default is generous).
+    """
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        timeout: float = 300.0,
+    ) -> None:
+        if (socket_path is None) == (port is None):
+            raise ValueError("give exactly one of socket_path or port")
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------- transport
+    def _connect(self) -> socket.socket:
+        if self.socket_path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            target = str(self.socket_path)
+        else:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            target = f"{self.host}:{self.port}"
+        sock.settimeout(self.timeout)
+        try:
+            sock.connect(target if self.socket_path is not None else (self.host, self.port))
+        except OSError as e:
+            sock.close()
+            raise ServeError(
+                f"cannot reach repro serve at {target}: {e} "
+                "(is the daemon running?)"
+            ) from e
+        return sock
+
+    def _roundtrip(self, message: Dict) -> Dict:
+        payload = encode_message(message)
+        sock = self._connect()
+        try:
+            if self.socket_path is not None:
+                f = sock.makefile("rwb")
+                f.write(payload)
+                f.flush()
+                line = f.readline(protocol.MAX_MESSAGE_BYTES + 2)
+                f.close()
+                if not line:
+                    raise ServeError("daemon closed the connection without replying")
+                return decode_message(line)
+            sock.sendall(protocol.http_request_bytes(payload, self.host))
+            rfile = sock.makefile("rb")
+            _, headers = protocol.read_http_head(rfile)
+            body = protocol.read_http_body(rfile, headers)
+            rfile.close()
+            return decode_message(body)
+        except socket.timeout as e:
+            raise ServeError(
+                f"request timed out after {self.timeout}s (op {message.get('op')!r})"
+            ) from e
+        except OSError as e:
+            raise ServeError(f"connection to repro serve failed: {e}") from e
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------- api
+    def request(self, op: str, params: Optional[Dict] = None) -> Dict:
+        """One request/response cycle; returns the ``result`` payload or
+        re-raises the server's error envelope."""
+        response = self._roundtrip(
+            {"op": op, "params": params or {}, "id": uuid.uuid4().hex[:8]}
+        )
+        if not response.get("ok"):
+            raise_remote_error(response.get("error") or {})
+        result = response.get("result")
+        return result if isinstance(result, dict) else {}
+
+    def ping(self) -> Dict:
+        return self.request("ping")
+
+    def compile(self, **params) -> Dict:
+        """Full artifact for a problem: config, latency, IR text, CUDA
+        source, provenance, the stages this request paid for, and where it
+        was served from (``registry`` / ``inflight`` / ``fresh``)."""
+        return self.request("compile", params)
+
+    def tune(self, **params) -> Dict:
+        """Like :meth:`compile` but without the kernel text payload."""
+        return self.request("tune", params)
+
+    def status(self) -> Dict:
+        return self.request("status")
+
+    def shutdown(self) -> Dict:
+        """Ask the daemon to stop gracefully (drains, flushes registry)."""
+        return self.request("shutdown")
+
+    def wait_until_ready(self, timeout: float = 30.0, interval: float = 0.1) -> bool:
+        """Poll ``ping`` until the daemon answers or ``timeout`` passes."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            try:
+                self.ping()
+                return True
+            except ServeError:
+                time.sleep(interval)
+        return False

@@ -1,0 +1,529 @@
+"""The ``repro serve`` daemon: compile-as-a-service.
+
+One long-running process pays the expensive state once — the measurer's
+TE-graph cache, the memoized design-space enumeration, the disk
+measurement cache, the artifact registry — and then answers compile/tune
+requests for the cost of a registry lookup. The serving loop is:
+
+1. **accept**: listener threads (Unix socket speaking newline-JSON, TCP
+   speaking HTTP POST) push accepted connections onto a thread-safe
+   request queue;
+2. **handle**: a fixed pool of worker threads drains the queue; each
+   request is dispatched to its operation handler under a per-request
+   stage-profiling collector, so every response reports exactly which
+   compile stages (if any) it paid for;
+3. **dedup**: concurrent requests for the same artifact key share one
+   in-flight solve through a futures map — N identical tune requests run
+   exactly one sweep, and all N get the same artifact (or the same error);
+4. **persist**: solved problems are published to the content-addressed
+   :class:`~repro.serve.registry.ArtifactRegistry`; re-encounters are
+   served from it without touching the compiler.
+
+Graceful shutdown (``shutdown`` request or SIGINT/SIGTERM) stops
+accepting, drains the workers, and flushes the registry index last.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import queue
+import socket
+import threading
+import time
+import uuid
+from concurrent.futures import Future
+from typing import Dict, List, Optional, Tuple
+
+from ..codegen import emit_cuda, lower
+from ..core import profiling
+from ..core.errors import CompileError, ProtocolError
+from ..gpusim.config import A100, GpuSpec
+from ..ir.printer import format_kernel
+from ..schedule.auto import auto_schedule
+from ..schedule.config import TileConfig
+from ..tensor.operation import GemmSpec, contraction, placeholder
+from ..transform import apply_pipelining
+from ..tuning.cache import MeasurementCache, compiler_version_hash, gpu_fingerprint
+from ..tuning.measure import Measurer
+from ..tuning.space import SpaceOptions, enumerate_space, restrict_space
+from . import protocol
+from .protocol import (
+    OPS,
+    PROTOCOL_VERSION,
+    decode_message,
+    encode_message,
+    error_response,
+    ok_response,
+    parse_problem_params,
+)
+from .registry import ArtifactRegistry, KernelArtifact, artifact_key
+
+__all__ = ["ReproServer", "EndpointStats", "DEFAULT_SPACE", "DEFAULT_WORKERS"]
+
+#: Design-space cap used when a request does not name one (matches the
+#: CLI's ``--space`` default so ``repro compile`` and a served compile
+#: solve the same search problem).
+DEFAULT_SPACE = 600
+
+DEFAULT_WORKERS = 4
+
+#: Latency samples kept per endpoint for the p50/p95 estimates.
+_LATENCY_WINDOW = 2048
+
+
+class EndpointStats:
+    """Per-operation request telemetry: counts, errors, latency quantiles."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.errors = 0
+        self._latencies: List[float] = []
+
+    def record(self, seconds: float, ok: bool) -> None:
+        with self._lock:
+            self.requests += 1
+            if not ok:
+                self.errors += 1
+            self._latencies.append(seconds)
+            if len(self._latencies) > _LATENCY_WINDOW:
+                del self._latencies[: len(self._latencies) - _LATENCY_WINDOW]
+
+    @staticmethod
+    def _quantile(ordered: List[float], q: float) -> float:
+        if not ordered:
+            return 0.0
+        idx = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+        return ordered[idx]
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            ordered = sorted(self._latencies)
+            return {
+                "requests": self.requests,
+                "errors": self.errors,
+                "p50_ms": round(self._quantile(ordered, 0.50) * 1e3, 3),
+                "p95_ms": round(self._quantile(ordered, 0.95) * 1e3, 3),
+            }
+
+
+class ReproServer:
+    """The compile-as-a-service daemon (see module docstring).
+
+    Parameters
+    ----------
+    gpu:
+        Target hardware model every request compiles for.
+    socket_path / port / host:
+        At least one listener: a Unix socket (newline-JSON) and/or a TCP
+        port (HTTP). ``port=0`` binds an ephemeral port (tests); the bound
+        port is readable from :attr:`port` after :meth:`start`.
+    registry:
+        The artifact registry; defaults to an in-memory one.
+    cache_dir:
+        Optional disk measurement cache backing the shared measurer.
+    jobs:
+        Measurement pool width used by sweeps the daemon runs.
+    workers:
+        Request-handling threads draining the connection queue.
+    via_ir:
+        Measurement mode of the shared measurer (see ``Measurer``).
+    """
+
+    def __init__(
+        self,
+        gpu: GpuSpec = A100,
+        socket_path: Optional[str] = None,
+        port: Optional[int] = None,
+        host: str = "127.0.0.1",
+        registry: Optional[ArtifactRegistry] = None,
+        cache_dir: Optional[str] = None,
+        jobs: int = 1,
+        workers: int = DEFAULT_WORKERS,
+        via_ir: bool = False,
+        default_space: int = DEFAULT_SPACE,
+    ) -> None:
+        if socket_path is None and port is None:
+            raise ValueError("ReproServer needs a socket_path and/or a port to listen on")
+        self.gpu = gpu
+        self.socket_path = socket_path
+        self.port = port
+        self.host = host
+        self.registry = registry if registry is not None else ArtifactRegistry()
+        cache = MeasurementCache(cache_dir) if cache_dir else None
+        self.measurer = Measurer(gpu, via_ir=via_ir, cache=cache, jobs=jobs)
+        self.workers = max(1, int(workers))
+        self.default_space = int(default_space)
+        #: tune session id stamped into every artifact this daemon builds.
+        self.session_id = uuid.uuid4().hex[:12]
+        self.started_at = time.time()
+
+        self._stats: Dict[str, EndpointStats] = {op: EndpointStats() for op in OPS}
+        self._stats["invalid"] = EndpointStats()
+        self._counter_lock = threading.Lock()
+        self.counters: Dict[str, int] = {
+            "sweeps_run": 0,
+            "artifacts_built": 0,
+            "dedup_hits": 0,
+        }
+        self._inflight: Dict[str, Future] = {}
+        self._inflight_lock = threading.Lock()
+
+        self._conn_queue: "queue.Queue[Tuple[str, socket.socket]]" = queue.Queue()
+        self._listeners: List[socket.socket] = []
+        self._open_conns: set = set()
+        self._open_lock = threading.Lock()
+        self._threads: List[threading.Thread] = []
+        self._stop_event = threading.Event()
+        self._started = False
+
+    # -------------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        """Bind listeners and start acceptor + worker threads (non-blocking)."""
+        if self._started:
+            return
+        if self.socket_path is not None:
+            path = str(self.socket_path)
+            if os.path.exists(path):
+                os.unlink(path)  # stale socket from a dead daemon
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.bind(path)
+            sock.listen(64)
+            sock.settimeout(0.25)  # bounded accept() so stop() is prompt
+            self._listeners.append(sock)
+            self._spawn(self._accept_loop, sock, "jsonl", name="repro-serve-accept-unix")
+        if self.port is not None:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind((self.host, self.port))
+            sock.listen(64)
+            sock.settimeout(0.25)
+            self.port = sock.getsockname()[1]
+            self._listeners.append(sock)
+            self._spawn(self._accept_loop, sock, "http", name="repro-serve-accept-http")
+        for i in range(self.workers):
+            self._spawn(self._worker_loop, name=f"repro-serve-worker-{i}")
+        self._started = True
+
+    def _spawn(self, target, *args, name: str) -> None:
+        t = threading.Thread(target=target, args=args, name=name, daemon=True)
+        t.start()
+        self._threads.append(t)
+
+    def serve_forever(self) -> None:
+        """Start (if needed), block until :meth:`stop`, then shut down."""
+        self.start()
+        self._stop_event.wait()
+        self.shutdown()
+
+    def stop(self) -> None:
+        """Signal shutdown: stop accepting, let workers drain. Safe to call
+        from a request handler (never joins the calling thread)."""
+        self._stop_event.set()
+        for sock in self._listeners:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        # Wake workers parked in readline() on idle keep-alive connections:
+        # SHUT_RD gives them EOF while an in-flight response stays writable.
+        with self._open_lock:
+            open_conns = list(self._open_conns)
+        for conn in open_conns:
+            try:
+                conn.shutdown(socket.SHUT_RD)
+            except OSError:
+                pass
+
+    def shutdown(self, timeout: float = 30.0) -> None:
+        """Graceful stop: drain workers, then flush the registry last so
+        everything solved before the stop signal is durably indexed."""
+        self.stop()
+        deadline = time.monotonic() + timeout
+        for t in self._threads:
+            if t is threading.current_thread():
+                continue
+            t.join(timeout=max(0.0, deadline - time.monotonic()))
+        if self.socket_path is not None and os.path.exists(str(self.socket_path)):
+            try:
+                os.unlink(str(self.socket_path))
+            except OSError:
+                pass
+        self.registry.flush()
+
+    @property
+    def running(self) -> bool:
+        return self._started and not self._stop_event.is_set()
+
+    # ------------------------------------------------------------- networking
+    def _accept_loop(self, listener: socket.socket, kind: str) -> None:
+        while not self._stop_event.is_set():
+            try:
+                conn, _ = listener.accept()
+            except socket.timeout:
+                continue  # periodic stop_event check
+            except OSError:
+                return  # listener closed by stop()
+            conn.settimeout(None)  # accepted sockets inherit the 0.25s timeout
+            self._conn_queue.put((kind, conn))
+
+    def _worker_loop(self) -> None:
+        while True:
+            try:
+                kind, conn = self._conn_queue.get(timeout=0.1)
+            except queue.Empty:
+                if self._stop_event.is_set():
+                    return
+                continue
+            with self._open_lock:
+                self._open_conns.add(conn)
+            try:
+                if kind == "jsonl":
+                    self._serve_jsonl(conn)
+                else:
+                    self._serve_http(conn)
+            finally:
+                with self._open_lock:
+                    self._open_conns.discard(conn)
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+    def _serve_jsonl(self, conn: socket.socket) -> None:
+        """Newline-JSON framing: many requests per connection, until EOF."""
+        f = conn.makefile("rwb")
+        try:
+            while True:
+                line = f.readline(protocol.MAX_MESSAGE_BYTES + 2)
+                if not line:
+                    return
+                try:
+                    message = decode_message(line)
+                except ProtocolError as e:
+                    self._stats["invalid"].record(0.0, ok=False)
+                    f.write(encode_message(error_response(e)))
+                    f.flush()
+                    continue
+                response = self.handle(message)
+                f.write(encode_message(response))
+                f.flush()
+                if message.get("op") == "shutdown" and response.get("ok"):
+                    self.stop()
+                    return
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            return  # client went away mid-exchange; nothing to salvage
+        finally:
+            try:
+                f.close()
+            except OSError:
+                pass
+
+    def _serve_http(self, conn: socket.socket) -> None:
+        """HTTP framing: one ``POST /rpc`` request per connection."""
+        rfile = conn.makefile("rb")
+        try:
+            try:
+                first, headers = protocol.read_http_head(rfile)
+                method, path, *_ = first.split(" ") + ["", ""]
+                if method != "POST" or path != protocol.HTTP_PATH:
+                    raise ProtocolError(
+                        f"unsupported HTTP request {method} {path}; "
+                        f"use POST {protocol.HTTP_PATH}"
+                    )
+                body = protocol.read_http_body(rfile, headers)
+                message = decode_message(body)
+            except ProtocolError as e:
+                self._stats["invalid"].record(0.0, ok=False)
+                payload = encode_message(error_response(e))
+                conn.sendall(protocol.http_response_bytes(payload, 400, "Bad Request"))
+                return
+            response = self.handle(message)
+            conn.sendall(protocol.http_response_bytes(encode_message(response)))
+            if message.get("op") == "shutdown" and response.get("ok"):
+                self.stop()
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            return
+        finally:
+            try:
+                rfile.close()
+            except OSError:
+                pass
+
+    # --------------------------------------------------------------- dispatch
+    def handle(self, message: Dict) -> Dict:
+        """Dispatch one decoded request envelope to its operation handler.
+
+        Transport-independent (tests and the latency benchmark call it
+        directly). Every request runs under its own stage-profiling
+        collector; compile/tune responses report the stages they paid for,
+        which is how the warm path proves it never touched the compiler.
+        """
+        request_id = message.get("id")
+        op = message.get("op")
+        t0 = time.perf_counter()
+        stats_key = op if op in self._stats else "invalid"
+        try:
+            if not isinstance(op, str) or op not in OPS:
+                raise ProtocolError(f"unknown op {op!r}; choose from {OPS}")
+            params = message.get("params") or {}
+            stages = profiling.StageTimes()
+            with profiling.collect(stages):
+                result = self._dispatch(op, params)
+            if op in ("compile", "tune"):
+                result["stages"] = {name: round(t, 6) for name, t in stages.ordered()}
+            response = ok_response(result, request_id)
+            ok = True
+        except Exception as e:  # every failure becomes a structured envelope
+            response = error_response(e, request_id)
+            ok = False
+        self._stats[stats_key].record(time.perf_counter() - t0, ok)
+        return response
+
+    def _dispatch(self, op: str, params: Dict) -> Dict:
+        if op == "ping":
+            return {"protocol": PROTOCOL_VERSION, "session": self.session_id}
+        if op == "status":
+            return self._op_status()
+        if op == "shutdown":
+            return {"stopping": True, "session": self.session_id}
+        p = parse_problem_params(params)
+        artifact, served_from = self._ensure_artifact(p)
+        result: Dict[str, object] = {
+            "key": artifact.key,
+            "spec": dict(artifact.spec),
+            "config": dict(artifact.config),
+            "latency_us": artifact.latency_us,
+            "provenance": dict(artifact.provenance),
+            "served_from": served_from,
+        }
+        if op == "compile":
+            result["ir_text"] = artifact.ir_text
+            result["cuda_source"] = artifact.cuda_source
+        return result
+
+    # ------------------------------------------------------------ the service
+    def _ensure_artifact(self, p: Dict) -> Tuple[KernelArtifact, str]:
+        """Registry, then the in-flight dedup map, then a fresh solve."""
+        spec = GemmSpec(
+            p["name"], batch=p["batch"], m=p["m"], n=p["n"], k=p["k"], dtype=p["dtype"]
+        )
+        space_cap = p["space"] if p["space"] is not None else self.default_space
+        key = artifact_key(self.gpu, spec, p["variant"], self.measurer.via_ir, space_cap)
+        artifact = self.registry.get(key)
+        if artifact is not None:
+            return artifact, "registry"
+        with self._inflight_lock:
+            fut = self._inflight.get(key)
+            owner = fut is None
+            if owner:
+                fut = Future()
+                self._inflight[key] = fut
+            else:
+                with self._counter_lock:
+                    self.counters["dedup_hits"] += 1
+        if not owner:
+            # Someone else is already solving this exact problem; share
+            # their result (or their exception — both callers see it).
+            return fut.result(), "inflight"
+        try:
+            artifact = self._solve(spec, p["variant"], space_cap, key)
+        except BaseException as e:
+            fut.set_exception(e)
+            raise
+        else:
+            fut.set_result(artifact)
+            return artifact, "fresh"
+        finally:
+            with self._inflight_lock:
+                self._inflight.pop(key, None)
+
+    def _solve(self, spec: GemmSpec, variant: str, space_cap: int, key: str) -> KernelArtifact:
+        """The cold path: search the space, build the winning kernel, and
+        publish the artifact."""
+        space = restrict_space(
+            enumerate_space(spec, self.gpu, SpaceOptions(max_size=space_cap)), variant
+        )
+        if not space:
+            raise CompileError(
+                f"design space for {spec.name} is empty under the {variant!r} "
+                f"variant restriction (cap {space_cap})"
+            )
+        cfg, latency = self.measurer.best(spec, space)
+        with self._counter_lock:
+            self.counters["sweeps_run"] += 1
+        kernel = self._build_kernel(spec, cfg)
+        artifact = KernelArtifact(
+            key=key,
+            spec=dataclasses.asdict(spec),
+            config=cfg.as_dict(),
+            latency_us=latency,
+            ir_text=format_kernel(kernel),
+            cuda_source=emit_cuda(kernel),
+            provenance={
+                "gpu": self.gpu.name,
+                "gpu_fingerprint": gpu_fingerprint(self.gpu),
+                "compiler_version": compiler_version_hash(),
+                "session": self.session_id,
+                "created_s": time.time(),
+                "variant": variant,
+                "space": space_cap,
+                "via_ir": self.measurer.via_ir,
+                "space_size": len(space),
+            },
+        )
+        stored = self.registry.put(artifact)
+        with self._counter_lock:
+            self.counters["artifacts_built"] += 1
+        return stored
+
+    def _build_kernel(self, spec: GemmSpec, cfg: TileConfig):
+        """Schedule/lower/pipeline the winning config (sync-verified), with
+        the same stage annotations as the measurement path so per-request
+        profiles account for it."""
+        a_shape = (spec.batch, spec.m, spec.k) if spec.batch > 1 else (spec.m, spec.k)
+        b_shape = (spec.batch, spec.n, spec.k) if spec.batch > 1 else (spec.n, spec.k)
+        a = placeholder("A", a_shape, dtype=spec.dtype)
+        b = placeholder("B", b_shape, dtype=spec.dtype)
+        c = contraction(a, b, spec)
+        with profiling.stage("schedule"):
+            sched = auto_schedule(c, cfg)
+        with profiling.stage("lower"):
+            kernel = lower(sched)
+        with profiling.stage("transform"):
+            kernel = apply_pipelining(kernel, verify_sync=True)
+        return kernel
+
+    # ------------------------------------------------------------------ status
+    def _op_status(self) -> Dict:
+        telemetry = self.measurer.telemetry
+        registry_stats = self.registry.stats()
+        with self._counter_lock:
+            counters = dict(self.counters)
+        counters["registry_hits"] = registry_stats["hits"]
+        counters["registry_misses"] = registry_stats["misses"]
+        with self._inflight_lock:
+            inflight = len(self._inflight)
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "pid": os.getpid(),
+            "session": self.session_id,
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "gpu": self.gpu.name,
+            "via_ir": self.measurer.via_ir,
+            "workers": self.workers,
+            "queue_depth": self._conn_queue.qsize(),
+            "inflight": inflight,
+            "counters": counters,
+            "registry": registry_stats,
+            "measurer": {
+                "n_compiled": telemetry.n_compiled,
+                "memory_hits": telemetry.memory_hits,
+                "disk_hits": telemetry.disk_hits,
+                "compile_time_s": round(telemetry.compile_time_s, 6),
+                "n_crashes": telemetry.n_crashes,
+                "n_timeouts": telemetry.n_timeouts,
+            },
+            "endpoints": {op: s.snapshot() for op, s in self._stats.items()},
+        }

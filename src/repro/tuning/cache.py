@@ -23,6 +23,7 @@ import hashlib
 import json
 import math
 import pathlib
+import threading
 from typing import Dict, Optional, Union
 
 from ..gpusim.config import GpuSpec
@@ -106,6 +107,10 @@ class MeasurementCache:
     like an empty cache without deleting the history. Failed builds are
     cached as ``"inf"`` — re-running a sweep does not re-discover known
     compile failures.
+
+    Thread safety: lookups, inserts and the underlying file append are
+    serialized by an internal lock, so one cache instance may back the
+    serve daemon's shared measurer across concurrent request threads.
     """
 
     FILENAME = "measurements.jsonl"
@@ -120,6 +125,7 @@ class MeasurementCache:
         self._entries: Dict[str, float] = {}
         self.hits = 0
         self.misses = 0
+        self._lock = threading.Lock()
         self._load()
 
     def _load(self) -> None:
@@ -142,29 +148,31 @@ class MeasurementCache:
 
     def get(self, key: str) -> Optional[float]:
         """Cached latency (``math.inf`` for cached failures) or None."""
-        hit = self._entries.get(key, _MISS)
-        if hit is _MISS:
-            self.misses += 1
-            return None
-        self.hits += 1
-        return hit
+        with self._lock:
+            hit = self._entries.get(key, _MISS)
+            if hit is _MISS:
+                self.misses += 1
+                return None
+            self.hits += 1
+            return hit
 
     def put(self, key: str, latency_us: float, meta: Optional[dict] = None) -> None:
         """Record one measurement; ``meta`` rides along for humans reading
         the log (the key alone is opaque)."""
-        if key in self._entries:
-            return
-        self._entries[key] = latency_us
-        entry = dict(meta or {})
-        entry.update(
-            {
-                "key": key,
-                "version": self.version,
-                "latency_us": "inf" if math.isinf(latency_us) else latency_us,
-            }
-        )
-        with self.path.open("a") as f:
-            f.write(json.dumps(entry, sort_keys=True) + "\n")
+        with self._lock:
+            if key in self._entries:
+                return
+            self._entries[key] = latency_us
+            entry = dict(meta or {})
+            entry.update(
+                {
+                    "key": key,
+                    "version": self.version,
+                    "latency_us": "inf" if math.isinf(latency_us) else latency_us,
+                }
+            )
+            with self.path.open("a") as f:
+                f.write(json.dumps(entry, sort_keys=True) + "\n")
 
     def __len__(self) -> int:
         return len(self._entries)

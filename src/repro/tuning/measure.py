@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import threading
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -160,6 +161,12 @@ def _trial_main(conn, gpu: GpuSpec, via_ir: bool, spec: GemmSpec, cfg: TileConfi
 class Measurer:
     """Compile-and-simulate with caching and fault tolerance.
 
+    Thread safety: telemetry counters, the in-memory result cache and the
+    failure/quarantine records are guarded by an internal lock, so one
+    measurer may be shared by concurrent request threads (the
+    :mod:`repro.serve` daemon) without losing counts. Compiles themselves
+    run outside the lock; only the bookkeeping serializes.
+
     Parameters
     ----------
     gpu:
@@ -206,6 +213,10 @@ class Measurer:
         self.trial_timeout_s = trial_timeout_s
         self.retries = max(0, int(retries))
         self.backoff_s = backoff_s
+        #: guards every telemetry counter and the in-memory caches below;
+        #: reentrant because the pool's crash handler tallies a failure and
+        #: records its result in one critical section.
+        self._lock = threading.RLock()
         self._cache: Dict[Tuple, float] = {}
         #: canonical tensor-expression graph per problem: building the
         #: placeholders + contraction is config-independent, so one graph
@@ -234,6 +245,10 @@ class Measurer:
 
     @property
     def telemetry(self) -> MeasureTelemetry:
+        with self._lock:
+            return self._telemetry_locked()
+
+    def _telemetry_locked(self) -> MeasureTelemetry:
         return MeasureTelemetry(
             n_compiled=self.n_compiled,
             memory_hits=self.n_memory_hits,
@@ -298,8 +313,11 @@ class Measurer:
                 except (CompileError, ValueError):
                     latency = FAILED
         finally:
-            self.compile_time_s += time.perf_counter() - t0
-        self.n_compiled += 1
+            dt = time.perf_counter() - t0
+            with self._lock:
+                self.compile_time_s += dt
+        with self._lock:
+            self.n_compiled += 1
         return latency
 
     def _record(
@@ -308,7 +326,8 @@ class Measurer:
     ) -> None:
         """Commit a result to the memory cache and (for genuine
         measurements, not crash/timeout placeholders) the disk cache."""
-        self._cache[key] = latency
+        with self._lock:
+            self._cache[key] = latency
         if self.cache is not None and persist:
             self.cache.put(
                 measurement_key(self.gpu, spec, cfg, self.via_ir, version=self.cache.version),
@@ -324,17 +343,19 @@ class Measurer:
 
     def _lookup(self, key: Tuple, spec: GemmSpec, cfg: TileConfig) -> Optional[float]:
         """Memory cache, then disk cache (promoting disk hits to memory)."""
-        hit = self._cache.get(key)
-        if hit is not None:
-            self.n_memory_hits += 1
-            return hit
+        with self._lock:
+            hit = self._cache.get(key)
+            if hit is not None:
+                self.n_memory_hits += 1
+                return hit
         if self.cache is not None:
             disk = self.cache.get(
                 measurement_key(self.gpu, spec, cfg, self.via_ir, version=self.cache.version)
             )
             if disk is not None:
-                self.n_disk_hits += 1
-                self._cache[key] = disk
+                with self._lock:
+                    self.n_disk_hits += 1
+                    self._cache[key] = disk
                 return disk
         return None
 
@@ -342,12 +363,13 @@ class Measurer:
     def _note_failure(
         self, spec: GemmSpec, cfg: TileConfig, reason: str, detail: str, attempt: int
     ) -> None:
-        self.failures.append(
-            MeasureFailure(
-                spec=spec.name, config=cfg.key(), reason=reason,
-                detail=detail, attempt=attempt,
+        with self._lock:
+            self.failures.append(
+                MeasureFailure(
+                    spec=spec.name, config=cfg.key(), reason=reason,
+                    detail=detail, attempt=attempt,
+                )
             )
-        )
 
     def _measure_with_recovery(self, spec: GemmSpec, cfg: TileConfig, key: Tuple) -> None:
         """Serial (in-process) trial with bounded retry; crash-class
@@ -360,12 +382,15 @@ class Measurer:
                 self._record(key, spec, cfg, latency)
                 return
             except Exception as e:
-                self.n_crashes += 1
+                with self._lock:
+                    self.n_crashes += 1
                 self._note_failure(spec, cfg, "crash", repr(e), attempt)
                 if attempt < self.retries:
-                    self.n_retries += 1
+                    with self._lock:
+                        self.n_retries += 1
                     time.sleep(self.backoff_s * (2**attempt))
-        self.quarantined.add(key)
+        with self._lock:
+            self.quarantined.add(key)
         self._record(key, spec, cfg, FAILED, persist=False)
 
     # ----------------------------------------------------------------- pool
@@ -393,16 +418,19 @@ class Measurer:
             return None
 
         def on_crash(key, cfg, attempt, detail):
-            self.n_crashes += 1
+            with self._lock:
+                self.n_crashes += 1
             self._note_failure(spec, cfg, "crash", detail, attempt)
             if attempt < self.retries:
-                self.n_retries += 1
+                with self._lock:
+                    self.n_retries += 1
                 queue.append(
                     (key, cfg, attempt + 1,
                      time.monotonic() + self.backoff_s * (2**attempt))
                 )
             else:
-                self.quarantined.add(key)
+                with self._lock:
+                    self.quarantined.add(key)
                 self._record(key, spec, cfg, FAILED, persist=False)
 
         def reap(sid):
@@ -451,8 +479,9 @@ class Measurer:
                             payload = None
                         if payload is not None and payload[0] == "ok":
                             _, latency, compile_s, stage_times = payload
-                            self.n_compiled += 1
-                            self.compile_time_s += compile_s
+                            with self._lock:
+                                self.n_compiled += 1
+                                self.compile_time_s += compile_s
                             self.stage_times.merge(stage_times)
                             self._record(key, spec, cfg, latency)
                         else:
@@ -466,7 +495,8 @@ class Measurer:
                         reap(sid)
                     elif deadline is not None and time.monotonic() > deadline:
                         proc.terminate()
-                        self.n_timeouts += 1
+                        with self._lock:
+                            self.n_timeouts += 1
                         self._note_failure(
                             spec, cfg, "timeout",
                             f"exceeded {self.trial_timeout_s}s wall clock", attempt,
@@ -548,8 +578,9 @@ class Measurer:
         if not prune_ratio:
             return self.measure_many(spec, space, jobs=jobs)
         kept, stats = prune_space(spec, space, self.gpu, prune_ratio)
-        self.n_pruned += stats.n_total - stats.n_kept
-        self.last_prune_stats = stats
+        with self._lock:
+            self.n_pruned += stats.n_total - stats.n_kept
+            self.last_prune_stats = stats
         kept_latency = self.measure_many(spec, kept, jobs=jobs)
         by_key = {cfg.key(): lat for cfg, lat in zip(kept, kept_latency)}
         return [by_key.get(cfg.key(), FAILED) for cfg in space]

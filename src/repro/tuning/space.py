@@ -19,6 +19,7 @@ phenomenon of Fig. 12. Use ``launchable_only=True`` to pre-filter.
 from __future__ import annotations
 
 import dataclasses
+import threading
 from collections import OrderedDict
 from typing import List, Optional, Sequence, Tuple
 
@@ -60,6 +61,9 @@ class SpaceOptions:
 # them with the same arguments over and over — so both are memoized in
 # small LRU caches. Tuples are stored internally; callers get a fresh list
 # each time, so mutating a returned space can never corrupt the cache.
+# The caches are lock-guarded: the serve daemon enumerates from concurrent
+# request threads, and OrderedDict reordering is not atomic.
+_cache_lock = threading.Lock()
 _ENUM_CACHE_SIZE = 64
 _enum_cache: "OrderedDict[Tuple[GemmSpec, GpuSpec, SpaceOptions], Tuple[TileConfig, ...]]" = (
     OrderedDict()
@@ -72,8 +76,9 @@ _restrict_cache: "OrderedDict[Tuple[str, Tuple[TileConfig, ...]], Tuple[TileConf
 
 def clear_space_caches() -> None:
     """Drop both memo caches (tests and long-lived sessions)."""
-    _enum_cache.clear()
-    _restrict_cache.clear()
+    with _cache_lock:
+        _enum_cache.clear()
+        _restrict_cache.clear()
 
 
 def _cache_put(cache: "OrderedDict", size: int, key, value) -> None:
@@ -90,14 +95,16 @@ def enumerate_space(
     """All candidate schedules for ``spec``, in deterministic grid order."""
     opt = options or SpaceOptions()
     key = (spec, gpu, opt)
-    cached = _enum_cache.get(key)
-    if cached is not None:
-        _enum_cache.move_to_end(key)
-        return list(cached)
+    with _cache_lock:
+        cached = _enum_cache.get(key)
+        if cached is not None:
+            _enum_cache.move_to_end(key)
+            return list(cached)
     out = _enumerate_space_uncached(spec, gpu, opt)
     # Only successful enumerations are cached; the empty-space ValueError
     # path stays uncached so its message is always raised fresh.
-    _cache_put(_enum_cache, _ENUM_CACHE_SIZE, key, tuple(out))
+    with _cache_lock:
+        _cache_put(_enum_cache, _ENUM_CACHE_SIZE, key, tuple(out))
     return out
 
 
@@ -172,10 +179,12 @@ def restrict_space(space: Sequence[TileConfig], variant: str) -> List[TileConfig
     except KeyError:
         raise ValueError(f"unknown variant {variant!r}; choose from {sorted(SUBSPACES)}")
     key = (variant, tuple(space))
-    cached = _restrict_cache.get(key)
-    if cached is not None:
-        _restrict_cache.move_to_end(key)
-        return list(cached)
+    with _cache_lock:
+        cached = _restrict_cache.get(key)
+        if cached is not None:
+            _restrict_cache.move_to_end(key)
+            return list(cached)
     out = [c for c in space if pred(c)]
-    _cache_put(_restrict_cache, _RESTRICT_CACHE_SIZE, key, tuple(out))
+    with _cache_lock:
+        _cache_put(_restrict_cache, _RESTRICT_CACHE_SIZE, key, tuple(out))
     return out

@@ -7,8 +7,11 @@ from repro.core.errors import (
     DegradationEvent,
     FaultInjected,
     MeasurementTimeout,
+    ProtocolError,
+    RegistryError,
     ReproError,
     ScheduleError,
+    ServeError,
     SimulationError,
     SyncVerificationError,
     TransformError,
@@ -24,6 +27,9 @@ STAGES = {
     MeasurementTimeout: "measure",
     WorkerCrash: "measure",
     FaultInjected: "fault",
+    ServeError: "serve",
+    ProtocolError: "serve",
+    RegistryError: "registry",
 }
 
 
@@ -76,11 +82,17 @@ class TestBackCompat:
 
         assert issubclass(SyncCheckError, SyncVerificationError)
 
+    def test_serve_errors_are_serve_errors(self):
+        assert issubclass(ProtocolError, ServeError)
+        assert issubclass(RegistryError, ServeError)
+
     def test_core_package_reexports(self):
         import repro.core as core
 
         assert core.CompileError is CompileError
         assert core.ReproError is ReproError
+        assert core.ServeError is ServeError
+        assert core.RegistryError is RegistryError
         # Lazy heavy exports still resolve.
         assert core.VARIANTS[0] == "alcop"
         assert "AlcopCompiler" in dir(core)

@@ -43,7 +43,7 @@ class TestCollect:
     def test_stage_is_noop_without_collector(self):
         with stage("lower"):
             pass
-        assert not profiling._ACTIVE
+        assert not profiling._active()
 
     def test_collect_routes_stage_durations(self):
         t = StageTimes()
@@ -71,7 +71,7 @@ class TestCollect:
                 raise RuntimeError("boom")
         except RuntimeError:
             pass
-        assert not profiling._ACTIVE
+        assert not profiling._active()
 
 
 class TestMeasurerIntegration:

@@ -21,7 +21,17 @@ def job_commands(job):
 
 def test_workflow_parses_and_has_expected_jobs(workflow):
     assert workflow["name"] == "CI"
-    assert set(workflow["jobs"]) == {"lint", "tests", "sync-safety", "bench-smoke", "chaos"}
+    assert set(workflow["jobs"]) == {
+        "lint", "tests", "sync-safety", "bench-smoke", "chaos", "serve-smoke",
+    }
+
+
+def test_concurrency_cancels_superseded_runs(workflow):
+    """A new push must cancel the previous run for the same ref, not queue
+    behind it."""
+    group = workflow["concurrency"]
+    assert group["cancel-in-progress"] is True
+    assert "github.ref" in group["group"]
 
 
 def test_triggers_cover_push_and_pr(workflow):
@@ -77,6 +87,59 @@ def test_bench_smoke_runs_cold_then_warm(workflow):
     assert len(bench) == 2, "bench-smoke must run the suite twice (cold, then warm)"
     assert all("--cache-dir .bench-cache" in c for c in bench)
     assert bench[0] == bench[1], "both runs must target the same cache directory"
+
+
+class TestServeSmokeJob:
+    """The serve-smoke job is the executable acceptance criterion for
+    compile-as-a-service: it boots the daemon, proves request dedup
+    (3 concurrent clients, exactly one sweep) and proves the warm round
+    is served from the registry with zero compiles."""
+
+    def test_boots_daemon_in_background_and_waits(self, workflow):
+        cmds = job_commands(workflow["jobs"]["serve-smoke"])
+        boot = [c for c in cmds if "repro.cli serve" in c]
+        assert len(boot) == 1, "serve-smoke must boot exactly one daemon"
+        assert "&" in boot[0], "the daemon must run in the background"
+        assert "--registry-dir" in boot[0]
+        assert "--wait" in boot[0], "the boot step must wait for readiness"
+
+    def test_three_concurrent_clients_same_shape(self, workflow):
+        cmds = job_commands(workflow["jobs"]["serve-smoke"])
+        fanout = [c for c in cmds if "client tune" in c]
+        assert len(fanout) == 1
+        assert "for i in 1 2 3" in fanout[0], "three concurrent clients"
+        assert fanout[0].count("--m 512 --n 512 --k 512"), "same GEMM shape"
+        assert "wait" in fanout[0]
+
+    def test_asserts_exactly_one_sweep(self, workflow):
+        cmds = "\n".join(job_commands(workflow["jobs"]["serve-smoke"]))
+        assert 'assert s["counters"]["sweeps_run"] == 1' in cmds
+
+    def test_asserts_warm_round_from_registry_with_zero_compiles(self, workflow):
+        cmds = "\n".join(job_commands(workflow["jobs"]["serve-smoke"]))
+        assert 'warm["served_from"] == "registry"' in cmds
+        assert 'warm["stages"] == {}' in cmds
+        assert 's2["measurer"]["n_compiled"] == s1["measurer"]["n_compiled"]' in cmds
+
+    def test_runs_latency_benchmark_and_uploads_artifact(self, workflow):
+        cmds = job_commands(workflow["jobs"]["serve-smoke"])
+        bench = [c for c in cmds if "bench_serve_latency.py" in c]
+        assert len(bench) == 1
+        assert "--smoke" in bench[0] and "--out serve-latency.json" in bench[0]
+        uploads = [
+            s for s in workflow["jobs"]["serve-smoke"]["steps"]
+            if "upload-artifact" in s.get("uses", "")
+        ]
+        assert len(uploads) == 1
+        assert uploads[0]["with"]["path"] == "serve-latency.json"
+
+    def test_daemon_is_stopped_even_on_failure(self, workflow):
+        stops = [
+            s for s in workflow["jobs"]["serve-smoke"]["steps"]
+            if "client stop" in s.get("run", "")
+        ]
+        assert len(stops) == 1
+        assert stops[0].get("if") == "always()"
 
 
 def test_bench_smoke_records_compile_throughput(workflow):

@@ -164,6 +164,96 @@ class TestCommands:
         assert "R3-stage-alias" in out and "finding(s)" in out
 
 
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--socket", "/tmp/d.sock"])
+        assert args.port is None and args.registry_dir is None
+        assert args.workers is None and args.space is None
+
+    def test_serve_defaults_mirror_server_constants(self):
+        from repro.cli import _SERVE_SPACE, _SERVE_WORKERS
+        from repro.serve.server import DEFAULT_SPACE, DEFAULT_WORKERS
+
+        assert _SERVE_WORKERS == DEFAULT_WORKERS
+        assert _SERVE_SPACE == DEFAULT_SPACE
+
+    def test_serve_requires_an_endpoint(self, capsys):
+        assert main(["serve"]) == 2
+        assert "--socket" in capsys.readouterr().err
+
+    def test_client_actions(self):
+        for action in ("compile", "tune", "status", "stop", "ping"):
+            args = build_parser().parse_args(["client", action, "--socket", "/tmp/d.sock"])
+            assert args.action == action
+
+    def test_client_rejects_unknown_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["client", "frobnicate", "--socket", "/tmp/d.sock"])
+
+    def test_client_requires_exactly_one_endpoint(self, capsys):
+        assert main(["client", "ping"]) == 2
+        assert main(["client", "ping", "--socket", "/tmp/a", "--port", "1"]) == 2
+
+    def test_client_compile_requires_problem(self, capsys, tmp_path):
+        assert main(["client", "compile", "--socket", str(tmp_path / "d.sock")]) == 2
+        assert "--m/--n/--k" in capsys.readouterr().err
+
+
+class TestServeEndToEnd:
+    """Daemon + client through the real CLI entry points, in-process."""
+
+    @pytest.fixture
+    def daemon(self, tmp_path):
+        from repro.serve.registry import ArtifactRegistry
+        from repro.serve.server import ReproServer
+
+        server = ReproServer(
+            socket_path=str(tmp_path / "d.sock"),
+            registry=ArtifactRegistry(tmp_path / "reg"),
+            default_space=16,
+        )
+        server.start()
+        try:
+            yield server
+        finally:
+            server.stop()
+            server.shutdown(timeout=10)
+
+    def test_client_tune_then_warm_compile(self, capsys, daemon, tmp_path):
+        base = ["client", "--socket", daemon.socket_path, "--wait", "10",
+                "--m", "128", "--n", "128", "--k", "128"]
+        assert main([base[0], "tune"] + base[1:]) == 0
+        cold = capsys.readouterr().out
+        assert "served   : fresh" in cold
+
+        cu = tmp_path / "k.cu"
+        assert main([base[0], "compile"] + base[1:] + ["--out", str(cu)]) == 0
+        warm = capsys.readouterr().out
+        assert "served   : registry" in warm
+        assert "no compile work" in warm
+        assert "__global__" in cu.read_text()
+
+    def test_client_json_output(self, capsys, daemon):
+        rc = main(["client", "tune", "--socket", daemon.socket_path,
+                   "--m", "128", "--n", "128", "--k", "128", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["served_from"] in ("fresh", "registry")
+        assert payload["config"]["block_m"] > 0
+
+    def test_client_status_and_stop(self, capsys, daemon):
+        assert main(["client", "status", "--socket", daemon.socket_path]) == 0
+        out = capsys.readouterr().out
+        assert "registry :" in out and "tuning   :" in out
+        assert main(["client", "stop", "--socket", daemon.socket_path]) == 0
+        assert "daemon stopping" in capsys.readouterr().out
+
+    def test_client_unreachable_daemon_exits_1(self, capsys, tmp_path):
+        rc = main(["client", "ping", "--socket", str(tmp_path / "nope.sock")])
+        assert rc == 1
+        assert "is the daemon running?" in capsys.readouterr().err
+
+
 class TestHistoryPersistence:
     def test_round_trip(self, tmp_path):
         h = TuneHistory()
