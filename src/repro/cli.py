@@ -25,6 +25,7 @@ _GPUS = {"a100": A100, "h100": H100, "v100": V100}
 # (heavier) serving stack; tests/serve pin them equal.
 _SERVE_WORKERS = 4
 _SERVE_SPACE = 600
+_SERVE_IDLE_TIMEOUT = 120.0
 
 
 def _add_problem_args(p: argparse.ArgumentParser, required: bool = True) -> None:
@@ -395,6 +396,7 @@ def _cmd_serve(args) -> int:
         workers=workers,
         via_ir=bool(args.via_ir),
         default_space=space,
+        idle_timeout=args.idle_timeout,
     )
 
     def _stop(signum, frame):
@@ -612,6 +614,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--space", type=int, default=None,
                    help="default design-space cap for requests that do not "
                         "send one (default %d)" % _SERVE_SPACE)
+    p.add_argument("--idle-timeout", type=float, default=_SERVE_IDLE_TIMEOUT,
+                   metavar="S",
+                   help="close keep-alive connections idle for S seconds so "
+                        "they return their worker thread to the pool; <= 0 "
+                        "disables (default %g)" % _SERVE_IDLE_TIMEOUT)
     p.add_argument("--via-ir", action="store_true",
                    help="tune through the full compiler path instead of the "
                         "static timing spec")

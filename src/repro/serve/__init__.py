@@ -9,7 +9,13 @@ protocol, registry layout, telemetry fields and dedup semantics.
 from .client import ServeClient
 from .protocol import OPS, PROTOCOL_VERSION
 from .registry import ArtifactRegistry, KernelArtifact, artifact_key
-from .server import DEFAULT_SPACE, DEFAULT_WORKERS, EndpointStats, ReproServer
+from .server import (
+    DEFAULT_IDLE_TIMEOUT,
+    DEFAULT_SPACE,
+    DEFAULT_WORKERS,
+    EndpointStats,
+    ReproServer,
+)
 
 __all__ = [
     "ArtifactRegistry",
@@ -22,4 +28,5 @@ __all__ = [
     "PROTOCOL_VERSION",
     "DEFAULT_SPACE",
     "DEFAULT_WORKERS",
+    "DEFAULT_IDLE_TIMEOUT",
 ]

@@ -59,7 +59,13 @@ from .protocol import (
 )
 from .registry import ArtifactRegistry, KernelArtifact, artifact_key
 
-__all__ = ["ReproServer", "EndpointStats", "DEFAULT_SPACE", "DEFAULT_WORKERS"]
+__all__ = [
+    "ReproServer",
+    "EndpointStats",
+    "DEFAULT_SPACE",
+    "DEFAULT_WORKERS",
+    "DEFAULT_IDLE_TIMEOUT",
+]
 
 #: Design-space cap used when a request does not name one (matches the
 #: CLI's ``--space`` default so ``repro compile`` and a served compile
@@ -67,6 +73,12 @@ __all__ = ["ReproServer", "EndpointStats", "DEFAULT_SPACE", "DEFAULT_WORKERS"]
 DEFAULT_SPACE = 600
 
 DEFAULT_WORKERS = 4
+
+#: Seconds a keep-alive connection may sit idle between requests before
+#: the daemon closes it. Each open connection pins one worker thread, so
+#: without this bound ``workers`` idle clients would starve the pool and
+#: park every new request (including ping) in the queue forever.
+DEFAULT_IDLE_TIMEOUT = 120.0
 
 #: Latency samples kept per endpoint for the p50/p95 estimates.
 _LATENCY_WINDOW = 2048
@@ -129,6 +141,10 @@ class ReproServer:
         Request-handling threads draining the connection queue.
     via_ir:
         Measurement mode of the shared measurer (see ``Measurer``).
+    idle_timeout:
+        Seconds a keep-alive connection may sit idle between requests
+        before the daemon closes it and returns its worker to the pool
+        (``None`` or ``<= 0`` disables the bound — tests only).
     """
 
     def __init__(
@@ -143,6 +159,7 @@ class ReproServer:
         workers: int = DEFAULT_WORKERS,
         via_ir: bool = False,
         default_space: int = DEFAULT_SPACE,
+        idle_timeout: Optional[float] = DEFAULT_IDLE_TIMEOUT,
     ) -> None:
         if socket_path is None and port is None:
             raise ValueError("ReproServer needs a socket_path and/or a port to listen on")
@@ -155,6 +172,9 @@ class ReproServer:
         self.measurer = Measurer(gpu, via_ir=via_ir, cache=cache, jobs=jobs)
         self.workers = max(1, int(workers))
         self.default_space = int(default_space)
+        #: None (or <= 0) disables the idle bound — tests only; a shared
+        #: daemon should always keep one so idle clients cannot pin workers.
+        self.idle_timeout = idle_timeout if idle_timeout and idle_timeout > 0 else None
         #: tune session id stamped into every artifact this daemon builds.
         self.session_id = uuid.uuid4().hex[:12]
         self.started_at = time.time()
@@ -265,7 +285,11 @@ class ReproServer:
                 continue  # periodic stop_event check
             except OSError:
                 return  # listener closed by stop()
-            conn.settimeout(None)  # accepted sockets inherit the 0.25s timeout
+            # Accepted sockets inherit the listener's 0.25s timeout; replace
+            # it with the idle bound so a silent keep-alive client eventually
+            # returns its worker to the pool (the timeout lands in readline()
+            # as an OSError, which the serve loops treat as connection-over).
+            conn.settimeout(self.idle_timeout)
             self._conn_queue.put((kind, conn))
 
     def _worker_loop(self) -> None:
@@ -298,6 +322,19 @@ class ReproServer:
             while True:
                 line = f.readline(protocol.MAX_MESSAGE_BYTES + 2)
                 if not line:
+                    return
+                if len(line) >= protocol.MAX_MESSAGE_BYTES + 2 and not line.endswith(b"\n"):
+                    # readline() hit its size cap mid-line: the rest of this
+                    # oversized message is still buffered and would be parsed
+                    # as garbage "messages". Answer once, then close the
+                    # connection rather than desync the stream.
+                    self._stats["invalid"].record(0.0, ok=False)
+                    err = ProtocolError(
+                        f"message exceeds {protocol.MAX_MESSAGE_BYTES} bytes; "
+                        "closing connection"
+                    )
+                    f.write(encode_message(error_response(err)))
+                    f.flush()
                     return
                 try:
                     message = decode_message(line)
@@ -363,7 +400,9 @@ class ReproServer:
         request_id = message.get("id")
         op = message.get("op")
         t0 = time.perf_counter()
-        stats_key = op if op in self._stats else "invalid"
+        # `op` is attacker-controlled JSON: an unhashable value (list/dict)
+        # would raise from a bare `op in self._stats`, so type-check first.
+        stats_key = op if isinstance(op, str) and op in self._stats else "invalid"
         try:
             if not isinstance(op, str) or op not in OPS:
                 raise ProtocolError(f"unknown op {op!r}; choose from {OPS}")
@@ -418,6 +457,14 @@ class ReproServer:
             fut = self._inflight.get(key)
             owner = fut is None
             if owner:
+                # Re-check the registry before becoming owner: the previous
+                # owner publishes (registry.put) *before* popping its future,
+                # so a thread whose lock-free registry miss raced the publish
+                # and whose map lookup raced the pop must find it here —
+                # otherwise it would run a duplicate sweep for the same key.
+                artifact = self.registry.get(key)
+                if artifact is not None:
+                    return artifact, "registry"
                 fut = Future()
                 self._inflight[key] = fut
             else:

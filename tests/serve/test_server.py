@@ -193,6 +193,137 @@ class TestErrors:
             ServeClient(socket_path="/tmp/x.sock", port=1234)
 
 
+class TestMalformedRequests:
+    """Regression tests: hostile envelopes must produce error responses,
+    never kill a worker thread or desync a connection."""
+
+    def _roundtrip_raw(self, server, payload: bytes):
+        import socket as socketlib
+
+        sock = socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM)
+        sock.settimeout(10)
+        sock.connect(server.socket_path)
+        f = sock.makefile("rwb")
+        try:
+            f.write(payload)
+            f.flush()
+            return json.loads(f.readline())
+        finally:
+            f.close()
+            sock.close()
+
+    def test_unhashable_op_is_error_envelope(self, tmp_path):
+        server = ReproServer(socket_path=str(tmp_path / "d.sock"), default_space=SPACE)
+        for bad_op in ([], {}, ["tune"], {"op": "nested"}):
+            response = server.handle({"op": bad_op, "id": "x"})
+            assert not response["ok"]
+            assert response["error"]["type"] == "ProtocolError"
+
+    def test_unhashable_op_does_not_kill_workers(self, unix_server):
+        # More malformed requests than worker threads: with the old bug
+        # each one killed a worker permanently and the daemon went silent.
+        for _ in range(unix_server.workers + 1):
+            response = self._roundtrip_raw(unix_server, b'{"op": []}\n')
+            assert not response["ok"]
+        client = ServeClient(socket_path=unix_server.socket_path, timeout=30)
+        assert client.ping()["protocol"] >= 1
+
+    def test_oversized_message_answers_once_and_closes(self, unix_server, monkeypatch):
+        import socket as socketlib
+
+        from repro.serve import protocol
+
+        monkeypatch.setattr(protocol, "MAX_MESSAGE_BYTES", 512)
+        big = b'{"op": "ping", "pad": "' + b"x" * 2048 + b'"}\n'
+        sock = socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM)
+        sock.settimeout(10)
+        sock.connect(unix_server.socket_path)
+        f = sock.makefile("rwb")
+        try:
+            f.write(big)
+            f.flush()
+            response = json.loads(f.readline())
+            assert not response["ok"]
+            assert "exceeds" in response["error"]["message"]
+            # The connection is closed — the buffered remainder of the
+            # oversized message must not be parsed as further "messages".
+            assert f.readline() == b""
+        finally:
+            f.close()
+            sock.close()
+        # And the daemon still serves fresh connections.
+        client = ServeClient(socket_path=unix_server.socket_path, timeout=30)
+        assert client.ping()["protocol"] >= 1
+
+
+class TestIdleTimeout:
+    def test_idle_connection_is_closed_and_worker_freed(self, tmp_path):
+        import socket as socketlib
+
+        server = ReproServer(
+            socket_path=str(tmp_path / "d.sock"),
+            workers=1,  # a single pinned worker would starve everything
+            default_space=SPACE,
+            idle_timeout=0.5,
+        )
+        server.start()
+        try:
+            sock = socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM)
+            sock.settimeout(10)
+            sock.connect(server.socket_path)
+            f = sock.makefile("rwb")
+            f.write(b'{"op": "ping"}\n')
+            f.flush()
+            assert json.loads(f.readline())["ok"]
+            # Go idle: the daemon closes the connection (EOF) instead of
+            # letting it pin the only worker forever.
+            assert f.readline() == b""
+            f.close()
+            sock.close()
+            # The worker is back in the pool and answers new clients.
+            client = ServeClient(socket_path=server.socket_path, timeout=30)
+            assert client.ping()["protocol"] >= 1
+        finally:
+            server.stop()
+            server.shutdown(timeout=10)
+
+    def test_idle_timeout_disabled_when_nonpositive(self, tmp_path):
+        server = ReproServer(
+            socket_path=str(tmp_path / "d.sock"), default_space=SPACE, idle_timeout=0
+        )
+        assert server.idle_timeout is None
+
+
+class TestDedupRecheck:
+    def test_owner_rechecks_registry_under_lock(self, tmp_path):
+        """A thread whose registry miss raced the owner's publish and whose
+        in-flight lookup raced the owner's pop must be served from the
+        registry, not run a duplicate sweep (CI asserts sweeps_run == 1)."""
+        from repro.serve.protocol import parse_problem_params
+
+        server = ReproServer(socket_path=str(tmp_path / "d.sock"), default_space=SPACE)
+        p = parse_problem_params(dict(PROBLEM))
+        _, served_from = server._ensure_artifact(p)
+        assert served_from == "fresh"
+        assert server.counters["sweeps_run"] == 1
+
+        real_get = server.registry.get
+        calls = {"n": 0}
+
+        def get_missing_first(key):
+            # Simulate the race: the lock-free pre-check misses, the
+            # under-lock re-check sees the published artifact.
+            calls["n"] += 1
+            return None if calls["n"] == 1 else real_get(key)
+
+        server.registry.get = get_missing_first
+        artifact, served_from = server._ensure_artifact(p)
+        assert served_from == "registry"
+        assert artifact is not None
+        assert calls["n"] == 2
+        assert server.counters["sweeps_run"] == 1  # no duplicate sweep
+
+
 class TestStatus:
     def test_status_shape(self, unix_server, unix_client):
         unix_client.tune(**PROBLEM)

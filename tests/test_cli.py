@@ -171,11 +171,16 @@ class TestServeParser:
         assert args.workers is None and args.space is None
 
     def test_serve_defaults_mirror_server_constants(self):
-        from repro.cli import _SERVE_SPACE, _SERVE_WORKERS
-        from repro.serve.server import DEFAULT_SPACE, DEFAULT_WORKERS
+        from repro.cli import _SERVE_IDLE_TIMEOUT, _SERVE_SPACE, _SERVE_WORKERS
+        from repro.serve.server import (
+            DEFAULT_IDLE_TIMEOUT,
+            DEFAULT_SPACE,
+            DEFAULT_WORKERS,
+        )
 
         assert _SERVE_WORKERS == DEFAULT_WORKERS
         assert _SERVE_SPACE == DEFAULT_SPACE
+        assert _SERVE_IDLE_TIMEOUT == DEFAULT_IDLE_TIMEOUT
 
     def test_serve_requires_an_endpoint(self, capsys):
         assert main(["serve"]) == 2
