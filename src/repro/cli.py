@@ -8,7 +8,9 @@ Commands
 ``suite``     TVM-vs-ALCOP speedups over the paper's operator suite;
 ``check``     static sync-race check of pipelined IR over the workload suite;
 ``serve``     long-running compile-as-a-service daemon (docs/serving.md);
-``client``    talk to a running daemon: compile | tune | status | stop.
+``client``    talk to a running daemon: compile | tune | status | stop;
+``fleet-worker``  one remote seat of a distributed tuning fleet: a serve
+              daemon tuned for the ``measure`` endpoint (docs/distributed.md).
 """
 
 from __future__ import annotations
@@ -237,6 +239,19 @@ def _cmd_tune(args) -> int:
         print(f"replaying {n} journalled trial(s) from the session")
     try:
         space = enumerate_space(spec, gpu, options=SpaceOptions(max_size=args.space))
+        if args.fleet or args.fleet_endpoint:
+            # Shard the full enumerated sweep across the fleet first; every
+            # trial below (measurer.best and the tuner) is then a cache hit,
+            # so the result is bitwise-identical to the serial run
+            # (docs/distributed.md).
+            from .tuning.fleet import fleet_sweep
+
+            _, fleet_tel = fleet_sweep(
+                measurer, spec, space,
+                workers=args.fleet,
+                endpoints=tuple(args.fleet_endpoint or ()),
+            )
+            print(f"fleet: {fleet_tel.summary()}")
         _, best = measurer.best(spec, space)
         tuner = methods[args.method](
             spec, space, measurer=measurer, gpu=gpu, seed=args.seed,
@@ -425,6 +440,54 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_fleet_worker(args) -> int:
+    """One remote seat of a tuning fleet: a ReproServer whose raison d'être
+    is the ``measure`` endpoint. Coordinators enlist it with
+    ``repro tune --fleet-endpoint ADDR`` (docs/distributed.md)."""
+    import signal
+
+    from .serve.server import ReproServer
+
+    if args.socket is None and args.port is None:
+        print("fleet-worker: give --socket PATH and/or --port N to listen on",
+              file=sys.stderr)
+        return 2
+    server = ReproServer(
+        gpu=_GPUS[args.gpu],
+        socket_path=args.socket,
+        port=args.port,
+        host=args.host,
+        cache_dir=args.cache_dir,
+        jobs=args.jobs,
+        workers=args.workers if args.workers is not None else _SERVE_WORKERS,
+        via_ir=bool(args.via_ir),
+        idle_timeout=args.idle_timeout,
+    )
+
+    def _stop(signum, frame):
+        print("\nfleet-worker shutting down", file=sys.stderr)
+        server.stop()
+
+    try:
+        signal.signal(signal.SIGINT, _stop)
+        signal.signal(signal.SIGTERM, _stop)
+    except ValueError:
+        pass  # not the main thread (tests drive the server object directly)
+    server.start()
+    where = []
+    if args.socket:
+        where.append(f"unix socket {args.socket}")
+    if server.port is not None:
+        where.append(f"{args.host}:{server.port}")
+    print(f"repro fleet-worker: session {server.session_id} on "
+          f"{_GPUS[args.gpu].name} (via_ir={bool(args.via_ir)})")
+    for w in where:
+        print(f"  enlist with: repro tune --fleet-endpoint {w.split(' ')[-1]}", flush=True)
+    server.serve_forever()
+    print("fleet-worker stopped")
+    return 0
+
+
 def _client_connection(args):
     from .serve.client import ServeClient
 
@@ -569,6 +632,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", default=None, metavar="DIR",
                    help="continue a journalled session; problem/method/seed "
                         "are read back from its session.json")
+    p.add_argument("--fleet", type=int, default=0, metavar="N",
+                   help="shard the full design-space sweep across N local "
+                        "worker processes before tuning; results are "
+                        "bitwise-identical to the serial run "
+                        "(docs/distributed.md)")
+    p.add_argument("--fleet-endpoint", action="append", default=None,
+                   metavar="ADDR",
+                   help="also enlist a running repro serve / fleet-worker "
+                        "daemon at ADDR (host:port for HTTP, anything else "
+                        "is a Unix socket path); repeatable")
     p.set_defaults(fn=_cmd_tune)
 
     p = sub.add_parser("suite", help="TVM vs ALCOP over the operator suite")
@@ -623,6 +696,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="tune through the full compiler path instead of the "
                         "static timing spec")
     p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "fleet-worker",
+        help="remote seat of a distributed tuning fleet (docs/distributed.md)",
+    )
+    p.add_argument("--socket", default=None, metavar="PATH",
+                   help="listen on a Unix socket (newline-delimited JSON)")
+    p.add_argument("--port", type=int, default=None,
+                   help="listen on TCP (0 picks an ephemeral port)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--gpu", choices=sorted(_GPUS), default="a100")
+    p.add_argument("--cache-dir", default=None,
+                   help="disk-persistent measurement cache directory "
+                        "(docs/tuning_cache.md)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="parallel measurement worker processes per shard")
+    p.add_argument("--workers", type=int, default=None,
+                   help="request worker threads (default %d)" % _SERVE_WORKERS)
+    p.add_argument("--idle-timeout", type=float, default=_SERVE_IDLE_TIMEOUT,
+                   metavar="S",
+                   help="close keep-alive connections idle for S seconds "
+                        "(<= 0 disables; default %g)" % _SERVE_IDLE_TIMEOUT)
+    p.add_argument("--via-ir", action="store_true",
+                   help="measure through the full compiler path; must match "
+                        "the coordinator's --via-ir or the shard is refused")
+    p.set_defaults(fn=_cmd_fleet_worker)
 
     p = sub.add_parser(
         "client",

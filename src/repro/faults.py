@@ -30,6 +30,19 @@ Injection sites
     ``put:<key>``) and on artifact reads (token ``get:<key>``). A
     ``crash`` at the put site models a daemon dying mid-write: the orphan
     temp file must be quarantined — never served — by the next open.
+``fleet``
+    Inside the distributed tuning fleet (:mod:`repro.tuning.fleet`).
+    Two token families distinguish where the fault lands:
+
+    * ``coordinator|shard=<sid>|attempt=<k>`` — in the coordinator, just
+      before a shard is dispatched to a worker. A ``crash`` here models a
+      lost dispatch (shard-loss): the shard must be requeued, never
+      dropped.
+    * ``worker|shard=<sid>|attempt=<k>|<config-token>`` — in a fleet
+      worker process, before each trial of a shard. ``worker-death``
+      hard-kills the worker mid-shard (``os._exit``); ``crash`` fails the
+      worker loop softly. Either way the coordinator must respawn the
+      worker and requeue the shard's unmeasured remainder.
 
 Determinism
 -----------
@@ -89,7 +102,7 @@ __all__ = [
 ENV_VAR = "REPRO_FAULT_PLAN"
 
 #: Named injection sites (``"*"`` in a rule matches any site).
-SITES = ("compile", "worker", "simulate", "build", "registry")
+SITES = ("compile", "worker", "simulate", "build", "registry", "fleet")
 
 #: Fault kinds.
 KINDS = ("crash", "hang", "corrupt-latency", "worker-death")
@@ -116,6 +129,11 @@ class FaultRule:
         e.g. only first attempts (``"#a0"``) or one config.
     max_hits:
         Stop firing after this many injections *in this process*.
+    ignore_sigterm:
+        ``hang`` only: the hanging process first installs a SIGTERM
+        ignorer, modelling a worker wedged somewhere ``terminate()``
+        cannot reach. Recovery then requires the measurer's SIGKILL
+        escalation — the zombie-reap regression tests depend on this.
     """
 
     site: str
@@ -125,6 +143,7 @@ class FaultRule:
     max_hits: Optional[int] = None
     hang_s: float = 3600.0
     corrupt_factor: float = 1000.0
+    ignore_sigterm: bool = False
 
     def __post_init__(self) -> None:
         if self.site != "*" and self.site not in SITES:
@@ -290,20 +309,32 @@ def current_token() -> str:
 
 
 # ------------------------------------------------------------------ injection
-def inject(site: str, token: Optional[str] = None) -> None:
+def inject(site: str, token: Optional[str] = None,
+           kinds: Sequence[str] = ("crash", "hang", "worker-death")) -> None:
     """Fire any matching ``crash``/``hang``/``worker-death`` rule at
     ``site``. No-op without an active plan (the production fast path is one
-    None-check)."""
+    None-check). ``kinds`` narrows which fault kinds may fire — injection
+    points in a *coordinating* process (e.g. the fleet dispatch site) pass
+    ``("crash",)`` so a broadly-scoped ``worker-death`` rule can only kill
+    workers, never the coordinator itself."""
     plan = _active if _env_checked else active_plan()
     if plan is None:
         return
     tok = token if token is not None else current_token()
-    rule = plan.matching(site, tok, ("crash", "hang", "worker-death"))
+    rule = plan.matching(site, tok, kinds)
     if rule is None:
         return
     if rule.kind == "worker-death":
         os._exit(17)
     if rule.kind == "hang":
+        if rule.ignore_sigterm:
+            # A hang terminate() cannot interrupt: only SIGKILL recovers.
+            try:
+                import signal
+
+                signal.signal(signal.SIGTERM, signal.SIG_IGN)
+            except (ValueError, OSError):
+                pass  # non-main thread: the plain hang still exercises timeout
         time.sleep(rule.hang_s)
         return
     err = FaultInjected(

@@ -122,6 +122,32 @@ class ServeClient:
         """Like :meth:`compile` but without the kernel text payload."""
         return self.request("tune", params)
 
+    def measure(self, spec, configs, **extra) -> Dict:
+        """Fleet-worker shard measurement (docs/distributed.md): time each
+        config of ``configs`` (TileConfigs or field dicts) for ``spec`` (a
+        GemmSpec or problem-field dict) on the daemon. The result carries
+        ``latencies`` (request order; ``inf`` decoded from the wire form),
+        ``persist`` flags, and the daemon's ``via_ir``/``gpu`` identity so
+        the coordinator can refuse a mismatched worker."""
+        from .protocol import decode_latency
+
+        if hasattr(spec, "m"):  # a GemmSpec-like object
+            params = {
+                "name": spec.name, "batch": spec.batch, "m": spec.m,
+                "n": spec.n, "k": spec.k, "dtype": spec.dtype,
+            }
+        else:
+            params = dict(spec)
+        params["configs"] = [
+            cfg if isinstance(cfg, dict) else cfg.as_dict() for cfg in configs
+        ]
+        params.update(extra)
+        result = self.request("measure", params)
+        result["latencies"] = [
+            decode_latency(x) for x in result.get("latencies", [])
+        ]
+        return result
+
     def status(self) -> Dict:
         return self.request("status")
 

@@ -29,6 +29,9 @@ Operations (``docs/serving.md`` documents every field):
 ``status``    telemetry snapshot: per-endpoint request counts and p50/p95
               latencies, dedup/registry counters, queue depth, measurer
               telemetry, uptime.
+``measure``   fleet-worker endpoint (docs/distributed.md): measure one
+              shard of configs for a problem and return the latencies —
+              the daemon as one seat of a distributed tuning fleet.
 ``shutdown``  graceful stop: drain in-flight work, flush the registry,
               acknowledge, exit.
 """
@@ -49,11 +52,15 @@ __all__ = [
     "error_response",
     "error_payload",
     "parse_problem_params",
+    "parse_measure_params",
+    "encode_latency",
+    "decode_latency",
+    "MAX_SHARD_CONFIGS",
 ]
 
 PROTOCOL_VERSION = 1
 
-OPS = ("ping", "compile", "tune", "status", "shutdown")
+OPS = ("ping", "compile", "tune", "status", "measure", "shutdown")
 
 #: Upper bound on one serialized message; a registry artifact (IR + CUDA
 #: text) is tens of KB, so this is generous while still refusing abuse.
@@ -137,6 +144,54 @@ def parse_problem_params(params: Dict) -> Dict:
             raise ProtocolError("space must be positive")
     out["space"] = space
     out["variant"] = str(params.get("variant", "alcop"))
+    return out
+
+
+#: Upper bound on configs per measure request; a fleet shard is tens of
+#: trials, so this is generous while refusing a request that would pin a
+#: worker thread for minutes.
+MAX_SHARD_CONFIGS = 4096
+
+
+def encode_latency(latency: float) -> object:
+    """JSON-safe latency: ``inf`` (the FAILED sentinel) becomes the string
+    ``"inf"`` so strict JSON parsers on either end never choke."""
+    import math
+
+    return "inf" if math.isinf(latency) else float(latency)
+
+
+def decode_latency(value: object) -> float:
+    import math
+
+    return math.inf if value == "inf" else float(value)
+
+
+def parse_measure_params(params: Dict) -> Dict:
+    """Validate the fleet-worker ``measure`` request: the problem fields of
+    :func:`parse_problem_params` plus ``configs``, a non-empty list of
+    TileConfig field dicts. Returns the normalized problem dict with a
+    ``configs`` list of validated :class:`~repro.schedule.config.TileConfig`.
+    """
+    from ..schedule.config import TileConfig
+
+    out = parse_problem_params(params)
+    raw = params.get("configs")
+    if not isinstance(raw, list) or not raw:
+        raise ProtocolError("measure needs a non-empty 'configs' list")
+    if len(raw) > MAX_SHARD_CONFIGS:
+        raise ProtocolError(
+            f"refusing a {len(raw)}-config shard (cap {MAX_SHARD_CONFIGS})"
+        )
+    configs = []
+    for i, entry in enumerate(raw):
+        if not isinstance(entry, dict):
+            raise ProtocolError(f"configs[{i}] must be a JSON object of TileConfig fields")
+        try:
+            configs.append(TileConfig(**entry))
+        except (TypeError, ValueError) as e:
+            raise ProtocolError(f"configs[{i}] is not a valid TileConfig: {e}") from None
+    out["configs"] = configs
     return out
 
 

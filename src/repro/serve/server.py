@@ -52,9 +52,11 @@ from .protocol import (
     OPS,
     PROTOCOL_VERSION,
     decode_message,
+    encode_latency,
     encode_message,
     error_response,
     ok_response,
+    parse_measure_params,
     parse_problem_params,
 )
 from .registry import ArtifactRegistry, KernelArtifact, artifact_key
@@ -186,6 +188,8 @@ class ReproServer:
             "sweeps_run": 0,
             "artifacts_built": 0,
             "dedup_hits": 0,
+            "fleet_shards": 0,
+            "fleet_trials": 0,
         }
         self._inflight: Dict[str, Future] = {}
         self._inflight_lock = threading.Lock()
@@ -427,6 +431,8 @@ class ReproServer:
             return self._op_status()
         if op == "shutdown":
             return {"stopping": True, "session": self.session_id}
+        if op == "measure":
+            return self._op_measure(params)
         p = parse_problem_params(params)
         artifact, served_from = self._ensure_artifact(p)
         result: Dict[str, object] = {
@@ -441,6 +447,37 @@ class ReproServer:
             result["ir_text"] = artifact.ir_text
             result["cuda_source"] = artifact.cuda_source
         return result
+
+    # ----------------------------------------------------------- fleet worker
+    def _op_measure(self, params: Dict) -> Dict:
+        """One fleet shard (docs/distributed.md): measure a batch of
+        configs for a problem and answer the latencies in request order.
+
+        The daemon's shared measurer serves the shard, so its memory/disk
+        caches warm across shards and fleets exactly as across compile
+        requests. ``persist`` marks which FAILED entries are genuine
+        compile failures (cacheable) vs. crash placeholders (run
+        properties a coordinator must not persist)."""
+        p = parse_measure_params(params)
+        spec = GemmSpec(
+            p["name"], batch=p["batch"], m=p["m"], n=p["n"], k=p["k"], dtype=p["dtype"]
+        )
+        cfgs = p["configs"]
+        latencies = self.measurer.measure_many(spec, cfgs)
+        with self._counter_lock:
+            self.counters["fleet_shards"] += 1
+            self.counters["fleet_trials"] += len(cfgs)
+        persist = [
+            self.measurer._key(spec, cfg) not in self.measurer.quarantined
+            for cfg in cfgs
+        ]
+        return {
+            "latencies": [encode_latency(x) for x in latencies],
+            "persist": persist,
+            "via_ir": self.measurer.via_ir,
+            "gpu": self.gpu.name,
+            "session": self.session_id,
+        }
 
     # ------------------------------------------------------------ the service
     def _ensure_artifact(self, p: Dict) -> Tuple[KernelArtifact, str]:

@@ -433,10 +433,22 @@ class Measurer:
                     self.quarantined.add(key)
                 self._record(key, spec, cfg, FAILED, persist=False)
 
+        def put_down(proc, conn):
+            """Retire one worker: join, escalating to SIGKILL when it
+            ignores SIGTERM (or is wedged in uninterruptible state), and
+            always release the pipe fd — a hung trial must never leak a
+            zombie process or its descriptor for the rest of the sweep."""
+            try:
+                proc.join(timeout=1.0)
+                if proc.is_alive():
+                    proc.kill()
+                    proc.join(timeout=1.0)
+            finally:
+                conn.close()
+
         def reap(sid):
             proc, conn, *_ = running.pop(sid)
-            proc.join(timeout=1.0)
-            conn.close()
+            put_down(proc, conn)
 
         try:
             while queue or running:
@@ -495,22 +507,42 @@ class Measurer:
                         reap(sid)
                     elif deadline is not None and time.monotonic() > deadline:
                         proc.terminate()
-                        with self._lock:
-                            self.n_timeouts += 1
-                        self._note_failure(
-                            spec, cfg, "timeout",
-                            f"exceeded {self.trial_timeout_s}s wall clock", attempt,
-                        )
-                        self._record(key, spec, cfg, FAILED, persist=False)
+                        # Drain the pipe once before recording the timeout: a
+                        # result that landed in the race window between the
+                        # deadline check and the terminate is a completed
+                        # measurement, and discarding it would make retries
+                        # (or a fleet coordinator) re-measure a config that
+                        # actually finished.
+                        payload = None
+                        try:
+                            if conn.poll(0.05):
+                                payload = conn.recv()
+                        except (EOFError, OSError):
+                            payload = None
+                        if payload is not None and payload[0] == "ok":
+                            _, latency, compile_s, stage_times = payload
+                            with self._lock:
+                                self.n_compiled += 1
+                                self.compile_time_s += compile_s
+                            self.stage_times.merge(stage_times)
+                            self._record(key, spec, cfg, latency)
+                        else:
+                            with self._lock:
+                                self.n_timeouts += 1
+                            self._note_failure(
+                                spec, cfg, "timeout",
+                                f"exceeded {self.trial_timeout_s}s wall clock", attempt,
+                            )
+                            self._record(key, spec, cfg, FAILED, persist=False)
                         reap(sid)
         except KeyboardInterrupt:
             # Completed trials are already committed to the caches; just
-            # put the workers down before propagating.
+            # put the workers down before propagating (same SIGTERM →
+            # SIGKILL escalation as reap, so Ctrl-C never leaks children).
             for proc, *_ in running.values():
                 proc.terminate()
             for proc, conn, *_ in running.values():
-                proc.join(timeout=1.0)
-                conn.close()
+                put_down(proc, conn)
             raise
 
     # ------------------------------------------------------------------ api

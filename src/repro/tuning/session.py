@@ -41,6 +41,22 @@ META_FILE = "session.json"
 JOURNAL_FILE = "trials.jsonl"
 
 
+def _fsync_dir(path: pathlib.Path) -> None:
+    """fsync a directory so renames/creations inside it are durable.
+    Platforms whose directory fds refuse fsync (e.g. Windows) are skipped —
+    there is no portable equivalent, and the data-file fsyncs still hold."""
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 class TuneSession:
     """One resumable tuning run, journalled under ``path``."""
 
@@ -51,6 +67,10 @@ class TuneSession:
         self._trials: List[Tuple[TileConfig, float]] = []
         self._seen: set = set()
         self._journal_f = None
+        #: whether the session directory has been fsynced since the
+        #: journal file was (re)created, making the file's *existence*
+        #: durable, not just its contents.
+        self._dir_synced = False
 
     # ------------------------------------------------------------- lifecycle
     @classmethod
@@ -68,9 +88,18 @@ class TuneSession:
             )
         path.mkdir(parents=True, exist_ok=True)
         session = cls(path, meta)
+        # Durable publish: fsync the tmp file before the rename (so the
+        # metadata bytes reach disk before the name does) and fsync the
+        # directory after it (so the rename itself survives power loss).
+        # Without both, a crash can leave a session whose journal exists
+        # but whose metadata vanished — unresumable.
         tmp = path / (META_FILE + ".tmp")
-        tmp.write_text(json.dumps(session.meta, indent=1, sort_keys=True))
+        with open(tmp, "w") as f:
+            f.write(json.dumps(session.meta, indent=1, sort_keys=True))
+            f.flush()
+            os.fsync(f.fileno())
         os.replace(tmp, path / META_FILE)
+        _fsync_dir(path)
         return session
 
     @classmethod
@@ -132,7 +161,12 @@ class TuneSession:
         if not self._remember(cfg, latency_us):
             return
         if self._journal_f is None:
-            self._journal_f = open(self.path / JOURNAL_FILE, "a")
+            journal = self.path / JOURNAL_FILE
+            # An append that *creates* the file needs a directory fsync or
+            # the just-created journal (fsynced contents and all) can
+            # vanish with its directory entry after a crash + power loss.
+            self._dir_synced = journal.exists()
+            self._journal_f = open(journal, "a")
         line = json.dumps(
             {
                 "trial": len(self._trials) - 1,
@@ -144,6 +178,9 @@ class TuneSession:
         self._journal_f.write(line + "\n")
         self._journal_f.flush()
         os.fsync(self._journal_f.fileno())
+        if not self._dir_synced:
+            _fsync_dir(self.path)
+            self._dir_synced = True
 
     # --------------------------------------------------------------- replay
     @property

@@ -1,0 +1,432 @@
+"""Distributed tuning fleet chaos suite (docs/distributed.md).
+
+The contract under test: a sharded fleet sweep is **bitwise-identical** to
+a serial ``Measurer.sweep`` — every latency and the best config — at any
+fleet width, with remote workers in the mix, under injected worker death
+at every shard boundary, under lost dispatches, and across mid-sweep
+fleet resizes. Work stealing and retries may re-measure configs; the
+deterministic simulator guarantees the duplicates carry identical bits,
+and first-write-wins merging keeps the output stable.
+"""
+
+import math
+import threading
+
+import pytest
+
+from repro import faults
+from repro.core.errors import WorkerCrash
+from repro.gpusim.config import A100
+from repro.tensor.operation import GemmSpec
+from repro.tuning.fleet import (
+    FleetCoordinator,
+    LocalProcessWorker,
+    RemoteServeWorker,
+    fleet_sweep,
+    parse_endpoint,
+)
+from repro.tuning.measure import Measurer, _cfg_token
+from repro.tuning.space import SpaceOptions, enumerate_space
+
+SPEC = GemmSpec("fleet", 1, 128, 128, 256)
+
+
+@pytest.fixture(scope="module")
+def space():
+    s = enumerate_space(SPEC, A100, SpaceOptions(max_size=12))
+    assert len(s) >= 8
+    return s
+
+
+@pytest.fixture(scope="module")
+def serial(space):
+    """The fault-free serial reference every fleet run must reproduce."""
+    return Measurer(A100, via_ir=False).sweep(SPEC, space)
+
+
+def run_fleet(space, **kwargs):
+    coord = FleetCoordinator(SPEC, space, gpu=A100, via_ir=False, **kwargs)
+    return coord.run(), coord
+
+
+class TestIdentity:
+    def test_fleet_matches_serial(self, space, serial):
+        result, coord = run_fleet(space, workers=3)
+        assert result.latencies == serial
+        tel = result.telemetry
+        assert tel.worker_deaths == 0 and tel.shard_losses == 0
+        assert tel.results_streamed >= len(space)
+        assert tel.n_workers_peak == 3
+
+    def test_single_worker_fleet_matches_serial(self, space, serial):
+        result, _ = run_fleet(space, workers=1)
+        assert result.latencies == serial
+
+    def test_shard_size_one_matches_serial(self, space, serial):
+        result, coord = run_fleet(space, workers=2, shard_size=1)
+        assert result.latencies == serial
+        assert result.telemetry.n_shards == len(space)
+
+    def test_best_index_agrees_with_serial_argmin(self, space, serial):
+        result, _ = run_fleet(space, workers=2)
+        assert result.best_index() == min(
+            range(len(serial)), key=lambda i: serial[i]
+        )
+
+    def test_empty_space_returns_empty(self):
+        result, _ = run_fleet([], workers=2)
+        assert result.latencies == []
+
+
+class TestWorkerDeath:
+    def test_death_at_every_shard_boundary_recovers_identically(self, space, serial):
+        """Every shard's first dispatch dies at its first trial (the
+        ``attempt=0`` token family); the requeued attempt completes and the
+        merged sweep is bitwise-identical to the serial run."""
+        plan = faults.FaultPlan(
+            [faults.FaultRule("fleet", "worker-death", match="|attempt=0|")],
+            seed=1,
+        )
+        with faults.injected(plan):
+            result, coord = run_fleet(space, workers=2, shard_size=3)
+        assert result.latencies == serial
+        tel = result.telemetry
+        assert tel.worker_deaths >= tel.n_shards
+        assert tel.shard_losses >= tel.n_shards
+
+    def test_mid_shard_death_keeps_streamed_results(self, space, serial):
+        """A worker dying mid-shard loses only the unmeasured remainder:
+        results streamed before the death are committed exactly once, and
+        the requeued tail completes identically."""
+        victim = space[len(space) // 2]
+        plan = faults.FaultPlan(
+            [
+                faults.FaultRule(
+                    "fleet", "worker-death",
+                    match=f"|attempt=0|{_cfg_token(SPEC, victim)}",
+                )
+            ],
+            seed=1,
+        )
+        # steal=False keeps the death deterministic: with stealing on, an
+        # idle slot may clone the remainder and cover the victim at
+        # attempt=1 (where the rule does not fire) before the original
+        # worker ever reaches it at attempt=0.
+        with faults.injected(plan):
+            result, _ = run_fleet(
+                space, workers=2, shard_size=len(space), steal=False
+            )
+        assert result.latencies == serial
+        assert result.telemetry.worker_deaths == 1
+
+    def test_random_deaths_any_width_identical(self, space, serial):
+        """Token-hashed death decisions are scheduling-independent: the same
+        plan over the same space converges to the serial bits at every
+        fleet width."""
+        plan = faults.FaultPlan(
+            [faults.FaultRule("fleet", "worker-death", rate=0.3,
+                              match="|attempt=0|")],
+            seed=3,
+        )
+        for workers in (1, 3):
+            with faults.injected(plan):
+                result, _ = run_fleet(space, workers=workers, shard_size=2)
+            assert result.latencies == serial
+
+    def test_persistent_shard_killer_aborts_with_worker_crash(self, space):
+        """A shard that dies on every attempt exhausts max_shard_retries and
+        the sweep aborts loudly instead of spinning forever."""
+        plan = faults.FaultPlan(
+            [faults.FaultRule("fleet", "worker-death", match="worker|shard=0|")],
+            seed=1,
+        )
+        with faults.injected(plan):
+            with pytest.raises(WorkerCrash, match="shard 0"):
+                run_fleet(space, workers=2, shard_size=4, max_shard_retries=1)
+
+
+class TestShardLoss:
+    def test_lost_dispatch_requeues_whole_shard(self, space, serial):
+        """A coordinator-side crash (lost dispatch) drops the shard before
+        the worker ever sees it; the shard is requeued and the sweep still
+        matches the serial bits. The worker is kept — no death counted."""
+        plan = faults.FaultPlan(
+            [faults.FaultRule("fleet", "crash", match="coordinator|",
+                              max_hits=2)],
+            seed=1,
+        )
+        with faults.injected(plan):
+            result, _ = run_fleet(space, workers=2, shard_size=3)
+        assert result.latencies == serial
+        tel = result.telemetry
+        assert tel.shard_losses == 2
+        assert tel.worker_deaths == 0
+
+    def test_broad_worker_death_rule_cannot_kill_coordinator(self, space, serial):
+        """The coordinator's dispatch site narrows injection to crash-kind
+        faults, so a site-wide worker-death rule kills only fleet workers —
+        never the coordinating (test) process."""
+        plan = faults.FaultPlan(
+            [faults.FaultRule("fleet", "worker-death", rate=0.25,
+                              match="attempt=0")],
+            seed=2,
+        )
+        with faults.injected(plan):
+            result, _ = run_fleet(space, workers=2, shard_size=2)
+        assert result.latencies == serial  # and: we are still alive
+
+
+class TestElasticity:
+    def test_scale_up_mid_sweep_identical(self, space, serial):
+        """Growing the fleet after the first results stream in changes
+        wall-clock, never bits."""
+        coord = FleetCoordinator(
+            SPEC, space, gpu=A100, via_ir=False, workers=1, shard_size=2
+        )
+        grown = threading.Event()
+
+        def on_result(idx, latency, persist):
+            if not grown.is_set():
+                grown.set()
+                coord.scale_to(3)
+
+        result = coord.run(on_result=on_result)
+        assert grown.is_set()
+        assert result.latencies == serial
+        assert result.telemetry.resizes == 1
+        assert result.telemetry.n_workers_peak >= 3
+
+    def test_scale_down_mid_sweep_identical(self, space, serial):
+        coord = FleetCoordinator(
+            SPEC, space, gpu=A100, via_ir=False, workers=3, shard_size=2
+        )
+        shrunk = threading.Event()
+
+        def on_result(idx, latency, persist):
+            if not shrunk.is_set():
+                shrunk.set()
+                coord.scale_to(1)
+
+        result = coord.run(on_result=on_result)
+        assert result.latencies == serial
+        assert result.telemetry.resizes == 1
+
+    def test_scale_to_current_width_is_a_noop(self, space):
+        coord = FleetCoordinator(SPEC, space, gpu=A100, via_ir=False, workers=2)
+        result = coord.run()
+        coord.scale_to(2)
+        assert coord.telemetry.resizes == 0
+        assert len(result.latencies) == len(space)
+
+    def test_resize_under_worker_death_identical(self, space, serial):
+        """The stress combination the tentpole promises: injected deaths
+        AND a mid-sweep resize, still bitwise-identical."""
+        plan = faults.FaultPlan(
+            [faults.FaultRule("fleet", "worker-death", rate=0.4,
+                              match="|attempt=0|")],
+            seed=5,
+        )
+        coord = FleetCoordinator(
+            SPEC, space, gpu=A100, via_ir=False, workers=1, shard_size=2
+        )
+        resized = threading.Event()
+
+        def on_result(idx, latency, persist):
+            if not resized.is_set():
+                resized.set()
+                coord.scale_to(3)
+
+        with faults.injected(plan):
+            result = coord.run(on_result=on_result)
+        assert result.latencies == serial
+
+
+class TestWorkStealing:
+    def test_straggler_shard_is_stolen_and_identical(self, space, serial):
+        """One shard covers the whole space and its first trial hangs; an
+        idle slot steals the unmeasured remainder, the duplicates merge
+        first-write-wins, and the output still equals the serial bits."""
+        plan = faults.FaultPlan(
+            [
+                faults.FaultRule(
+                    "fleet", "hang", hang_s=0.75,
+                    match=f"|attempt=0|{_cfg_token(SPEC, space[0])}",
+                )
+            ],
+            seed=1,
+        )
+        with faults.injected(plan):
+            result, _ = run_fleet(
+                space, workers=3, shard_size=len(space), steal=True
+            )
+        assert result.latencies == serial
+        assert result.telemetry.steals >= 1
+
+    def test_steal_disabled_still_identical(self, space, serial):
+        result, _ = run_fleet(space, workers=3, shard_size=len(space), steal=False)
+        assert result.latencies == serial
+        assert result.telemetry.steals == 0
+
+
+class TestFleetSweep:
+    def test_fleet_sweep_equals_measurer_sweep(self, space, serial):
+        m = Measurer(A100, via_ir=False)
+        latencies, tel = fleet_sweep(m, SPEC, space, workers=2)
+        assert latencies == serial
+        assert tel.results_streamed >= len(space)
+        # Every config is now a memory hit: a tuner running on this
+        # measurer replays the fleet's answers for free.
+        again = m.sweep(SPEC, space)
+        assert again == serial
+        assert m.n_compiled == 0  # the fleet compiled, not this process
+
+    def test_cache_hits_never_touch_the_fleet(self, space, serial):
+        m = Measurer(A100, via_ir=False)
+        m.sweep(SPEC, space)  # warm every config serially
+        latencies, tel = fleet_sweep(m, SPEC, space, workers=2)
+        assert latencies == serial
+        assert tel.shards_dispatched == 0 and tel.results_streamed == 0
+
+    def test_duplicates_within_batch_dispatch_once(self, space, serial):
+        m = Measurer(A100, via_ir=False)
+        doubled = list(space) + list(space)
+        latencies, tel = fleet_sweep(m, SPEC, doubled, workers=2)
+        assert latencies == serial + serial
+        assert tel.results_streamed <= len(space) + tel.duplicates
+
+    def test_crash_quarantined_failures_not_persisted(self, space, tmp_path):
+        """A config whose trials always crash is FAILED in the fleet answer
+        but must not poison the disk cache (run property, not config
+        property) — matching the serial measurer's persist semantics."""
+        from repro.tuning.cache import MeasurementCache
+
+        victim = space[0]
+        plan = faults.FaultPlan(
+            [faults.FaultRule("compile", "crash",
+                              match=_cfg_token(SPEC, victim))],
+            seed=1,
+        )
+        m = Measurer(A100, via_ir=False, cache=MeasurementCache(tmp_path))
+        with faults.injected(plan):
+            latencies, _ = fleet_sweep(m, SPEC, space, workers=2)
+        assert latencies[0] == math.inf
+        assert all(math.isfinite(x) for x in latencies[1:])
+        # A fresh measurer over the same disk cache re-measures the victim
+        # cleanly: the crash-FAILED placeholder was never persisted.
+        m2 = Measurer(A100, via_ir=False, cache=MeasurementCache(tmp_path))
+        assert math.isfinite(m2.measure(SPEC, victim))
+
+    def test_fleet_with_faults_equals_serial_end_to_end(self, space, serial):
+        plan = faults.FaultPlan(
+            [faults.FaultRule("fleet", "worker-death", rate=0.3,
+                              match="|attempt=0|")],
+            seed=9,
+        )
+        m = Measurer(A100, via_ir=False)
+        with faults.injected(plan):
+            latencies, _ = fleet_sweep(m, SPEC, space, workers=3, shard_size=2)
+        assert latencies == serial
+
+
+class TestRemoteWorkers:
+    @pytest.fixture()
+    def daemon(self, tmp_path):
+        from repro.serve.server import ReproServer
+
+        server = ReproServer(
+            socket_path=str(tmp_path / "w.sock"), via_ir=False, workers=4,
+        )
+        server.start()
+        try:
+            from repro.serve.client import ServeClient
+
+            probe = ServeClient(socket_path=server.socket_path, timeout=30)
+            assert probe.wait_until_ready(timeout=10)
+            yield server
+        finally:
+            server.stop()
+            server.shutdown(timeout=10)
+
+    def test_remote_only_fleet_matches_serial(self, daemon, space, serial):
+        m = Measurer(A100, via_ir=False)
+        latencies, tel = fleet_sweep(
+            m, SPEC, space, workers=0, endpoints=(daemon.socket_path,)
+        )
+        assert latencies == serial
+        assert tel.n_workers_peak == 1
+
+    def test_mixed_local_and_remote_matches_serial(self, daemon, space, serial):
+        result, _ = run_fleet(
+            space, workers=2, endpoints=(daemon.socket_path,), shard_size=2
+        )
+        assert result.latencies == serial
+        assert result.telemetry.n_workers_peak == 3
+
+    def test_via_ir_mismatch_is_refused(self, daemon, space):
+        """A daemon measuring in the other via_ir mode would return
+        latencies that are not bitwise-comparable; the coordinator must
+        refuse it rather than silently merge foreign bits."""
+        coord = FleetCoordinator(
+            SPEC, space[:4], gpu=A100, via_ir=True, workers=0,
+            endpoints=(daemon.socket_path,), max_shard_retries=0,
+        )
+        with pytest.raises(WorkerCrash, match="via_ir"):
+            coord.run()
+
+    def test_dead_endpoint_does_not_hang_the_sweep(self, tmp_path, space, serial):
+        """An unreachable endpoint retires its seat after repeated start
+        failures; local workers finish the sweep, bits intact."""
+        result, _ = run_fleet(
+            space, workers=2, endpoints=(str(tmp_path / "nope.sock"),),
+        )
+        assert result.latencies == serial
+
+    def test_all_endpoints_dead_aborts_not_hangs(self, tmp_path, space):
+        coord = FleetCoordinator(
+            SPEC, space, gpu=A100, via_ir=False, workers=0,
+            endpoints=(str(tmp_path / "nope.sock"),),
+        )
+        with pytest.raises(WorkerCrash, match="slot"):
+            coord.run()
+
+
+class TestPlumbing:
+    def test_parse_endpoint_tcp(self):
+        assert parse_endpoint("10.0.0.5:8441") == {"host": "10.0.0.5", "port": 8441}
+        assert parse_endpoint(":8441") == {"host": "127.0.0.1", "port": 8441}
+
+    def test_parse_endpoint_socket_path(self):
+        assert parse_endpoint("/tmp/w.sock") == {"socket_path": "/tmp/w.sock"}
+        assert parse_endpoint("/tmp/w:1.sock") == {"socket_path": "/tmp/w:1.sock"}
+
+    def test_needs_at_least_one_worker(self, space):
+        with pytest.raises(ValueError, match="at least one"):
+            FleetCoordinator(SPEC, space, workers=0)
+
+    def test_worker_classes_expose_kind(self):
+        assert LocalProcessWorker.kind == "process"
+        assert RemoteServeWorker.kind == "remote"
+
+    def test_no_leaked_children_after_faulted_fleet(self, space):
+        """Zombie-reap at fleet scale: after a sweep with injected deaths
+        and an explicit scale-down, no fleet worker process survives."""
+        import multiprocessing
+
+        plan = faults.FaultPlan(
+            [faults.FaultRule("fleet", "worker-death", rate=0.5,
+                              match="|attempt=0|")],
+            seed=4,
+        )
+        with faults.injected(plan):
+            result, _ = run_fleet(space, workers=3, shard_size=2)
+        assert len(result.latencies) == len(space)
+        deadline = 5.0
+        import time
+
+        t0 = time.monotonic()
+        while time.monotonic() - t0 < deadline:
+            alive = [p for p in multiprocessing.active_children() if p.is_alive()]
+            if not alive:
+                break
+            time.sleep(0.05)
+        assert not alive, f"fleet leaked worker processes: {alive}"

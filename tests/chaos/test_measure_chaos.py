@@ -181,6 +181,132 @@ class TestCorruptLatency:
         assert results[0] == results[1]
 
 
+class TestZombieReap:
+    def test_sigterm_ignoring_worker_is_killed_not_leaked(self, space, clean):
+        """Regression: a worker wedged where terminate() cannot reach it
+        (SIGTERM ignored) used to outlive the sweep as a leaked child. The
+        reap path must escalate to SIGKILL and leave no zombies behind."""
+        import multiprocessing
+        import time as timelib
+
+        victim = space[1]
+        plan = faults.FaultPlan(
+            [
+                faults.FaultRule(
+                    "worker", "hang", match=_cfg_token(SPEC, victim),
+                    hang_s=60.0, ignore_sigterm=True,
+                )
+            ],
+            seed=1,
+        )
+        m = Measurer(A100, via_ir=False, jobs=2, trial_timeout_s=0.5, retries=0)
+        with faults.injected(plan):
+            got = m.sweep(SPEC, space)
+        assert got[1] == FAILED
+        assert [x for i, x in enumerate(got) if i != 1] == [
+            x for i, x in enumerate(clean) if i != 1
+        ]
+        assert m.n_timeouts == 1
+        # The acceptance criterion: no child process survives the sweep.
+        deadline = timelib.monotonic() + 5.0
+        while timelib.monotonic() < deadline:
+            alive = [p for p in multiprocessing.active_children() if p.is_alive()]
+            if not alive:
+                break
+            timelib.sleep(0.05)
+        assert not alive, f"sweep leaked worker process(es): {alive}"
+
+    def test_keyboard_interrupt_reaps_sigterm_ignoring_workers(self, space):
+        """Ctrl-C during a sweep with a wedged (SIGTERM-ignoring) worker
+        must still put every child down via the SIGKILL escalation."""
+        import multiprocessing
+        import time as timelib
+
+        from repro.tuning import measure as measure_mod
+
+        plan = faults.FaultPlan(
+            [faults.FaultRule("worker", "hang", hang_s=60.0, ignore_sigterm=True)],
+            seed=1,
+        )
+        m = Measurer(A100, via_ir=False, jobs=2, trial_timeout_s=30.0, retries=0)
+
+        orig_wait = measure_mod.time.monotonic
+        calls = {"n": 0}
+
+        def interrupt_soon():
+            # Let the pool spawn its workers, then simulate ONE Ctrl-C from
+            # inside the scheduling loop. Raising exactly once matters: the
+            # patch leaks into multiprocessing's own join/wait timing, and a
+            # repeat raise there would model a double Ctrl-C aborting the
+            # cleanup path rather than the single interrupt under test.
+            calls["n"] += 1
+            if calls["n"] == 41:
+                raise KeyboardInterrupt
+            return orig_wait()
+
+        with faults.injected(plan):
+            import unittest.mock as mock
+
+            with mock.patch.object(measure_mod.time, "monotonic", interrupt_soon):
+                with pytest.raises(KeyboardInterrupt):
+                    m.sweep(SPEC, space)
+        deadline = timelib.monotonic() + 5.0
+        while timelib.monotonic() < deadline:
+            alive = [p for p in multiprocessing.active_children() if p.is_alive()]
+            if not alive:
+                break
+            timelib.sleep(0.05)
+        assert not alive, f"interrupted sweep leaked worker process(es): {alive}"
+
+
+class TestTimeoutResultRace:
+    def test_result_landing_at_the_deadline_is_kept(self, space, clean, monkeypatch):
+        """Regression: a result that arrives in the window between the
+        deadline check and terminate() used to be discarded as a timeout.
+        The drain after terminate() must record it as a real measurement."""
+        import os
+        import signal
+        import time as timelib
+
+        from repro.tuning import measure as measure_mod
+
+        def racy_trial_main(conn, gpu, via_ir, spec, cfg, token):
+            # Deliver the result only when the parent's terminate() lands:
+            # by then the parent has already decided "timeout", which is
+            # exactly the race the drain must win.
+            def on_term(signum, frame):
+                conn.send(("ok", 42.0, 0.01, {}))
+                conn.close()
+                os._exit(0)
+
+            signal.signal(signal.SIGTERM, on_term)
+            timelib.sleep(60.0)
+
+        monkeypatch.setattr(measure_mod, "_trial_main", racy_trial_main)
+        m = Measurer(A100, via_ir=False, jobs=1, trial_timeout_s=0.3, retries=0)
+        got = m.measure(SPEC, space[0])
+        assert got == 42.0
+        assert m.n_timeouts == 0
+        assert m.n_compiled == 1
+        assert not m.failures
+
+    def test_true_timeout_still_fails_after_drain(self, space, monkeypatch):
+        """A worker that really is hung sends nothing; the drain finds an
+        empty pipe and the trial is recorded FAILED as before."""
+        import time as timelib
+
+        from repro.tuning import measure as measure_mod
+
+        def hung_trial_main(conn, gpu, via_ir, spec, cfg, token):
+            timelib.sleep(60.0)
+
+        monkeypatch.setattr(measure_mod, "_trial_main", hung_trial_main)
+        m = Measurer(A100, via_ir=False, jobs=1, trial_timeout_s=0.3, retries=0)
+        got = m.measure(SPEC, space[0])
+        assert got == FAILED
+        assert m.n_timeouts == 1
+
+
 class TestSweepJobsOverride:
     def test_sweep_jobs_does_not_mutate_measurer(self, space):
         m = Measurer(A100, via_ir=False, jobs=1)

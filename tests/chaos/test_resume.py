@@ -73,6 +73,82 @@ class TestSession:
         with pytest.raises(FileNotFoundError, match="session"):
             TuneSession.load(tmp_path)
 
+    def test_journal_without_meta_is_a_clear_load_error(self, tmp_path):
+        """A crash that lost session.json but kept the journal (the failure
+        mode the durable-publish fix closes) must load-fail with the
+        session message, not a random KeyError."""
+        sdir = tmp_path / "s"
+        sdir.mkdir()
+        (sdir / JOURNAL_FILE).write_text(
+            '{"trial": 0, "config": {"block_m": 32}, "latency_us": 1.0}\n'
+        )
+        with pytest.raises(FileNotFoundError, match="session"):
+            TuneSession.load(sdir)
+
+
+class TestDurability:
+    """The fsync contract of the session files: metadata bytes reach disk
+    before the metadata name does, and a journal's *existence* (the
+    directory entry) is made durable on its first append."""
+
+    CFG = TileConfig(32, 32, 32, warp_m=16, warp_n=16, chunk_k=16)
+
+    def test_create_fsyncs_tmp_before_replace_and_dir_after(self, tmp_path, monkeypatch):
+        import os as os_mod
+
+        from repro.tuning import session as session_mod
+
+        events = []
+        real_fsync, real_replace = os_mod.fsync, os_mod.replace
+        monkeypatch.setattr(
+            session_mod.os, "fsync",
+            lambda fd: (events.append("fsync"), real_fsync(fd))[1],
+        )
+        monkeypatch.setattr(
+            session_mod.os, "replace",
+            lambda a, b: (events.append("replace"), real_replace(a, b))[1],
+        )
+        monkeypatch.setattr(
+            session_mod, "_fsync_dir", lambda path: events.append("dirsync")
+        )
+        TuneSession.create(tmp_path / "s", m=64, n=64, k=64)
+        assert events == ["fsync", "replace", "dirsync"], events
+        assert not (tmp_path / "s" / (META_FILE + ".tmp")).exists()
+
+    def test_first_journal_append_fsyncs_directory_once(self, tmp_path, monkeypatch):
+        from repro.tuning import session as session_mod
+
+        s = TuneSession.create(tmp_path / "s", m=64, n=64, k=64)
+        dirsyncs = []
+        monkeypatch.setattr(
+            session_mod, "_fsync_dir", lambda path: dirsyncs.append(path)
+        )
+        s.log_trial(self.CFG, 1.0)
+        assert dirsyncs == [s.path], "creating the journal must fsync its directory"
+        s.log_trial(TileConfig(64, 64, 32, warp_m=32, warp_n=32, chunk_k=16), 2.0)
+        assert len(dirsyncs) == 1, "later appends need no directory fsync"
+        s.close()
+
+    def test_reopened_journal_skips_directory_fsync(self, tmp_path, monkeypatch):
+        from repro.tuning import session as session_mod
+
+        s = TuneSession.create(tmp_path / "s", m=64, n=64, k=64)
+        s.log_trial(self.CFG, 1.0)
+        s.close()
+        again = TuneSession.load(tmp_path / "s")
+        dirsyncs = []
+        monkeypatch.setattr(
+            session_mod, "_fsync_dir", lambda path: dirsyncs.append(path)
+        )
+        again.log_trial(TileConfig(64, 64, 32, warp_m=32, warp_n=32, chunk_k=16), 2.0)
+        assert dirsyncs == [], "appending to an existing journal is already durable"
+        again.close()
+
+    def test_fsync_dir_tolerates_unsyncable_directory(self, tmp_path):
+        from repro.tuning.session import _fsync_dir
+
+        _fsync_dir(tmp_path / "does-not-exist")  # must not raise
+
 
 class TestResume:
     def test_truncated_journal_resumes_to_same_best(self, capsys, tmp_path):

@@ -324,6 +324,78 @@ class TestDedupRecheck:
         assert server.counters["sweeps_run"] == 1  # no duplicate sweep
 
 
+class TestMeasureOp:
+    """The fleet-worker endpoint: one shard of configs per request, with
+    latencies bitwise-equal to a local serial measurer's."""
+
+    def _space(self, n=6):
+        from repro.gpusim.config import A100
+        from repro.tensor.operation import GemmSpec
+        from repro.tuning.space import SpaceOptions, enumerate_space
+
+        spec = GemmSpec("shard", 1, 128, 128, 256)
+        return spec, enumerate_space(spec, A100, SpaceOptions(max_size=n))
+
+    def test_shard_roundtrip_matches_local_measurer(self, unix_client):
+        from repro.gpusim.config import A100
+        from repro.tuning.measure import Measurer
+
+        spec, cfgs = self._space()
+        result = unix_client.measure(spec, cfgs)
+        local = Measurer(A100, via_ir=False).measure_many(spec, cfgs)
+        assert result["latencies"] == local
+        assert result["persist"] == [True] * len(cfgs)
+        assert result["via_ir"] is False
+
+    def test_inf_latency_survives_the_wire(self, unix_server):
+        """The FAILED sentinel (math.inf) is not valid strict JSON; the
+        protocol encodes it as the string "inf" and the client decodes it
+        back, so a shard containing a non-compiling config round-trips."""
+        import math
+
+        from repro.serve.protocol import decode_latency, encode_latency
+
+        assert encode_latency(math.inf) == "inf"
+        assert decode_latency("inf") == math.inf
+        assert decode_latency(encode_latency(12.5)) == 12.5
+
+    def test_measure_counts_fleet_telemetry(self, unix_client):
+        spec, cfgs = self._space()
+        unix_client.measure(spec, cfgs)
+        status = unix_client.status()
+        assert status["counters"]["fleet_shards"] >= 1
+        assert status["counters"]["fleet_trials"] >= len(cfgs)
+        assert status["endpoints"]["measure"]["requests"] >= 1
+
+    def test_repeat_shard_is_served_from_cache(self, unix_client):
+        spec, cfgs = self._space()
+        first = unix_client.measure(spec, cfgs)
+        before = unix_client.status()["measurer"]["n_compiled"]
+        second = unix_client.measure(spec, cfgs)
+        after = unix_client.status()["measurer"]["n_compiled"]
+        assert second["latencies"] == first["latencies"]
+        assert after == before, "a repeat shard must not recompile"
+
+    def test_empty_configs_is_protocol_error(self, unix_client):
+        with pytest.raises(ProtocolError, match="configs"):
+            unix_client.measure({"m": 64, "n": 64, "k": 64}, [])
+
+    def test_bad_config_entry_is_protocol_error(self, unix_client):
+        with pytest.raises(ProtocolError, match="configs\\[0\\]"):
+            unix_client.measure(
+                {"m": 64, "n": 64, "k": 64}, [{"not_a_field": 1}]
+            )
+
+    def test_oversized_shard_is_refused(self, unix_client, monkeypatch):
+        from repro.serve import protocol
+
+        monkeypatch.setattr(protocol, "MAX_SHARD_CONFIGS", 4)
+        spec, cfgs = self._space(8)
+        assert len(cfgs) > 4
+        with pytest.raises(ProtocolError, match="cap"):
+            unix_client.measure(spec, cfgs)
+
+
 class TestStatus:
     def test_status_shape(self, unix_server, unix_client):
         unix_client.tune(**PROBLEM)

@@ -23,6 +23,7 @@ def test_workflow_parses_and_has_expected_jobs(workflow):
     assert workflow["name"] == "CI"
     assert set(workflow["jobs"]) == {
         "lint", "tests", "sync-safety", "bench-smoke", "chaos", "serve-smoke",
+        "fleet-smoke",
     }
 
 
@@ -140,6 +141,49 @@ class TestServeSmokeJob:
         ]
         assert len(stops) == 1
         assert stops[0].get("if") == "always()"
+
+
+class TestFleetSmokeJob:
+    """The fleet-smoke job is the executable acceptance criterion for the
+    distributed tuning fleet: the same seeded tune run serially and through
+    a 3-worker fleet under injected worker death must produce bitwise-equal
+    trial logs and the same best config."""
+
+    def test_runs_serial_then_fleet_with_same_seeded_problem(self, workflow):
+        cmds = job_commands(workflow["jobs"]["fleet-smoke"])
+        tunes = [c for c in cmds if "repro.cli tune" in c]
+        assert len(tunes) == 2, "fleet-smoke must run a serial and a fleet tune"
+        serial, fleet = tunes
+        assert "--fleet" not in serial and "--out serial.json" in serial
+        assert "--fleet 3" in fleet and "--out fleet.json" in fleet
+        # Identical problem/method/seed, or the comparison is meaningless.
+        for flag in ("--m 256", "--n 256", "--k 512", "--space 32",
+                     "--trials 8", "--method xgb", "--seed 3"):
+            assert flag in serial and flag in fleet
+
+    def test_fleet_tune_injects_worker_death(self, workflow):
+        cmds = job_commands(workflow["jobs"]["fleet-smoke"])
+        fleet = next(c for c in cmds if "--fleet 3" in c)
+        assert "--fault-plan" in fleet
+        assert '"site": "fleet"' in fleet
+        assert '"kind": "worker-death"' in fleet
+
+    def test_asserts_bitwise_identity_with_serial(self, workflow):
+        cmds = "\n".join(job_commands(workflow["jobs"]["fleet-smoke"]))
+        assert "assert fleet == serial" in cmds
+        assert '[e["latency_us"] for e in f] == [e["latency_us"] for e in s]' in cmds
+
+    def test_records_throughput_and_uploads_artifact(self, workflow):
+        cmds = job_commands(workflow["jobs"]["fleet-smoke"])
+        bench = [c for c in cmds if "bench_fleet_throughput.py" in c]
+        assert len(bench) == 1
+        assert "--smoke" in bench[0] and "--out fleet-throughput.json" in bench[0]
+        uploads = [
+            s for s in workflow["jobs"]["fleet-smoke"]["steps"]
+            if "upload-artifact" in s.get("uses", "")
+        ]
+        assert len(uploads) == 1
+        assert uploads[0]["with"]["path"] == "fleet-throughput.json"
 
 
 def test_bench_smoke_records_compile_throughput(workflow):
