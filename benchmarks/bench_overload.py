@@ -1,0 +1,304 @@
+"""Traffic soak harness: Poisson arrivals against a live, delayed daemon.
+
+PR "overload resilience" claims the serve stack sheds rather than hangs:
+admission control bounds the connection queue, shed requests get a fast
+``overloaded`` envelope with a ``retry_after_s`` hint, and deadlines cut
+queued work loose. This benchmark is the evidence. It runs an in-process
+``ReproServer`` with a deliberately small admission queue, injects a
+``delay`` fault at the registry read (every warm request pays a seeded,
+jittered service time), then offers Poisson traffic at several multiples
+of the daemon's estimated capacity and records, per load level:
+
+* latency **p50/p95/p99** of successfully answered requests;
+* **shed rate** — fraction refused by admission control;
+* **goodput** — successful answers per second actually achieved;
+* the hard invariants: every request is *answered* (success or typed
+  error envelope — never a hang), no worker thread dies, and after the
+  soak the warm path still serves ``served_from == "registry"``.
+
+Runs two ways: as a pytest benchmark inside the suite, and as a plain
+script (``python benchmarks/bench_overload.py --smoke --out FILE``) for
+the CI soak-smoke job, which uploads the JSON artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import random
+import sys
+import tempfile
+import threading
+import time
+
+#: Arrival-process seed: the offered traffic is reproducible run to run.
+SEED = 0x50AC
+#: Injected service delay at the registry read (seconds, ±50% jitter).
+DELAY_S = 0.03
+#: Offered load as multiples of estimated capacity (workers / delay).
+LOAD_LEVELS = (0.5, 2.0, 4.0)
+REQUESTS_FULL = 120
+REQUESTS_QUICK = 40
+WORKERS = 2
+#: Deliberately small admission queue so overload sheds visibly.
+MAX_QUEUE = 8
+#: Per-request server-side budget; generous so the soak exercises
+#: admission control, not deadline expiry.
+DEADLINE_S = 5.0
+#: Client round-trip bound; anything hitting it counts as a hang.
+CLIENT_TIMEOUT_S = 30.0
+
+
+def _quantile(ordered, q):
+    if not ordered:
+        return 0.0
+    idx = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+    return ordered[idx]
+
+
+def _soak_level(server, n_requests: int, rate_rps: float, rng) -> dict:
+    """Offer ``n_requests`` warm compiles at Poisson rate ``rate_rps``;
+    classify every outcome."""
+    from repro.core.errors import (
+        DeadlineExceededError,
+        OverloadedError,
+        ServeError,
+    )
+    from repro.serve.client import ServeClient
+
+    offsets, t = [], 0.0
+    for _ in range(n_requests):
+        t += rng.expovariate(rate_rps)
+        offsets.append(t)
+
+    lock = threading.Lock()
+    outcomes = {"ok": 0, "shed": 0, "deadline": 0, "error": 0, "hang": 0}
+    ok_latencies = []
+    retry_hints = []
+
+    def one(offset: float, t_start: float) -> None:
+        wait = t_start + offset - time.perf_counter()
+        if wait > 0:
+            time.sleep(wait)
+        client = ServeClient(
+            socket_path=server.socket_path,
+            timeout=CLIENT_TIMEOUT_S,
+            deadline_s=DEADLINE_S,
+        )
+        t0 = time.perf_counter()
+        try:
+            result = client.compile(m=128, n=128, k=128)
+            elapsed = time.perf_counter() - t0
+            with lock:
+                outcomes["ok"] += 1
+                ok_latencies.append(elapsed)
+                assert result["served_from"] == "registry", result["served_from"]
+        except OverloadedError as e:
+            with lock:
+                outcomes["shed"] += 1
+                if e.retry_after_s:
+                    retry_hints.append(e.retry_after_s)
+        except DeadlineExceededError:
+            with lock:
+                outcomes["deadline"] += 1
+        except ServeError as e:
+            with lock:
+                outcomes["hang" if "timed out" in str(e) else "error"] += 1
+
+    t_start = time.perf_counter()
+    threads = [
+        threading.Thread(target=one, args=(off, t_start)) for off in offsets
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t_start
+
+    ok_latencies.sort()
+    answered = sum(outcomes.values()) - outcomes["hang"]
+    return {
+        "offered_rps": round(rate_rps, 2),
+        "requests": n_requests,
+        "wall_s": round(wall, 3),
+        "answered": answered,
+        **outcomes,
+        "shed_rate": outcomes["shed"] / n_requests,
+        "goodput_rps": round(outcomes["ok"] / max(wall, 1e-9), 2),
+        "p50_ms": round(_quantile(ok_latencies, 0.50) * 1e3, 3),
+        "p95_ms": round(_quantile(ok_latencies, 0.95) * 1e3, 3),
+        "p99_ms": round(_quantile(ok_latencies, 0.99) * 1e3, 3),
+        "retry_after_hint_max_s": max(retry_hints) if retry_hints else None,
+    }
+
+
+def run_experiment(quick: bool) -> dict:
+    from repro import faults
+    from repro.serve.registry import ArtifactRegistry
+    from repro.serve.server import ReproServer
+    from repro.serve.client import ServeClient
+
+    n_requests = REQUESTS_QUICK if quick else REQUESTS_FULL
+    rng = random.Random(SEED)
+    with tempfile.TemporaryDirectory(prefix="repro-overload-bench-") as tmp:
+        tmp = pathlib.Path(tmp)
+        server = ReproServer(
+            socket_path=str(tmp / "d.sock"),
+            registry=ArtifactRegistry(tmp / "reg"),
+            workers=WORKERS,
+            default_space=16,
+            max_queue=MAX_QUEUE,
+        )
+        server.start()
+        try:
+            client = ServeClient(socket_path=server.socket_path, timeout=600)
+            assert client.wait_until_ready(timeout=30), "daemon never became ready"
+            # Warm the one soak shape before the delay fault goes live, so
+            # every soak request is a registry hit with a known service time.
+            warmup = client.tune(m=128, n=128, k=128)
+            assert warmup["served_from"] == "fresh"
+
+            faults.activate(faults.FaultPlan([
+                faults.FaultRule("registry", "delay", match="get:",
+                                 delay_s=DELAY_S, jitter=0.5),
+            ], seed=SEED), export_env=False)
+            try:
+                capacity = WORKERS / DELAY_S
+                levels = [
+                    _soak_level(server, n_requests, mult * capacity, rng)
+                    for mult in LOAD_LEVELS
+                ]
+            finally:
+                faults.deactivate()
+
+            # Post-soak: the daemon must still be whole — healthy, all
+            # worker threads alive, warm path intact.
+            workers_alive = sum(
+                1 for t in server._threads
+                if t.name.startswith("repro-serve-worker") and t.is_alive()
+            )
+            health = client.health()
+            post = client.compile(m=128, n=128, k=128)
+            status = client.status()
+        finally:
+            server.stop()
+            server.shutdown(timeout=30)
+
+    return {
+        "quick": quick,
+        "seed": SEED,
+        "delay_s": DELAY_S,
+        "workers": WORKERS,
+        "max_queue": MAX_QUEUE,
+        "capacity_rps_est": round(WORKERS / DELAY_S, 1),
+        "load_multipliers": list(LOAD_LEVELS),
+        "levels": levels,
+        "workers_alive": workers_alive,
+        "health_state": health["state"],
+        "post_soak_served_from": post["served_from"],
+        "total_shed": status["counters"]["requests_shed"],
+        "total_deadline_exceeded": status["counters"]["deadline_exceeded"],
+    }
+
+
+def format_table(r: dict) -> str:
+    lines = [
+        "Overload soak — Poisson traffic vs. admission control "
+        f"(capacity ~{r['capacity_rps_est']} rps, queue {r['max_queue']})"
+    ]
+    lines.append(
+        f"{'load':>5s} | {'offered':>8s} | {'ok':>4s} {'shed':>4s} "
+        f"{'ddl':>3s} | {'shed%':>6s} | {'goodput':>8s} | "
+        f"{'p50':>7s} {'p95':>7s} {'p99':>7s}"
+    )
+    for mult, lv in zip(r["load_multipliers"], r["levels"]):
+        lines.append(
+            f"{mult:4.1f}x | {lv['offered_rps']:6.1f}/s | "
+            f"{lv['ok']:4d} {lv['shed']:4d} {lv['deadline']:3d} | "
+            f"{lv['shed_rate'] * 100:5.1f}% | {lv['goodput_rps']:6.1f}/s | "
+            f"{lv['p50_ms']:5.0f}ms {lv['p95_ms']:5.0f}ms {lv['p99_ms']:5.0f}ms"
+        )
+    lines.append(
+        f"post-soak: health={r['health_state']}, "
+        f"{r['workers_alive']}/{r['workers']} workers alive, "
+        f"warm path served from {r['post_soak_served_from']}"
+    )
+    return "\n".join(lines)
+
+
+def check_invariants(r: dict) -> None:
+    for mult, lv in zip(r["load_multipliers"], r["levels"]):
+        assert lv["hang"] == 0, (
+            f"{lv['hang']} request(s) at {mult}x load hit the client timeout "
+            "— the daemon hung instead of answering"
+        )
+        assert lv["error"] == 0, (
+            f"{lv['error']} request(s) at {mult}x load died with an "
+            "unclassified transport error"
+        )
+        assert lv["answered"] == lv["requests"], (
+            f"only {lv['answered']}/{lv['requests']} requests answered at "
+            f"{mult}x load"
+        )
+    overload = r["levels"][-1]
+    assert overload["shed"] > 0, (
+        "sustained overload shed nothing — admission control is not engaging"
+    )
+    assert overload["ok"] > 0, (
+        "sustained overload served nothing — the daemon collapsed instead "
+        "of degrading"
+    )
+    assert r["workers_alive"] == r["workers"], (
+        f"{r['workers'] - r['workers_alive']} worker thread(s) died during "
+        "the soak"
+    )
+    assert r["health_state"] == "ready"
+    assert r["post_soak_served_from"] == "registry", (
+        "the warm path did not survive the soak"
+    )
+
+
+# ------------------------------------------------------------------ pytest
+def test_overload_soak(benchmark):
+    from conftest import QUICK, RESULTS_DIR, write_result
+
+    result = run_experiment(QUICK)
+    check_invariants(result)
+    write_result("overload_soak", format_table(result))
+    out = RESULTS_DIR / "overload_soak.json"
+    out.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    print(f"[json written to {out}]")
+
+    # Representative kernel: the health probe — the dispatch path a load
+    # balancer would hammer, no compile work involved.
+    from repro.serve.server import ReproServer
+
+    server = ReproServer(port=0, default_space=16)
+    benchmark.pedantic(
+        lambda: server.handle({"op": "health", "id": "bench"}), rounds=30,
+        iterations=1,
+    )
+
+
+# ------------------------------------------------------------------ script
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced request counts per load level")
+    parser.add_argument("--out", default=None, help="write the JSON record here")
+    args = parser.parse_args(argv)
+
+    result = run_experiment(args.smoke)
+    check_invariants(result)
+    print(format_table(result))
+    if args.out:
+        path = pathlib.Path(args.out)
+        path.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+        print(f"[json written to {path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,7 @@ Commands
 ``suite``     TVM-vs-ALCOP speedups over the paper's operator suite;
 ``check``     static sync-race check of pipelined IR over the workload suite;
 ``serve``     long-running compile-as-a-service daemon (docs/serving.md);
-``client``    talk to a running daemon: compile | tune | status | stop;
+``client``    talk to a running daemon: compile | tune | status | health | stop;
 ``fleet-worker``  one remote seat of a distributed tuning fleet: a serve
               daemon tuned for the ``measure`` endpoint (docs/distributed.md).
 """
@@ -28,6 +28,7 @@ _GPUS = {"a100": A100, "h100": H100, "v100": V100}
 _SERVE_WORKERS = 4
 _SERVE_SPACE = 600
 _SERVE_IDLE_TIMEOUT = 120.0
+_SERVE_MAX_QUEUE = 64
 
 
 def _add_problem_args(p: argparse.ArgumentParser, required: bool = True) -> None:
@@ -250,6 +251,8 @@ def _cmd_tune(args) -> int:
                 measurer, spec, space,
                 workers=args.fleet,
                 endpoints=tuple(args.fleet_endpoint or ()),
+                breaker_threshold=args.breaker_threshold,
+                breaker_cooldown_s=args.breaker_cooldown,
             )
             print(f"fleet: {fleet_tel.summary()}")
         _, best = measurer.best(spec, space)
@@ -412,6 +415,7 @@ def _cmd_serve(args) -> int:
         via_ir=bool(args.via_ir),
         default_space=space,
         idle_timeout=args.idle_timeout,
+        max_queue=args.max_queue,
     )
 
     def _stop(signum, frame):
@@ -462,6 +466,7 @@ def _cmd_fleet_worker(args) -> int:
         workers=args.workers if args.workers is not None else _SERVE_WORKERS,
         via_ir=bool(args.via_ir),
         idle_timeout=args.idle_timeout,
+        max_queue=args.max_queue,
     )
 
     def _stop(signum, frame):
@@ -495,7 +500,9 @@ def _client_connection(args):
         print("client: give exactly one of --socket PATH or --port N", file=sys.stderr)
         return None
     return ServeClient(
-        socket_path=args.socket, host=args.host, port=args.port, timeout=args.timeout
+        socket_path=args.socket, host=args.host, port=args.port, timeout=args.timeout,
+        deadline_s=args.deadline if getattr(args, "deadline", 0) else None,
+        retries=getattr(args, "retries", 0),
     )
 
 
@@ -574,11 +581,32 @@ def _cmd_client(args) -> int:
                 print(f"queue    : depth {result.get('queue_depth', 0)}, "
                       f"{result.get('inflight', 0)} in flight, "
                       f"{result.get('workers', 0)} worker(s)")
+                print(f"overload : {c.get('requests_shed', 0)} shed, "
+                      f"{c.get('deadline_exceeded', 0)} deadline-exceeded, "
+                      f"max queue {result.get('max_queue', 0)}")
                 for op, snap in sorted((result.get("endpoints") or {}).items()):
                     if snap.get("requests"):
+                        extras = ""
+                        if snap.get("shed") or snap.get("deadline_exceeded"):
+                            extras = (f" shed {snap.get('shed', 0)} "
+                                      f"ddl {snap.get('deadline_exceeded', 0)}")
                         print(f"  {op:9s} {snap['requests']:5d} req "
                               f"({snap['errors']} err) "
-                              f"p50 {snap['p50_ms']:.1f}ms p95 {snap['p95_ms']:.1f}ms")
+                              f"p50 {snap['p50_ms']:.1f}ms p95 {snap['p95_ms']:.1f}ms "
+                              f"p99 {snap.get('p99_ms', 0.0):.1f}ms{extras}")
+        elif args.action == "health":
+            result = client.health()
+            if args.json:
+                print(json.dumps(result, indent=1, sort_keys=True))
+            else:
+                print(f"state    : {result.get('state')}")
+                print(f"queue    : depth {result.get('queue_depth', 0)} of "
+                      f"{result.get('max_queue', 0)}, "
+                      f"{result.get('workers', 0)} worker(s)")
+                print(f"overload : {result.get('shed', 0)} shed, "
+                      f"{result.get('deadline_exceeded', 0)} deadline-exceeded")
+            if result.get("state") != "ready":
+                return 1
         elif args.action == "stop":
             result = client.shutdown()
             print(f"daemon stopping (session {result.get('session')})")
@@ -642,6 +670,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also enlist a running repro serve / fleet-worker "
                         "daemon at ADDR (host:port for HTTP, anything else "
                         "is a Unix socket path); repeatable")
+    p.add_argument("--breaker-threshold", type=int, default=3, metavar="K",
+                   help="fleet circuit breaker: consecutive transport "
+                        "failures before an endpoint's seat stops taking "
+                        "shards (docs/robustness.md)")
+    p.add_argument("--breaker-cooldown", type=float, default=0.25, metavar="S",
+                   help="fleet circuit breaker: base cooldown before an "
+                        "opened seat sends a half-open probe shard "
+                        "(escalates per open)")
     p.set_defaults(fn=_cmd_tune)
 
     p = sub.add_parser("suite", help="TVM vs ALCOP over the operator suite")
@@ -692,6 +728,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="close keep-alive connections idle for S seconds so "
                         "they return their worker thread to the pool; <= 0 "
                         "disables (default %g)" % _SERVE_IDLE_TIMEOUT)
+    p.add_argument("--max-queue", type=int, default=_SERVE_MAX_QUEUE,
+                   help="admission-control bound on queued connections; "
+                        "beyond it requests are shed with a fast "
+                        "'overloaded' reply instead of queueing unboundedly "
+                        "(default %d)" % _SERVE_MAX_QUEUE)
     p.add_argument("--via-ir", action="store_true",
                    help="tune through the full compiler path instead of the "
                         "static timing spec")
@@ -718,6 +759,9 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="S",
                    help="close keep-alive connections idle for S seconds "
                         "(<= 0 disables; default %g)" % _SERVE_IDLE_TIMEOUT)
+    p.add_argument("--max-queue", type=int, default=_SERVE_MAX_QUEUE,
+                   help="admission-control bound on queued connections "
+                        "(default %d)" % _SERVE_MAX_QUEUE)
     p.add_argument("--via-ir", action="store_true",
                    help="measure through the full compiler path; must match "
                         "the coordinator's --via-ir or the shard is refused")
@@ -727,13 +771,22 @@ def build_parser() -> argparse.ArgumentParser:
         "client",
         help="talk to a running repro serve daemon",
     )
-    p.add_argument("action", choices=["compile", "tune", "status", "stop", "ping"])
+    p.add_argument("action",
+                   choices=["compile", "tune", "status", "health", "stop", "ping"])
     p.add_argument("--socket", default=None, metavar="PATH",
                    help="daemon Unix socket path")
     p.add_argument("--port", type=int, default=None, help="daemon TCP port")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--timeout", type=float, default=300.0,
                    help="request round-trip limit in seconds")
+    p.add_argument("--deadline", type=float, default=0.0, metavar="S",
+                   help="server-side budget stamped on the request; expired "
+                        "work is rejected and over-budget sweeps abort "
+                        "(0 = none)")
+    p.add_argument("--retries", type=int, default=0, metavar="N",
+                   help="retry transient failures (connect refused/reset, "
+                        "shed by admission control) up to N times with "
+                        "exponential backoff + jitter")
     p.add_argument("--wait", type=float, default=0.0, metavar="S",
                    help="poll until the daemon answers ping, up to S seconds, "
                         "before sending the request")

@@ -38,6 +38,8 @@ __all__ = [
     "ServeError",
     "ProtocolError",
     "RegistryError",
+    "OverloadedError",
+    "DeadlineExceededError",
     "DegradationEvent",
 ]
 
@@ -129,6 +131,33 @@ class ProtocolError(ServeError):
     Always a client-side (caller) bug, never a reason to retry."""
 
     stage = "serve"
+
+
+class OverloadedError(ServeError):
+    """The daemon shed this request at admission: its bounded work queue
+    was full. Carries ``retry_after_s``, the server's hint for how long a
+    client should back off before retrying — honoured by
+    :class:`repro.serve.client.ServeClient` when retries are enabled.
+    Always safe to retry; no work was started."""
+
+    stage = "serve"
+
+    def __init__(self, message: str = "", *,
+                 retry_after_s: Optional[float] = None,
+                 diagnostic: Optional[object] = None) -> None:
+        super().__init__(message, diagnostic=diagnostic)
+        self.retry_after_s = retry_after_s
+
+
+class DeadlineExceededError(ServeError):
+    """A request ran out of its ``deadline_s`` budget: either it expired
+    while queued (rejected before any work started) or its sweep was
+    aborted mid-flight by the measurement layer. Work already committed to
+    the caches stays committed, so a retried request resumes warm — but
+    retrying with the same budget will usually expire again, so the client
+    never retries this automatically."""
+
+    stage = "deadline"
 
 
 class RegistryError(ServeError):

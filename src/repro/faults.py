@@ -30,6 +30,13 @@ Injection sites
     ``put:<key>``) and on artifact reads (token ``get:<key>``). A
     ``crash`` at the put site models a daemon dying mid-write: the orphan
     temp file must be quarantined — never served — by the next open.
+``disk``
+    On the write paths of the measurement cache, the artifact registry
+    and the session journal (tokens ``cache:<key>``, ``registry:<key>``,
+    ``journal:<path>``). A ``crash`` here raises ``OSError(ENOSPC)`` —
+    a real disk error, not :class:`FaultInjected` — so the degrade-to-
+    memory-only recovery paths are exercised exactly as a full disk
+    would exercise them.
 ``fleet``
     Inside the distributed tuning fleet (:mod:`repro.tuning.fleet`).
     Two token families distinguish where the fault lands:
@@ -71,6 +78,7 @@ Example::
 from __future__ import annotations
 
 import dataclasses
+import errno
 import hashlib
 import json
 import os
@@ -102,10 +110,10 @@ __all__ = [
 ENV_VAR = "REPRO_FAULT_PLAN"
 
 #: Named injection sites (``"*"`` in a rule matches any site).
-SITES = ("compile", "worker", "simulate", "build", "registry", "fleet")
+SITES = ("compile", "worker", "simulate", "build", "registry", "fleet", "disk")
 
 #: Fault kinds.
-KINDS = ("crash", "hang", "corrupt-latency", "worker-death")
+KINDS = ("crash", "hang", "corrupt-latency", "worker-death", "delay")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -117,10 +125,13 @@ class FaultRule:
     site:
         Injection site name, or ``"*"`` for every site.
     kind:
-        ``crash`` (raise :class:`FaultInjected`), ``hang`` (sleep
-        ``hang_s`` — rely on the trial timeout to recover),
-        ``corrupt-latency`` (multiply reported latency by
-        ``corrupt_factor``), ``worker-death`` (``os._exit`` the process).
+        ``crash`` (raise :class:`FaultInjected`; at the ``disk`` site,
+        ``OSError(ENOSPC)`` instead), ``hang`` (sleep ``hang_s`` — rely
+        on the trial timeout to recover), ``corrupt-latency`` (multiply
+        reported latency by ``corrupt_factor``), ``worker-death``
+        (``os._exit`` the process), ``delay`` (sleep ``delay_s`` with
+        deterministic per-event jitter — injected latency for overload
+        and soak testing, the event otherwise proceeds normally).
     rate:
         Probability a matching event fires, decided deterministically from
         ``(seed, site, kind, token)``. 1.0 = always.
@@ -144,6 +155,8 @@ class FaultRule:
     hang_s: float = 3600.0
     corrupt_factor: float = 1000.0
     ignore_sigterm: bool = False
+    delay_s: float = 0.05
+    jitter: float = 0.5
 
     def __post_init__(self) -> None:
         if self.site != "*" and self.site not in SITES:
@@ -152,6 +165,10 @@ class FaultRule:
             raise ValueError(f"unknown fault kind {self.kind!r}; choose from {KINDS}")
         if not 0.0 <= self.rate <= 1.0:
             raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.delay_s < 0.0:
+            raise ValueError(f"delay_s must be >= 0, got {self.delay_s}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
 
 
 class FaultPlan:
@@ -309,20 +326,35 @@ def current_token() -> str:
 
 
 # ------------------------------------------------------------------ injection
+def _delay_seconds(rule: FaultRule, seed: int, site: str, token: str) -> float:
+    """Deterministic jittered sleep for a ``delay`` rule: the jitter factor
+    is a pure hash of the event identity, so the same plan over the same
+    traffic always injects the same latencies."""
+    if rule.jitter <= 0.0:
+        return rule.delay_s
+    payload = f"{seed}:{site}:delay-jitter:{rule.match}:{token}"
+    h = int.from_bytes(hashlib.sha256(payload.encode()).digest()[:8], "big")
+    frac = (h % 1_000_000) / 1_000_000  # uniform in [0, 1)
+    return rule.delay_s * (1.0 + rule.jitter * (2.0 * frac - 1.0))
+
+
 def inject(site: str, token: Optional[str] = None,
-           kinds: Sequence[str] = ("crash", "hang", "worker-death")) -> None:
-    """Fire any matching ``crash``/``hang``/``worker-death`` rule at
-    ``site``. No-op without an active plan (the production fast path is one
-    None-check). ``kinds`` narrows which fault kinds may fire — injection
-    points in a *coordinating* process (e.g. the fleet dispatch site) pass
-    ``("crash",)`` so a broadly-scoped ``worker-death`` rule can only kill
-    workers, never the coordinator itself."""
+           kinds: Sequence[str] = ("crash", "hang", "worker-death", "delay")) -> None:
+    """Fire any matching ``crash``/``hang``/``worker-death``/``delay`` rule
+    at ``site``. No-op without an active plan (the production fast path is
+    one None-check). ``kinds`` narrows which fault kinds may fire —
+    injection points in a *coordinating* process (e.g. the fleet dispatch
+    site) pass ``("crash",)`` so a broadly-scoped ``worker-death`` rule can
+    only kill workers, never the coordinator itself."""
     plan = _active if _env_checked else active_plan()
     if plan is None:
         return
     tok = token if token is not None else current_token()
     rule = plan.matching(site, tok, kinds)
     if rule is None:
+        return
+    if rule.kind == "delay":
+        time.sleep(_delay_seconds(rule, plan.seed, site, tok))
         return
     if rule.kind == "worker-death":
         os._exit(17)
@@ -337,6 +369,11 @@ def inject(site: str, token: Optional[str] = None,
                 pass  # non-main thread: the plain hang still exercises timeout
         time.sleep(rule.hang_s)
         return
+    if site == "disk":
+        # Real disk errors, not FaultInjected: the degrade-to-memory-only
+        # recovery paths catch OSError, exactly as a full disk raises it.
+        raise OSError(errno.ENOSPC,
+                      f"injected disk fault (token {tok!r}): no space left on device")
     err = FaultInjected(
         f"injected {rule.kind} at site {site!r} (token {tok!r})",
         site=site,

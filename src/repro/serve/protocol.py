@@ -32,8 +32,23 @@ Operations (``docs/serving.md`` documents every field):
 ``measure``   fleet-worker endpoint (docs/distributed.md): measure one
               shard of configs for a problem and return the latencies —
               the daemon as one seat of a distributed tuning fleet.
+``health``    lightweight overload probe: ``state`` is ``ready``,
+              ``overloaded`` (work queue at least half full) or
+              ``draining`` (shutdown in progress), plus queue depth and
+              shed counters. Never touches the compiler; safe for load
+              balancers to poll at high frequency.
 ``shutdown``  graceful stop: drain in-flight work, flush the registry,
               acknowledge, exit.
+
+Overload fields
+---------------
+A request envelope may carry a top-level ``deadline_s`` — the client's
+remaining budget in seconds. The server subtracts queue wait before
+dispatching, rejects already-expired work with a ``DeadlineExceededError``
+envelope, and aborts an in-flight sweep when the budget runs out. A shed
+request (bounded work queue full) is answered with an ``OverloadedError``
+envelope whose payload carries ``retry_after_s``, the server's backoff
+hint; :func:`raise_remote_error` reconstructs both types client-side.
 """
 
 from __future__ import annotations
@@ -51,6 +66,7 @@ __all__ = [
     "ok_response",
     "error_response",
     "error_payload",
+    "parse_deadline",
     "parse_problem_params",
     "parse_measure_params",
     "encode_latency",
@@ -60,7 +76,7 @@ __all__ = [
 
 PROTOCOL_VERSION = 1
 
-OPS = ("ping", "compile", "tune", "status", "measure", "shutdown")
+OPS = ("ping", "compile", "tune", "status", "measure", "health", "shutdown")
 
 #: Upper bound on one serialized message; a registry artifact (IR + CUDA
 #: text) is tens of KB, so this is generous while still refusing abuse.
@@ -95,12 +111,32 @@ def error_response(exc: BaseException, request_id: Optional[object] = None) -> D
 
 def error_payload(exc: BaseException) -> Dict:
     """The structured error envelope: taxonomy type + stage + message, so
-    clients can re-raise without string matching."""
-    return {
+    clients can re-raise without string matching. An exception carrying a
+    ``retry_after_s`` hint (:class:`~repro.core.errors.OverloadedError`)
+    ships it in the payload so clients can honour the server's backoff."""
+    payload = {
         "type": type(exc).__name__,
         "stage": getattr(exc, "stage", "unknown"),
         "message": str(exc),
     }
+    retry_after = getattr(exc, "retry_after_s", None)
+    if retry_after is not None:
+        payload["retry_after_s"] = round(float(retry_after), 3)
+    return payload
+
+
+def parse_deadline(message: Dict) -> Optional[float]:
+    """Validate the optional top-level ``deadline_s`` of a request
+    envelope. Returns the budget in seconds, or ``None`` when absent."""
+    budget = message.get("deadline_s")
+    if budget is None:
+        return None
+    if isinstance(budget, bool) or not isinstance(budget, (int, float)):
+        raise ProtocolError("deadline_s must be a number of seconds")
+    budget = float(budget)
+    if budget <= 0:
+        raise ProtocolError("deadline_s must be positive")
+    return budget
 
 
 _REQUIRED_DIMS = ("m", "n", "k")
@@ -259,13 +295,28 @@ def read_http_body(rfile, headers: Dict[str, str]) -> bytes:
 
 def raise_remote_error(payload: Dict) -> None:
     """Re-raise a server error envelope client-side as the closest
-    taxonomy class (:class:`ProtocolError` for protocol faults, a generic
-    :class:`~repro.core.errors.ServeError` otherwise)."""
-    from ..core.errors import ServeError
+    taxonomy class: :class:`ProtocolError` for protocol faults,
+    :class:`~repro.core.errors.OverloadedError` for shed requests (with
+    ``retry_after_s`` reconstructed from the payload),
+    :class:`~repro.core.errors.DeadlineExceededError` for expired budgets,
+    a generic :class:`~repro.core.errors.ServeError` otherwise."""
+    from ..core.errors import DeadlineExceededError, OverloadedError, ServeError
 
     err = payload or {}
     name = err.get("type", "ServeError")
     message = err.get("message", "server reported an error")
-    cls = ProtocolError if name == "ProtocolError" else ServeError
+    if name == "OverloadedError":
+        retry_after = err.get("retry_after_s")
+        raise OverloadedError(
+            f"{name}: {message}",
+            retry_after_s=float(retry_after) if retry_after is not None else None,
+            diagnostic=err,
+        )
+    if name == "ProtocolError":
+        cls = ProtocolError
+    elif name == "DeadlineExceededError":
+        cls = DeadlineExceededError
+    else:
+        cls = ServeError
     exc: ReproError = cls(f"{name}: {message}", diagnostic=err)
     raise exc

@@ -44,6 +44,7 @@ import os
 import pathlib
 import threading
 import time
+import warnings
 from typing import Dict, List, Optional, Union
 
 from .. import faults
@@ -165,6 +166,10 @@ class ArtifactRegistry:
         self.misses = 0
         self.n_quarantined = 0
         self.n_put = 0
+        #: publishes/flushes absorbed by degrading to memory-only operation
+        self.disk_errors = 0
+        #: True once a disk failure switched publishing to memory-only
+        self.degraded = False
         if self.root is not None:
             try:
                 (self.root / ARTIFACT_DIR).mkdir(parents=True, exist_ok=True)
@@ -220,6 +225,21 @@ class ArtifactRegistry:
             return None
         return art
 
+    def _note_disk_error(self, action: str, exc: OSError) -> None:
+        """Degrade to memory-only publishing: warn once, count always. The
+        artifact still serves from memory for this daemon's lifetime — it
+        just will not survive a restart."""
+        self.disk_errors += 1
+        if not self.degraded:
+            self.degraded = True
+            warnings.warn(
+                f"artifact registry at {self.root} cannot {action} ({exc}); "
+                "degrading to memory-only operation — artifacts from this "
+                "run will not persist across restarts",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
     # ------------------------------------------------------------------ api
     def get(self, key: str) -> Optional[KernelArtifact]:
         """The artifact at ``key``, or None. Corrupt entries quarantine."""
@@ -251,10 +271,12 @@ class ArtifactRegistry:
             if existing is not None:
                 self._memory[artifact.key] = existing
                 return existing
-            if self.root is not None:
+            if self.root is not None and not self.degraded:
                 path = self._artifact_path(artifact.key)
                 tmp = path.with_name(path.name + ".tmp")
                 try:
+                    faults.inject("disk", token=f"registry:{artifact.key[:16]}",
+                                  kinds=("crash",))
                     with tmp.open("w") as f:
                         f.write(json.dumps(artifact.to_payload(), sort_keys=True))
                         f.flush()
@@ -264,10 +286,13 @@ class ArtifactRegistry:
                     faults.inject("registry", token=f"put:{artifact.key}")
                     os.replace(tmp, path)
                 except OSError as e:
-                    tmp.unlink(missing_ok=True)
-                    raise RegistryError(
-                        f"cannot publish artifact {artifact.key[:12]}…: {e}"
-                    ) from e
+                    # ENOSPC/EIO mid-publish: keep the artifact in memory
+                    # and degrade, never crash the request that built it.
+                    try:
+                        tmp.unlink(missing_ok=True)
+                    except OSError:
+                        pass
+                    self._note_disk_error("publish an artifact", e)
             self._memory[artifact.key] = artifact
             self.n_put += 1
             return artifact
@@ -293,6 +318,7 @@ class ArtifactRegistry:
                 "misses": self.misses,
                 "inserted": self.n_put,
                 "quarantined": self.n_quarantined,
+                "disk_errors": self.disk_errors,
                 "dir": str(self.root) if self.root is not None else None,
                 "version": self.version,
             }
@@ -304,15 +330,18 @@ class ArtifactRegistry:
         index exists so humans and monitoring can read the registry state
         without scanning, and graceful daemon shutdown calls this last.
         """
-        if self.root is None:
+        if self.root is None or self.degraded:
             return
         with self._lock:
             payload = dict(self.stats())
             payload["keys"] = self.keys()
             payload["flushed_at"] = time.time()
             tmp = self.root / (INDEX_FILE + ".tmp")
-            with tmp.open("w") as f:
-                f.write(json.dumps(payload, indent=1, sort_keys=True))
-                f.flush()
-                os.fsync(f.fileno())
-            os.replace(tmp, self.root / INDEX_FILE)
+            try:
+                with tmp.open("w") as f:
+                    f.write(json.dumps(payload, indent=1, sort_keys=True))
+                    f.flush()
+                    os.fsync(f.fileno())
+                os.replace(tmp, self.root / INDEX_FILE)
+            except OSError as e:
+                self._note_disk_error("rewrite its index", e)

@@ -33,11 +33,17 @@ import threading
 import time
 import uuid
 from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Dict, List, Optional, Tuple
 
 from ..codegen import emit_cuda, lower
 from ..core import profiling
-from ..core.errors import CompileError, ProtocolError
+from ..core.errors import (
+    CompileError,
+    DeadlineExceededError,
+    OverloadedError,
+    ProtocolError,
+)
 from ..gpusim.config import A100, GpuSpec
 from ..ir.printer import format_kernel
 from ..schedule.auto import auto_schedule
@@ -56,6 +62,7 @@ from .protocol import (
     encode_message,
     error_response,
     ok_response,
+    parse_deadline,
     parse_measure_params,
     parse_problem_params,
 )
@@ -67,6 +74,7 @@ __all__ = [
     "DEFAULT_SPACE",
     "DEFAULT_WORKERS",
     "DEFAULT_IDLE_TIMEOUT",
+    "DEFAULT_MAX_QUEUE",
 ]
 
 #: Design-space cap used when a request does not name one (matches the
@@ -82,7 +90,14 @@ DEFAULT_WORKERS = 4
 #: park every new request (including ping) in the queue forever.
 DEFAULT_IDLE_TIMEOUT = 120.0
 
-#: Latency samples kept per endpoint for the p50/p95 estimates.
+#: Admission-control bound on the connection/work queue. When the queue is
+#: full, new connections are shed with a fast ``OverloadedError`` envelope
+#: (carrying ``retry_after_s``) instead of waiting unboundedly — a daemon
+#: under 4x sustained load answers *something* to every client rather than
+#: growing an invisible backlog of doomed requests.
+DEFAULT_MAX_QUEUE = 64
+
+#: Latency samples kept per endpoint for the p50/p95/p99 estimates.
 _LATENCY_WINDOW = 2048
 
 
@@ -93,6 +108,10 @@ class EndpointStats:
         self._lock = threading.Lock()
         self.requests = 0
         self.errors = 0
+        #: requests refused at admission (queue full)
+        self.shed = 0
+        #: requests rejected or aborted because their deadline_s expired
+        self.deadline_exceeded = 0
         self._latencies: List[float] = []
 
     def record(self, seconds: float, ok: bool) -> None:
@@ -103,6 +122,18 @@ class EndpointStats:
             self._latencies.append(seconds)
             if len(self._latencies) > _LATENCY_WINDOW:
                 del self._latencies[: len(self._latencies) - _LATENCY_WINDOW]
+
+    def record_shed(self) -> None:
+        """A connection refused at admission: counted as a request + error
+        so overload is visible in the same place as everything else."""
+        with self._lock:
+            self.requests += 1
+            self.errors += 1
+            self.shed += 1
+
+    def record_deadline_exceeded(self) -> None:
+        with self._lock:
+            self.deadline_exceeded += 1
 
     @staticmethod
     def _quantile(ordered: List[float], q: float) -> float:
@@ -117,8 +148,11 @@ class EndpointStats:
             return {
                 "requests": self.requests,
                 "errors": self.errors,
+                "shed": self.shed,
+                "deadline_exceeded": self.deadline_exceeded,
                 "p50_ms": round(self._quantile(ordered, 0.50) * 1e3, 3),
                 "p95_ms": round(self._quantile(ordered, 0.95) * 1e3, 3),
+                "p99_ms": round(self._quantile(ordered, 0.99) * 1e3, 3),
             }
 
 
@@ -147,6 +181,11 @@ class ReproServer:
         Seconds a keep-alive connection may sit idle between requests
         before the daemon closes it and returns its worker to the pool
         (``None`` or ``<= 0`` disables the bound — tests only).
+    max_queue:
+        Admission-control bound on the connection queue. An accepted
+        connection that finds the queue full is shed immediately with an
+        ``OverloadedError`` envelope carrying ``retry_after_s`` — never a
+        hang, never a silently dropped socket.
     """
 
     def __init__(
@@ -162,6 +201,7 @@ class ReproServer:
         via_ir: bool = False,
         default_space: int = DEFAULT_SPACE,
         idle_timeout: Optional[float] = DEFAULT_IDLE_TIMEOUT,
+        max_queue: int = DEFAULT_MAX_QUEUE,
     ) -> None:
         if socket_path is None and port is None:
             raise ValueError("ReproServer needs a socket_path and/or a port to listen on")
@@ -183,6 +223,8 @@ class ReproServer:
 
         self._stats: Dict[str, EndpointStats] = {op: EndpointStats() for op in OPS}
         self._stats["invalid"] = EndpointStats()
+        #: connections shed at admission, before any op is known
+        self._stats["admission"] = EndpointStats()
         self._counter_lock = threading.Lock()
         self.counters: Dict[str, int] = {
             "sweeps_run": 0,
@@ -190,11 +232,19 @@ class ReproServer:
             "dedup_hits": 0,
             "fleet_shards": 0,
             "fleet_trials": 0,
+            "requests_shed": 0,
+            "deadline_exceeded": 0,
         }
         self._inflight: Dict[str, Future] = {}
         self._inflight_lock = threading.Lock()
 
-        self._conn_queue: "queue.Queue[Tuple[str, socket.socket]]" = queue.Queue()
+        self.max_queue = max(1, int(max_queue))
+        # (transport kind, connection, enqueue time) — the enqueue stamp
+        # lets the first request on the connection charge its queue wait
+        # against its deadline_s budget.
+        self._conn_queue: "queue.Queue[Tuple[str, socket.socket, float]]" = queue.Queue(
+            maxsize=self.max_queue
+        )
         self._listeners: List[socket.socket] = []
         self._open_conns: set = set()
         self._open_lock = threading.Lock()
@@ -292,14 +342,56 @@ class ReproServer:
             # Accepted sockets inherit the listener's 0.25s timeout; replace
             # it with the idle bound so a silent keep-alive client eventually
             # returns its worker to the pool (the timeout lands in readline()
-            # as an OSError, which the serve loops treat as connection-over).
+            # as a socket.timeout, which the serve loops answer or close on).
             conn.settimeout(self.idle_timeout)
-            self._conn_queue.put((kind, conn))
+            try:
+                self._conn_queue.put_nowait((kind, conn, time.monotonic()))
+            except queue.Full:
+                self._shed(kind, conn)
+
+    def _retry_after_s(self) -> float:
+        """Backoff hint for a shed client: scales with how many queued
+        requests each worker would have to clear first, capped so a client
+        never parks for long on a hint that may already be stale."""
+        backlog = self._conn_queue.qsize() / max(1, self.workers)
+        return round(min(5.0, 0.1 * (1.0 + backlog)), 3)
+
+    def _shed(self, kind: str, conn: socket.socket) -> None:
+        """Admission control: the queue is full, so answer a fast
+        ``OverloadedError`` envelope (jsonl line or HTTP 503) and close —
+        never a hang, never a silently dropped socket. Runs on the acceptor
+        thread; the 1s send timeout bounds how long a slow shed client can
+        stall further accepts."""
+        retry_after = self._retry_after_s()
+        with self._counter_lock:
+            self.counters["requests_shed"] += 1
+        self._stats["admission"].record_shed()
+        err = OverloadedError(
+            f"daemon is overloaded ({self.max_queue} connections queued); "
+            f"retry in {retry_after}s",
+            retry_after_s=retry_after,
+        )
+        payload = encode_message(error_response(err))
+        try:
+            conn.settimeout(1.0)
+            if kind == "jsonl":
+                conn.sendall(payload)
+            else:
+                conn.sendall(
+                    protocol.http_response_bytes(payload, 503, "Service Unavailable")
+                )
+        except OSError:
+            pass  # the client vanished first; shedding still succeeded
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
 
     def _worker_loop(self) -> None:
         while True:
             try:
-                kind, conn = self._conn_queue.get(timeout=0.1)
+                kind, conn, enqueued_at = self._conn_queue.get(timeout=0.1)
             except queue.Empty:
                 if self._stop_event.is_set():
                     return
@@ -308,9 +400,9 @@ class ReproServer:
                 self._open_conns.add(conn)
             try:
                 if kind == "jsonl":
-                    self._serve_jsonl(conn)
+                    self._serve_jsonl(conn, enqueued_at)
                 else:
-                    self._serve_http(conn)
+                    self._serve_http(conn, enqueued_at)
             finally:
                 with self._open_lock:
                     self._open_conns.discard(conn)
@@ -319,8 +411,14 @@ class ReproServer:
                 except OSError:
                     pass
 
-    def _serve_jsonl(self, conn: socket.socket) -> None:
-        """Newline-JSON framing: many requests per connection, until EOF."""
+    def _serve_jsonl(self, conn: socket.socket,
+                     enqueued_at: Optional[float] = None) -> None:
+        """Newline-JSON framing: many requests per connection, until EOF.
+
+        The first message on the connection is charged the time the
+        connection spent in the admission queue (``enqueued_at``) against
+        its ``deadline_s``; later keep-alive messages waited for nothing.
+        """
         f = conn.makefile("rwb")
         try:
             while True:
@@ -347,7 +445,11 @@ class ReproServer:
                     f.write(encode_message(error_response(e)))
                     f.flush()
                     continue
-                response = self.handle(message)
+                queue_wait_s = 0.0
+                if enqueued_at is not None:
+                    queue_wait_s = max(0.0, time.monotonic() - enqueued_at)
+                    enqueued_at = None
+                response = self.handle(message, queue_wait_s=queue_wait_s)
                 f.write(encode_message(response))
                 f.flush()
                 if message.get("op") == "shutdown" and response.get("ok"):
@@ -361,7 +463,8 @@ class ReproServer:
             except OSError:
                 pass
 
-    def _serve_http(self, conn: socket.socket) -> None:
+    def _serve_http(self, conn: socket.socket,
+                    enqueued_at: Optional[float] = None) -> None:
         """HTTP framing: one ``POST /rpc`` request per connection."""
         rfile = conn.makefile("rb")
         try:
@@ -375,12 +478,29 @@ class ReproServer:
                     )
                 body = protocol.read_http_body(rfile, headers)
                 message = decode_message(body)
+            except socket.timeout:
+                # The client promised Content-Length bytes, sent fewer, and
+                # kept the connection open: the read idled out. Answer an
+                # error envelope (never a silent drop) and free the worker.
+                self._stats["invalid"].record(0.0, ok=False)
+                err = ProtocolError(
+                    "timed out waiting for the full HTTP body "
+                    "(short or truncated Content-Length)"
+                )
+                payload = encode_message(error_response(err))
+                conn.sendall(
+                    protocol.http_response_bytes(payload, 408, "Request Timeout")
+                )
+                return
             except ProtocolError as e:
                 self._stats["invalid"].record(0.0, ok=False)
                 payload = encode_message(error_response(e))
                 conn.sendall(protocol.http_response_bytes(payload, 400, "Bad Request"))
                 return
-            response = self.handle(message)
+            queue_wait_s = 0.0
+            if enqueued_at is not None:
+                queue_wait_s = max(0.0, time.monotonic() - enqueued_at)
+            response = self.handle(message, queue_wait_s=queue_wait_s)
             conn.sendall(protocol.http_response_bytes(encode_message(response)))
             if message.get("op") == "shutdown" and response.get("ok"):
                 self.stop()
@@ -393,13 +513,20 @@ class ReproServer:
                 pass
 
     # --------------------------------------------------------------- dispatch
-    def handle(self, message: Dict) -> Dict:
+    def handle(self, message: Dict, queue_wait_s: float = 0.0) -> Dict:
         """Dispatch one decoded request envelope to its operation handler.
 
         Transport-independent (tests and the latency benchmark call it
         directly). Every request runs under its own stage-profiling
         collector; compile/tune responses report the stages they paid for,
         which is how the warm path proves it never touched the compiler.
+
+        A ``deadline_s`` budget on the envelope is charged ``queue_wait_s``
+        (time already spent in the admission queue) up front: work whose
+        budget is gone before it starts is rejected with a
+        ``DeadlineExceededError`` envelope, and the remaining budget rides
+        into the measurement layer so an in-flight sweep aborts cleanly
+        instead of burning a worker thread past the client's patience.
         """
         request_id = message.get("id")
         op = message.get("op")
@@ -411,30 +538,47 @@ class ReproServer:
             if not isinstance(op, str) or op not in OPS:
                 raise ProtocolError(f"unknown op {op!r}; choose from {OPS}")
             params = message.get("params") or {}
+            deadline = None
+            budget = parse_deadline(message)
+            if budget is not None:
+                remaining = budget - queue_wait_s
+                if remaining <= 0:
+                    raise DeadlineExceededError(
+                        f"request spent {queue_wait_s:.3f}s queued, past its "
+                        f"{budget}s deadline; rejected before any work started"
+                    )
+                deadline = time.monotonic() + remaining
             stages = profiling.StageTimes()
             with profiling.collect(stages):
-                result = self._dispatch(op, params)
+                result = self._dispatch(op, params, deadline)
             if op in ("compile", "tune"):
                 result["stages"] = {name: round(t, 6) for name, t in stages.ordered()}
             response = ok_response(result, request_id)
             ok = True
         except Exception as e:  # every failure becomes a structured envelope
+            if isinstance(e, DeadlineExceededError):
+                self._stats[stats_key].record_deadline_exceeded()
+                with self._counter_lock:
+                    self.counters["deadline_exceeded"] += 1
             response = error_response(e, request_id)
             ok = False
         self._stats[stats_key].record(time.perf_counter() - t0, ok)
         return response
 
-    def _dispatch(self, op: str, params: Dict) -> Dict:
+    def _dispatch(self, op: str, params: Dict,
+                  deadline: Optional[float] = None) -> Dict:
         if op == "ping":
             return {"protocol": PROTOCOL_VERSION, "session": self.session_id}
         if op == "status":
             return self._op_status()
+        if op == "health":
+            return self._op_health()
         if op == "shutdown":
             return {"stopping": True, "session": self.session_id}
         if op == "measure":
-            return self._op_measure(params)
+            return self._op_measure(params, deadline)
         p = parse_problem_params(params)
-        artifact, served_from = self._ensure_artifact(p)
+        artifact, served_from = self._ensure_artifact(p, deadline)
         result: Dict[str, object] = {
             "key": artifact.key,
             "spec": dict(artifact.spec),
@@ -448,8 +592,33 @@ class ReproServer:
             result["cuda_source"] = artifact.cuda_source
         return result
 
+    # ------------------------------------------------------------------ health
+    def _op_health(self) -> Dict:
+        """Lightweight overload probe: no compiler, no registry, no locks
+        beyond the counters — cheap enough for a load balancer to poll."""
+        queue_depth = self._conn_queue.qsize()
+        if self._stop_event.is_set():
+            state = "draining"
+        elif 2 * queue_depth >= self.max_queue:
+            state = "overloaded"
+        else:
+            state = "ready"
+        with self._counter_lock:
+            shed = self.counters["requests_shed"]
+            expired = self.counters["deadline_exceeded"]
+        return {
+            "state": state,
+            "queue_depth": queue_depth,
+            "max_queue": self.max_queue,
+            "workers": self.workers,
+            "shed": shed,
+            "deadline_exceeded": expired,
+            "protocol": PROTOCOL_VERSION,
+            "session": self.session_id,
+        }
+
     # ----------------------------------------------------------- fleet worker
-    def _op_measure(self, params: Dict) -> Dict:
+    def _op_measure(self, params: Dict, deadline: Optional[float] = None) -> Dict:
         """One fleet shard (docs/distributed.md): measure a batch of
         configs for a problem and answer the latencies in request order.
 
@@ -463,7 +632,7 @@ class ReproServer:
             p["name"], batch=p["batch"], m=p["m"], n=p["n"], k=p["k"], dtype=p["dtype"]
         )
         cfgs = p["configs"]
-        latencies = self.measurer.measure_many(spec, cfgs)
+        latencies = self.measurer.measure_many(spec, cfgs, deadline=deadline)
         with self._counter_lock:
             self.counters["fleet_shards"] += 1
             self.counters["fleet_trials"] += len(cfgs)
@@ -480,7 +649,8 @@ class ReproServer:
         }
 
     # ------------------------------------------------------------ the service
-    def _ensure_artifact(self, p: Dict) -> Tuple[KernelArtifact, str]:
+    def _ensure_artifact(self, p: Dict,
+                         deadline: Optional[float] = None) -> Tuple[KernelArtifact, str]:
         """Registry, then the in-flight dedup map, then a fresh solve."""
         spec = GemmSpec(
             p["name"], batch=p["batch"], m=p["m"], n=p["n"], k=p["k"], dtype=p["dtype"]
@@ -509,10 +679,21 @@ class ReproServer:
                     self.counters["dedup_hits"] += 1
         if not owner:
             # Someone else is already solving this exact problem; share
-            # their result (or their exception — both callers see it).
-            return fut.result(), "inflight"
+            # their result (or their exception — both callers see it). A
+            # deadline bounds the wait: the solve itself keeps running for
+            # whoever still has budget, this waiter just stops caring.
+            timeout = None
+            if deadline is not None:
+                timeout = max(0.0, deadline - time.monotonic())
+            try:
+                return fut.result(timeout=timeout), "inflight"
+            except FutureTimeoutError:
+                raise DeadlineExceededError(
+                    "deadline expired while waiting on another request's "
+                    "in-flight solve of the same problem"
+                ) from None
         try:
-            artifact = self._solve(spec, p["variant"], space_cap, key)
+            artifact = self._solve(spec, p["variant"], space_cap, key, deadline)
         except BaseException as e:
             fut.set_exception(e)
             raise
@@ -523,9 +704,11 @@ class ReproServer:
             with self._inflight_lock:
                 self._inflight.pop(key, None)
 
-    def _solve(self, spec: GemmSpec, variant: str, space_cap: int, key: str) -> KernelArtifact:
+    def _solve(self, spec: GemmSpec, variant: str, space_cap: int, key: str,
+               deadline: Optional[float] = None) -> KernelArtifact:
         """The cold path: search the space, build the winning kernel, and
-        publish the artifact."""
+        publish the artifact. ``deadline`` aborts the sweep mid-flight
+        (committed trials stay cached, so a retry resumes warm)."""
         space = restrict_space(
             enumerate_space(spec, self.gpu, SpaceOptions(max_size=space_cap)), variant
         )
@@ -534,7 +717,7 @@ class ReproServer:
                 f"design space for {spec.name} is empty under the {variant!r} "
                 f"variant restriction (cap {space_cap})"
             )
-        cfg, latency = self.measurer.best(spec, space)
+        cfg, latency = self.measurer.best(spec, space, deadline=deadline)
         with self._counter_lock:
             self.counters["sweeps_run"] += 1
         kernel = self._build_kernel(spec, cfg)
@@ -598,6 +781,7 @@ class ReproServer:
             "via_ir": self.measurer.via_ir,
             "workers": self.workers,
             "queue_depth": self._conn_queue.qsize(),
+            "max_queue": self.max_queue,
             "inflight": inflight,
             "counters": counters,
             "registry": registry_stats,
@@ -608,6 +792,7 @@ class ReproServer:
                 "compile_time_s": round(telemetry.compile_time_s, 6),
                 "n_crashes": telemetry.n_crashes,
                 "n_timeouts": telemetry.n_timeouts,
+                "disk_errors": telemetry.disk_errors,
             },
             "endpoints": {op: s.snapshot() for op, s in self._stats.items()},
         }

@@ -24,8 +24,10 @@ import json
 import math
 import pathlib
 import threading
+import warnings
 from typing import Dict, Optional, Union
 
+from .. import faults
 from ..gpusim.config import GpuSpec
 from ..schedule.config import TileConfig
 from ..tensor.operation import GemmSpec
@@ -111,6 +113,11 @@ class MeasurementCache:
     Thread safety: lookups, inserts and the underlying file append are
     serialized by an internal lock, so one cache instance may back the
     serve daemon's shared measurer across concurrent request threads.
+
+    Disk failure: an ``OSError`` on any write (ENOSPC, EIO, an unwritable
+    directory) degrades the cache to memory-only for the rest of the
+    process — one warning, a ``disk_errors`` counter, and the sweep keeps
+    running on the in-memory entries instead of crashing the tuner.
     """
 
     FILENAME = "measurements.jsonl"
@@ -119,7 +126,14 @@ class MeasurementCache:
         self, cache_dir: Union[str, pathlib.Path], version: Optional[str] = None
     ) -> None:
         self.dir = pathlib.Path(cache_dir)
-        self.dir.mkdir(parents=True, exist_ok=True)
+        #: disk writes absorbed by degrading to memory-only operation
+        self.disk_errors = 0
+        #: True once a disk failure switched this cache to memory-only
+        self.degraded = False
+        try:
+            self.dir.mkdir(parents=True, exist_ok=True)
+        except OSError as e:
+            self._note_disk_error("create cache directory", e)
         self.path = self.dir / self.FILENAME
         self.version = version if version is not None else compiler_version_hash()
         self._entries: Dict[str, float] = {}
@@ -128,10 +142,28 @@ class MeasurementCache:
         self._lock = threading.Lock()
         self._load()
 
+    def _note_disk_error(self, action: str, exc: OSError) -> None:
+        """Degrade to memory-only: warn once, count every occurrence."""
+        self.disk_errors += 1
+        if not self.degraded:
+            self.degraded = True
+            warnings.warn(
+                f"measurement cache cannot {action} ({exc}); degrading to "
+                f"memory-only operation — results from this run will not "
+                f"persist to {self.dir}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
     def _load(self) -> None:
-        if not self.path.exists():
+        try:
+            if not self.path.exists():
+                return
+            text = self.path.read_text()
+        except OSError as e:
+            self._note_disk_error("read its store", e)
             return
-        for line in self.path.read_text().splitlines():
+        for line in text.splitlines():
             line = line.strip()
             if not line:
                 continue
@@ -158,11 +190,14 @@ class MeasurementCache:
 
     def put(self, key: str, latency_us: float, meta: Optional[dict] = None) -> None:
         """Record one measurement; ``meta`` rides along for humans reading
-        the log (the key alone is opaque)."""
+        the log (the key alone is opaque). The in-memory entry always
+        lands, even when the disk append fails (degraded mode)."""
         with self._lock:
             if key in self._entries:
                 return
             self._entries[key] = latency_us
+            if self.degraded:
+                return
             entry = dict(meta or {})
             entry.update(
                 {
@@ -171,8 +206,12 @@ class MeasurementCache:
                     "latency_us": "inf" if math.isinf(latency_us) else latency_us,
                 }
             )
-            with self.path.open("a") as f:
-                f.write(json.dumps(entry, sort_keys=True) + "\n")
+            try:
+                faults.inject("disk", token=f"cache:{key[:16]}", kinds=("crash",))
+                with self.path.open("a") as f:
+                    f.write(json.dumps(entry, sort_keys=True) + "\n")
+            except OSError as e:
+                self._note_disk_error("append a measurement", e)
 
     def __len__(self) -> int:
         return len(self._entries)

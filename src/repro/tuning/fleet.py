@@ -40,6 +40,15 @@ with :class:`~repro.core.errors.WorkerCrash` — by then the fault is
 systemic, not transient. Results already streamed are never lost: they
 are committed to the coordinator (and through :func:`fleet_sweep`, to the
 measurer's caches) the moment they arrive.
+
+Endpoint health is tracked per slot by a :class:`CircuitBreaker`
+(docs/robustness.md): repeated worker-start failures (any slot) or remote
+transport/deadline failures open the breaker, which stops dispatching to
+the sick seat for an escalating cooldown, then lets one half-open probe
+shard through. A successful probe closes the breaker — a daemon that
+restarts mid-sweep *rejoins* the fleet instead of being permanently
+retired — while a breaker that opens :attr:`CircuitBreaker.max_opens`
+times is deemed dead and retires its seat for good.
 """
 
 from __future__ import annotations
@@ -58,6 +67,7 @@ from ..tensor.operation import GemmSpec
 from .measure import Measurer, _cfg_token
 
 __all__ = [
+    "CircuitBreaker",
     "FleetCoordinator",
     "FleetResult",
     "FleetTelemetry",
@@ -250,6 +260,99 @@ def parse_endpoint(endpoint: str) -> Dict[str, object]:
     return {"socket_path": endpoint}
 
 
+# ------------------------------------------------------------ circuit breaker
+class CircuitBreaker:
+    """Per-slot endpoint health: closed → open → half-open → closed.
+
+    *Closed* (healthy): every dispatch is allowed; ``threshold``
+    consecutive failures trip the breaker *open*. *Open*: no dispatches
+    for an escalating cooldown (``cooldown_s * 2**(opens-1)``, capped at
+    16×), after which the breaker goes *half-open* and admits exactly one
+    probe shard. A probe success closes the breaker — the seat rejoins
+    the fleet; a probe failure re-opens it with a longer cooldown. A
+    breaker that has opened ``max_opens`` times is :attr:`exhausted`:
+    the endpoint is dead, not flaky, and its seat retires.
+
+    Not thread-safe by design: each fleet slot owns one breaker and only
+    its own driver thread touches it.
+    """
+
+    def __init__(self, threshold: int = 3, cooldown_s: float = 0.25,
+                 max_opens: int = 5) -> None:
+        self.threshold = max(1, int(threshold))
+        self.cooldown_s = max(0.0, float(cooldown_s))
+        self.max_opens = max(1, int(max_opens))
+        self.state = "closed"
+        #: consecutive failures while closed (reset on success or trip)
+        self.failures = 0
+        #: lifetime count of closed/half-open → open transitions
+        self.opens = 0
+        self._opened_at = 0.0
+        self._probe_out = False
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the breaker has opened ``max_opens`` times: give up."""
+        return self.opens >= self.max_opens
+
+    def _cooldown(self) -> float:
+        return self.cooldown_s * (2 ** min(self.opens - 1, 4))
+
+    def allow(self) -> bool:
+        """May this slot take a shard right now? An open breaker whose
+        cooldown has elapsed transitions to half-open and grants the one
+        probe; a half-open breaker with its probe already out refuses."""
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            if time.monotonic() - self._opened_at < self._cooldown():
+                return False
+            self.state = "half-open"
+            self._probe_out = True
+            return True
+        if self._probe_out:
+            return False
+        self._probe_out = True
+        return True
+
+    def release_probe(self) -> None:
+        """Return an unused probe permission (``allow`` granted but no
+        shard was available to dispatch)."""
+        if self.state == "half-open":
+            self._probe_out = False
+
+    def record_success(self) -> bool:
+        """A dispatch completed. Returns True when this success *rejoined*
+        the seat (the breaker was not closed — a probe came back alive)."""
+        rejoined = self.state != "closed"
+        self.state = "closed"
+        self.failures = 0
+        self._probe_out = False
+        return rejoined
+
+    def record_failure(self) -> bool:
+        """A dispatch failed at the transport (worker start, remote I/O,
+        remote deadline). Returns True when this failure *opened* the
+        breaker (so the caller can count opens and check exhaustion)."""
+        if self.state == "open":
+            return False
+        if self.state == "half-open":
+            self._probe_out = False
+            self._trip()
+            return True
+        self.failures += 1
+        if self.failures >= self.threshold:
+            self._trip()
+            return True
+        return False
+
+    def _trip(self) -> None:
+        self.state = "open"
+        self.opens += 1
+        self.failures = 0
+        self._opened_at = time.monotonic()
+
+
 # ----------------------------------------------------------------- coordinator
 @dataclasses.dataclass(frozen=True)
 class FleetTelemetry:
@@ -264,6 +367,8 @@ class FleetTelemetry:
     resizes: int
     results_streamed: int
     duplicates: int
+    breaker_opens: int = 0
+    breaker_rejoins: int = 0
 
     def summary(self) -> str:
         out = (
@@ -280,6 +385,11 @@ class FleetTelemetry:
             out += f"; {self.steals} shard(s) work-stolen ({self.duplicates} duplicate trial(s))"
         if self.resizes:
             out += f"; {self.resizes} mid-sweep resize(s)"
+        if self.breaker_opens:
+            out += (
+                f"; {self.breaker_opens} circuit-breaker open(s), "
+                f"{self.breaker_rejoins} rejoin(s)"
+            )
         return out
 
 
@@ -312,12 +422,13 @@ class _Slot:
     """One fleet seat: a driver thread plus the worker it manages."""
 
     def __init__(self, slot_id: int, factory: Callable[[], object],
-                 remote: bool = False) -> None:
+                 remote: bool = False,
+                 breaker: Optional[CircuitBreaker] = None) -> None:
         self.slot_id = slot_id
         self.factory = factory
         self.remote = remote
         self.retired = False
-        self.start_failures = 0
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
         self.thread: Optional[threading.Thread] = None
 
 
@@ -347,6 +458,10 @@ class FleetCoordinator:
     steal:
         Allow idle slots to clone the unmeasured remainder of an in-flight
         shard (first result wins; duplicates are identical by determinism).
+    breaker_threshold / breaker_cooldown_s / breaker_max_opens:
+        Per-slot :class:`CircuitBreaker` tuning — consecutive transport
+        failures before the slot stops taking shards, base cooldown before
+        its half-open probe, and opens before the seat retires for good.
     """
 
     def __init__(
@@ -363,6 +478,9 @@ class FleetCoordinator:
         steal: bool = True,
         trial_retries: int = 2,
         remote_timeout: float = 600.0,
+        breaker_threshold: int = 3,
+        breaker_cooldown_s: float = 0.25,
+        breaker_max_opens: int = 5,
     ) -> None:
         self.spec = spec
         self.configs = list(configs)
@@ -373,6 +491,9 @@ class FleetCoordinator:
         self.steal = steal
         self.trial_retries = trial_retries
         self.remote_timeout = remote_timeout
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown_s = breaker_cooldown_s
+        self.breaker_max_opens = breaker_max_opens
         self._initial_workers = max(0, int(workers))
         if self._initial_workers + len(self.endpoints) < 1:
             raise ValueError("a fleet needs at least one local or remote worker")
@@ -404,6 +525,8 @@ class FleetCoordinator:
         self._streamed = 0
         self._duplicates = 0
         self._peak = 0
+        self._breaker_opens = 0
+        self._breaker_rejoins = 0
 
     # ------------------------------------------------------------- public api
     def run(self, on_result: Optional[ResultSink] = None) -> FleetResult:
@@ -473,7 +596,14 @@ class FleetCoordinator:
 
     def _add_slot_locked(self, factory: Callable[[], object],
                          remote: bool = False) -> None:
-        slot = _Slot(self._next_slot, factory, remote=remote)
+        slot = _Slot(
+            self._next_slot, factory, remote=remote,
+            breaker=CircuitBreaker(
+                threshold=self.breaker_threshold,
+                cooldown_s=self.breaker_cooldown_s,
+                max_opens=self.breaker_max_opens,
+            ),
+        )
         self._next_slot += 1
         self._slots.append(slot)
         active = sum(1 for s in self._slots if not s.retired)
@@ -498,8 +628,14 @@ class FleetCoordinator:
                     while shard is None:
                         if self._done or self._failure is not None or slot.retired:
                             return
+                        if not slot.breaker.allow():
+                            # Open breaker: sit out the cooldown without
+                            # touching the queue.
+                            self._cond.wait(0.05)
+                            continue
                         shard = self._next_shard_locked()
                         if shard is None:
+                            slot.breaker.release_probe()
                             self._cond.wait(0.05)
                     if shard.steal_of is None:
                         self._inflight[shard.sid] = shard
@@ -511,21 +647,12 @@ class FleetCoordinator:
                     except Exception:
                         # The slot cannot get a worker (e.g. its endpoint is
                         # down). Hand the shard back untouched — this is not
-                        # the shard's fault — and retire the seat after
-                        # repeated failures so a dead endpoint cannot stall
-                        # the sweep.
+                        # the shard's fault — and feed the breaker so a dead
+                        # endpoint backs off instead of stalling the sweep
+                        # (and retires for good once the breaker exhausts).
                         worker = None
                         with self._cond:
-                            slot.start_failures += 1
-                            if slot.start_failures >= 3:
-                                slot.retired = True
-                                if not any(
-                                    not s.retired for s in self._slots
-                                ) and self._failure is None:
-                                    self._failure = WorkerCrash(
-                                        "every fleet slot is gone (workers "
-                                        "unreachable); sweep cannot proceed"
-                                    )
+                            self._breaker_failure_locked(slot)
                             self._requeue_unchanged_locked(shard)
                             self._cond.notify_all()
                         time.sleep(0.05)
@@ -548,6 +675,13 @@ class FleetCoordinator:
                     if self._over():
                         self._finish(shard)
                         return
+                    if slot.remote:
+                        # Remote transport/deadline failure: the endpoint is
+                        # sick, not the shard. Local mid-shard deaths stay
+                        # out of the breaker — they are the chaos suite's
+                        # injected faults, recovered by requeue alone.
+                        with self._cond:
+                            self._breaker_failure_locked(slot)
                     self._abandon(shard, death=True, error=e)
                     if worker is not None:
                         try:
@@ -555,7 +689,9 @@ class FleetCoordinator:
                         finally:
                             worker = None
                 else:
-                    slot.start_failures = 0
+                    if slot.breaker.record_success():
+                        with self._cond:
+                            self._breaker_rejoins += 1
                     self._finish(shard)
         except BaseException as e:  # never die silently: fail the sweep
             with self._cond:
@@ -565,6 +701,22 @@ class FleetCoordinator:
         finally:
             if worker is not None:
                 worker.stop()
+
+    def _breaker_failure_locked(self, slot: _Slot) -> None:
+        """Feed one transport failure into ``slot``'s breaker; when the
+        breaker exhausts, the seat retires — and when every seat is gone,
+        the sweep aborts rather than hangs."""
+        if slot.breaker.record_failure():
+            self._breaker_opens += 1
+            if slot.breaker.exhausted:
+                slot.retired = True
+                if not any(
+                    not s.retired for s in self._slots
+                ) and self._failure is None:
+                    self._failure = WorkerCrash(
+                        "every fleet slot is gone (workers "
+                        "unreachable); sweep cannot proceed"
+                    )
 
     def _requeue_unchanged_locked(self, shard: _Shard) -> None:
         """Give a shard back exactly as dispatched (no attempt consumed)."""
@@ -670,6 +822,8 @@ class FleetCoordinator:
             resizes=self._resizes,
             results_streamed=self._streamed,
             duplicates=self._duplicates,
+            breaker_opens=self._breaker_opens,
+            breaker_rejoins=self._breaker_rejoins,
         )
 
 
@@ -683,6 +837,9 @@ def fleet_sweep(
     endpoints: Sequence[str] = (),
     shard_size: Optional[int] = None,
     steal: bool = True,
+    breaker_threshold: int = 3,
+    breaker_cooldown_s: float = 0.25,
+    breaker_max_opens: int = 5,
     coordinator: Optional[FleetCoordinator] = None,
 ) -> Tuple[List[float], FleetTelemetry]:
     """Sweep ``space`` over a worker fleet, committing every result into
@@ -725,6 +882,9 @@ def fleet_sweep(
             shard_size=shard_size,
             steal=steal,
             trial_retries=measurer.retries,
+            breaker_threshold=breaker_threshold,
+            breaker_cooldown_s=breaker_cooldown_s,
+            breaker_max_opens=breaker_max_opens,
         )
 
     def record(pos: int, latency: float, persist: bool) -> None:

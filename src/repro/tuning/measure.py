@@ -34,7 +34,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from .. import faults
 from ..codegen import lower
 from ..core import profiling
-from ..core.errors import CompileError, MeasurementTimeout, ReproError, WorkerCrash
+from ..core.errors import (
+    CompileError,
+    DeadlineExceededError,
+    MeasurementTimeout,
+    ReproError,
+    WorkerCrash,
+)
 from ..gpusim.config import A100, GpuSpec
 from ..gpusim.engine import simulate_kernel
 from ..gpusim.spec import extract_timing_spec
@@ -71,6 +77,8 @@ class MeasureTelemetry:
     n_pruned: int = 0
     #: accumulated (stage, seconds) compile-path breakdown, canonical order
     stage_time_s: Tuple[Tuple[str, float], ...] = ()
+    #: disk-cache write failures absorbed by degrading to memory-only
+    disk_errors: int = 0
 
     @property
     def n_measured(self) -> int:
@@ -260,6 +268,7 @@ class Measurer:
             n_quarantined=len(self.quarantined),
             n_pruned=self.n_pruned,
             stage_time_s=tuple(self.stage_times.ordered()),
+            disk_errors=self.cache.disk_errors if self.cache is not None else 0,
         )
 
     def _key(self, spec: GemmSpec, cfg: TileConfig) -> Tuple:
@@ -393,9 +402,21 @@ class Measurer:
             self.quarantined.add(key)
         self._record(key, spec, cfg, FAILED, persist=False)
 
+    @staticmethod
+    def _deadline_check(deadline: Optional[float], spec: GemmSpec, done: int,
+                        total: int) -> None:
+        """Raise :class:`DeadlineExceededError` when ``deadline`` (absolute
+        ``time.monotonic``) has passed. Results already committed stay in
+        the caches, so a retry of the same request resumes warm."""
+        if deadline is not None and time.monotonic() >= deadline:
+            raise DeadlineExceededError(
+                f"sweep of {spec.name} ran out of its deadline after "
+                f"{done}/{total} uncached trials; committed results are kept"
+            )
+
     # ----------------------------------------------------------------- pool
     def _run_pool(self, spec: GemmSpec, tasks: List[Tuple[Tuple, TileConfig]],
-                  width: int) -> None:
+                  width: int, sweep_deadline: Optional[float] = None) -> None:
         """Fault-tolerant worker pool: one process per trial attempt,
         per-future deadlines, crash recovery with retry/backoff, quarantine
         for repeat offenders. A dead or hung worker affects exactly its own
@@ -452,6 +473,17 @@ class Measurer:
 
         try:
             while queue or running:
+                if sweep_deadline is not None and time.monotonic() >= sweep_deadline:
+                    # Put every in-flight worker down (same escalation as a
+                    # Ctrl-C) before aborting: a deadline must never leak a
+                    # child process. Committed trials stay cached.
+                    for proc, *_ in running.values():
+                        proc.terminate()
+                    for proc, conn, *_ in running.values():
+                        put_down(proc, conn)
+                    done = len(tasks) - len(queue) - len(running)
+                    running.clear()
+                    self._deadline_check(sweep_deadline, spec, done, len(tasks))
                 now = time.monotonic()
                 while len(running) < width:
                     item = pop_ready(now)
@@ -551,7 +583,8 @@ class Measurer:
         return self.measure_many(spec, [cfg])[0]
 
     def measure_many(
-        self, spec: GemmSpec, cfgs: Sequence[TileConfig], jobs: Optional[int] = None
+        self, spec: GemmSpec, cfgs: Sequence[TileConfig], jobs: Optional[int] = None,
+        deadline: Optional[float] = None,
     ) -> List[float]:
         """Measure a batch; fans out over worker processes.
 
@@ -561,6 +594,12 @@ class Measurer:
         are answered in-process; only distinct uncached configs reach the
         pool. Results (and cache writes) are merged in input order, so the
         output is identical to the serial path bit for bit.
+
+        ``deadline`` (absolute ``time.monotonic`` seconds) aborts the batch
+        cleanly with :class:`DeadlineExceededError` once passed: in-flight
+        workers are put down, committed results stay cached. The serving
+        daemon uses this to stop burning a worker thread on a request whose
+        client budget has already expired.
         """
         width = self.jobs if jobs is None else max(1, int(jobs))
         results: Dict[int, float] = {}
@@ -579,10 +618,11 @@ class Measurer:
             order.append((key, cfg))
         if order:
             if width <= 1 and self.trial_timeout_s is None:
-                for key, cfg in order:
+                for done, (key, cfg) in enumerate(order):
+                    self._deadline_check(deadline, spec, done, len(order))
                     self._measure_with_recovery(spec, cfg, key)
             else:
-                self._run_pool(spec, order, width)
+                self._run_pool(spec, order, width, sweep_deadline=deadline)
             for key, _ in order:
                 for i in pending[key]:
                     results[i] = self._cache[key]
@@ -594,6 +634,7 @@ class Measurer:
         space: Sequence[TileConfig],
         jobs: Optional[int] = None,
         prune_ratio: Optional[float] = None,
+        deadline: Optional[float] = None,
     ) -> List[float]:
         """Measure every config; failed builds yield :data:`FAILED`.
 
@@ -608,16 +649,17 @@ class Measurer:
         """
         space = list(space)
         if not prune_ratio:
-            return self.measure_many(spec, space, jobs=jobs)
+            return self.measure_many(spec, space, jobs=jobs, deadline=deadline)
         kept, stats = prune_space(spec, space, self.gpu, prune_ratio)
         with self._lock:
             self.n_pruned += stats.n_total - stats.n_kept
             self.last_prune_stats = stats
-        kept_latency = self.measure_many(spec, kept, jobs=jobs)
+        kept_latency = self.measure_many(spec, kept, jobs=jobs, deadline=deadline)
         by_key = {cfg.key(): lat for cfg, lat in zip(kept, kept_latency)}
         return [by_key.get(cfg.key(), FAILED) for cfg in space]
 
-    def best(self, spec: GemmSpec, space: Sequence[TileConfig]) -> Tuple[TileConfig, float]:
+    def best(self, spec: GemmSpec, space: Sequence[TileConfig],
+             deadline: Optional[float] = None) -> Tuple[TileConfig, float]:
         """Exhaustive-search optimum over ``space``."""
         space = list(space)
         if not space:
@@ -625,7 +667,7 @@ class Measurer:
                 f"cannot search an empty design space for {spec.name}: every "
                 "candidate was removed by the variant/space restrictions"
             )
-        latencies = self.sweep(spec, space)
+        latencies = self.sweep(spec, space, deadline=deadline)
         idx = min(range(len(space)), key=lambda i: latencies[i])
         if latencies[idx] == FAILED:
             raise CompileError(f"no configuration in the space compiles for {spec.name}")

@@ -30,8 +30,10 @@ import json
 import math
 import os
 import pathlib
+import warnings
 from typing import Dict, List, Tuple, Union
 
+from .. import faults
 from ..schedule.config import TileConfig
 from ..tensor.operation import GemmSpec
 
@@ -67,6 +69,11 @@ class TuneSession:
         self._trials: List[Tuple[TileConfig, float]] = []
         self._seen: set = set()
         self._journal_f = None
+        #: journal writes absorbed by degrading to memory-only operation
+        self.disk_errors = 0
+        #: True once a disk failure stopped journalling (trials stay in
+        #: memory; the run continues, it just loses crash-resumability)
+        self.degraded = False
         #: whether the session directory has been fsynced since the
         #: journal file was (re)created, making the file's *existence*
         #: durable, not just its contents.
@@ -153,20 +160,38 @@ class TuneSession:
         self._trials.append((cfg, latency_us))
         return True
 
+    def _note_disk_error(self, exc: OSError) -> None:
+        """Stop journalling: warn once, count every occurrence. The trial
+        itself is already remembered in memory, so tuning continues — the
+        run just loses crash-resumability from this point on."""
+        self.disk_errors += 1
+        if not self.degraded:
+            self.degraded = True
+            warnings.warn(
+                f"session journal at {self.path} is unwritable ({exc}); "
+                "continuing memory-only — trials from here on cannot be "
+                "replayed by --resume after a crash",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        if self._journal_f is not None:
+            try:
+                self._journal_f.close()
+            except OSError:
+                pass
+            self._journal_f = None
+
     def log_trial(self, cfg: TileConfig, latency_us: float) -> None:
         """Durably append one trial. The line is flushed *and* fsynced
         before returning, so a crash immediately after a measurement never
         loses it. Re-logging an already-journalled config is a no-op (the
-        replayed prefix of a resumed run)."""
+        replayed prefix of a resumed run). A journal hitting ``OSError``
+        (ENOSPC, EIO) degrades to memory-only instead of killing the run.
+        """
         if not self._remember(cfg, latency_us):
             return
-        if self._journal_f is None:
-            journal = self.path / JOURNAL_FILE
-            # An append that *creates* the file needs a directory fsync or
-            # the just-created journal (fsynced contents and all) can
-            # vanish with its directory entry after a crash + power loss.
-            self._dir_synced = journal.exists()
-            self._journal_f = open(journal, "a")
+        if self.degraded:
+            return
         line = json.dumps(
             {
                 "trial": len(self._trials) - 1,
@@ -175,9 +200,21 @@ class TuneSession:
             },
             sort_keys=True,
         )
-        self._journal_f.write(line + "\n")
-        self._journal_f.flush()
-        os.fsync(self._journal_f.fileno())
+        try:
+            faults.inject("disk", token=f"journal:{self.path.name}", kinds=("crash",))
+            if self._journal_f is None:
+                journal = self.path / JOURNAL_FILE
+                # An append that *creates* the file needs a directory fsync
+                # or the just-created journal (fsynced contents and all) can
+                # vanish with its directory entry after a crash + power loss.
+                self._dir_synced = journal.exists()
+                self._journal_f = open(journal, "a")
+            self._journal_f.write(line + "\n")
+            self._journal_f.flush()
+            os.fsync(self._journal_f.fileno())
+        except OSError as e:
+            self._note_disk_error(e)
+            return
         if not self._dir_synced:
             _fsync_dir(self.path)
             self._dir_synced = True

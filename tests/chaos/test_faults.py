@@ -149,3 +149,63 @@ class TestActivation:
                 with pytest.raises(SimulationError):
                     faults.inject("simulate")
             faults.inject("simulate")  # token popped again
+
+
+class TestDelayKind:
+    def test_delay_sleeps_then_proceeds(self):
+        import time
+
+        rule = faults.FaultRule("registry", "delay", delay_s=0.05, jitter=0.0)
+        with faults.injected(faults.FaultPlan([rule])):
+            t0 = time.perf_counter()
+            faults.inject("registry", token="get:k")  # must NOT raise
+            elapsed = time.perf_counter() - t0
+        assert elapsed >= 0.045, "delay rule must actually sleep"
+
+    def test_jitter_is_deterministic_per_event(self):
+        rule = faults.FaultRule("registry", "delay", delay_s=0.1, jitter=0.5)
+        a = faults._delay_seconds(rule, 7, "registry", "get:k1")
+        b = faults._delay_seconds(rule, 7, "registry", "get:k1")
+        assert a == b, "same (seed, site, token) must give the same delay"
+
+    def test_jitter_stays_within_bounds_and_varies(self):
+        rule = faults.FaultRule("registry", "delay", delay_s=0.1, jitter=0.5)
+        delays = [
+            faults._delay_seconds(rule, 7, "registry", f"get:k{i}")
+            for i in range(16)
+        ]
+        assert all(0.05 <= d <= 0.15 for d in delays), delays
+        assert len(set(delays)) > 1, "jitter must vary across events"
+
+    def test_zero_jitter_is_exact(self):
+        rule = faults.FaultRule("registry", "delay", delay_s=0.07, jitter=0.0)
+        assert faults._delay_seconds(rule, 1, "registry", "t") == 0.07
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError, match="delay_s"):
+            faults.FaultRule("registry", "delay", delay_s=-0.1)
+
+    def test_jitter_bounds_rejected(self):
+        with pytest.raises(ValueError, match="jitter"):
+            faults.FaultRule("registry", "delay", jitter=1.5)
+
+
+class TestDiskSite:
+    def test_disk_crash_raises_real_oserror_not_fault_injected(self):
+        """The degrade-to-memory recovery paths catch OSError — the disk
+        site must raise exactly what a full disk raises."""
+        import errno
+
+        with faults.injected(faults.FaultPlan([faults.FaultRule("disk", "crash")])):
+            with pytest.raises(OSError) as ei:
+                faults.inject("disk", token="cache:k", kinds=("crash",))
+        assert not isinstance(ei.value, FaultInjected)
+        assert ei.value.errno == errno.ENOSPC
+        assert "cache:k" in str(ei.value)
+
+    def test_disk_site_respects_match(self):
+        rule = faults.FaultRule("disk", "crash", match="journal:")
+        with faults.injected(faults.FaultPlan([rule])):
+            faults.inject("disk", token="cache:k", kinds=("crash",))  # no match
+            with pytest.raises(OSError):
+                faults.inject("disk", token="journal:session.jsonl", kinds=("crash",))

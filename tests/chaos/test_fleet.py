@@ -430,3 +430,147 @@ class TestPlumbing:
                 break
             time.sleep(0.05)
         assert not alive, f"fleet leaked worker processes: {alive}"
+
+
+class TestCircuitBreaker:
+    """State machine of the per-slot endpoint breaker: closed -> open on
+    consecutive failures, half-open probe after an escalating cooldown,
+    closed again on probe success, exhausted after too many opens."""
+
+    def _make(self, **kwargs):
+        from repro.tuning.fleet import CircuitBreaker
+
+        defaults = dict(threshold=3, cooldown_s=0.05, max_opens=5)
+        defaults.update(kwargs)
+        return CircuitBreaker(**defaults)
+
+    def test_starts_closed_and_admits(self):
+        breaker = self._make()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_failures_below_threshold_stay_closed(self):
+        breaker = self._make(threshold=3)
+        assert not breaker.record_failure()
+        assert not breaker.record_failure()
+        assert breaker.state == "closed" and breaker.allow()
+
+    def test_threshold_consecutive_failures_trip_open(self):
+        breaker = self._make(threshold=3)
+        opened = [breaker.record_failure() for _ in range(3)]
+        assert opened == [False, False, True]
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker = self._make(threshold=2)
+        breaker.record_failure()
+        assert not breaker.record_success()  # closed stays closed: no rejoin
+        breaker.record_failure()
+        assert breaker.state == "closed", "non-consecutive failures must not trip"
+
+    def test_cooldown_admits_exactly_one_probe(self):
+        import time
+
+        breaker = self._make(threshold=1, cooldown_s=0.05)
+        breaker.record_failure()
+        assert not breaker.allow()
+        time.sleep(0.06)
+        assert breaker.allow(), "cooldown elapsed: one probe admitted"
+        assert breaker.state == "half-open"
+        assert not breaker.allow(), "the probe is out; no second dispatch"
+
+    def test_probe_success_closes_and_counts_a_rejoin(self):
+        import time
+
+        breaker = self._make(threshold=1, cooldown_s=0.01)
+        breaker.record_failure()
+        time.sleep(0.02)
+        assert breaker.allow()
+        assert breaker.record_success() is True  # a genuine rejoin
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_with_escalating_cooldown(self):
+        import time
+
+        breaker = self._make(threshold=1, cooldown_s=0.01)
+        breaker.record_failure()
+        assert breaker._cooldown() == pytest.approx(0.01)
+        time.sleep(0.02)
+        assert breaker.allow()
+        assert breaker.record_failure()  # the probe died: straight back open
+        assert breaker.state == "open" and breaker.opens == 2
+        assert breaker._cooldown() == pytest.approx(0.02)
+
+    def test_cooldown_escalation_is_capped_at_16x(self):
+        breaker = self._make(threshold=1, cooldown_s=0.01, max_opens=100)
+        for _ in range(10):
+            breaker.state = "half-open"
+            breaker.record_failure()
+        assert breaker._cooldown() == pytest.approx(0.01 * 16)
+
+    def test_exhausted_after_max_opens(self):
+        breaker = self._make(threshold=1, max_opens=2)
+        breaker.record_failure()
+        assert not breaker.exhausted
+        breaker.state = "half-open"
+        breaker.record_failure()
+        assert breaker.exhausted
+
+    def test_release_probe_returns_the_slot_without_a_verdict(self):
+        import time
+
+        breaker = self._make(threshold=1, cooldown_s=0.01)
+        breaker.record_failure()
+        time.sleep(0.02)
+        assert breaker.allow()
+        breaker.release_probe()  # nothing to probe with; hand the slot back
+        assert breaker.allow(), "released probe slot must be reusable"
+
+    def test_failures_while_open_do_not_double_count(self):
+        breaker = self._make(threshold=1)
+        assert breaker.record_failure()
+        assert breaker.record_failure() is False
+        assert breaker.opens == 1
+
+
+class TestCircuitBreakerRejoin:
+    def test_late_daemon_rejoins_after_breaker_opens(self, tmp_path, space, serial):
+        """A remote-only fleet against an endpoint whose daemon boots late:
+        the breaker opens on the connect-refused storm, a half-open probe
+        finds the recovered daemon, the seat rejoins, and the merged sweep
+        is bitwise-identical to serial."""
+        import time
+
+        from repro.serve.server import ReproServer
+
+        sock = str(tmp_path / "late.sock")
+        coord = FleetCoordinator(
+            SPEC, space, gpu=A100, via_ir=False, workers=0,
+            endpoints=(sock,), shard_size=2,
+            breaker_cooldown_s=0.1, breaker_max_opens=1000,
+        )
+        started = {}
+
+        def boot():
+            time.sleep(0.8)
+            server = ReproServer(socket_path=sock, via_ir=False, workers=2)
+            server.start()
+            started["server"] = server
+
+        booter = threading.Thread(target=boot)
+        booter.start()
+        try:
+            result = coord.run()
+        finally:
+            booter.join()
+            server = started.get("server")
+            if server is not None:
+                server.stop()
+                server.shutdown(timeout=10)
+        assert result.latencies == serial
+        tel = result.telemetry
+        assert tel.breaker_opens >= 1, "the dead endpoint never tripped its breaker"
+        assert tel.breaker_rejoins >= 1, "the recovered endpoint never rejoined"
+        assert "circuit-breaker" in tel.summary()

@@ -1,0 +1,149 @@
+"""Overload chaos: sustained 4x traffic with injected service delays.
+
+The acceptance criterion for the overload-resilience layer: a daemon
+offered Poisson traffic at four times its capacity, with a ``delay``
+fault stretching every registry read, must **shed rather than hang** —
+every request gets an answer (success or a typed error envelope), no
+worker thread dies, and after the storm the warm path still serves
+``served_from == "registry"``.
+"""
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro import faults
+from repro.core.errors import (
+    DeadlineExceededError,
+    OverloadedError,
+    ServeError,
+)
+from repro.serve.client import ServeClient
+from repro.serve.registry import ArtifactRegistry
+from repro.serve.server import ReproServer
+
+SEED = 0xC4A05
+#: Injected per-request service delay at the registry read (seconds).
+DELAY_S = 0.03
+WORKERS = 2
+MAX_QUEUE = 4
+N_REQUESTS = 40
+#: Offered load: 4x the daemon's estimated capacity (workers / delay).
+OVERLOAD_MULT = 4.0
+DEADLINE_S = 5.0
+CLIENT_TIMEOUT_S = 30.0
+
+PROBLEM = {"m": 128, "n": 128, "k": 128}
+
+
+@pytest.fixture
+def delayed_server(tmp_path):
+    server = ReproServer(
+        socket_path=str(tmp_path / "soak.sock"),
+        registry=ArtifactRegistry(tmp_path / "reg"),
+        workers=WORKERS,
+        max_queue=MAX_QUEUE,
+        default_space=16,
+    )
+    server.start()
+    try:
+        yield server
+    finally:
+        server.stop()
+        server.shutdown(timeout=30)
+
+
+def _storm(server, n_requests, rate_rps, rng):
+    """Offer ``n_requests`` warm compiles at Poisson rate ``rate_rps``;
+    classify every outcome. A client-timeout is a hang — the one thing
+    the daemon must never do."""
+    offsets, t = [], 0.0
+    for _ in range(n_requests):
+        t += rng.expovariate(rate_rps)
+        offsets.append(t)
+
+    lock = threading.Lock()
+    outcomes = {"ok": 0, "shed": 0, "deadline": 0, "error": 0, "hang": 0}
+
+    def one(offset, t_start):
+        wait = t_start + offset - time.perf_counter()
+        if wait > 0:
+            time.sleep(wait)
+        client = ServeClient(
+            socket_path=server.socket_path,
+            timeout=CLIENT_TIMEOUT_S,
+            deadline_s=DEADLINE_S,
+        )
+        try:
+            result = client.compile(**PROBLEM)
+            with lock:
+                outcomes["ok"] += 1
+                assert result["served_from"] == "registry"
+        except OverloadedError:
+            with lock:
+                outcomes["shed"] += 1
+        except DeadlineExceededError:
+            with lock:
+                outcomes["deadline"] += 1
+        except ServeError as e:
+            with lock:
+                outcomes["hang" if "timed out" in str(e) else "error"] += 1
+
+    t_start = time.perf_counter()
+    threads = [
+        threading.Thread(target=one, args=(off, t_start)) for off in offsets
+    ]
+    for th in threads:
+        th.start()
+    for th in threads:
+        th.join()
+    return outcomes
+
+
+class TestSustainedOverload:
+    def test_4x_load_sheds_not_hangs(self, delayed_server):
+        server = delayed_server
+        client = ServeClient(socket_path=server.socket_path, timeout=600)
+        assert client.wait_until_ready(timeout=30)
+        # Warm the soak shape before the delay fault goes live, so every
+        # storm request is a registry hit with a known service time.
+        warmup = client.tune(**PROBLEM)
+        assert warmup["served_from"] == "fresh"
+
+        rng = random.Random(SEED)
+        plan = faults.FaultPlan(
+            [faults.FaultRule("registry", "delay", match="get:",
+                              delay_s=DELAY_S, jitter=0.5)],
+            seed=SEED,
+        )
+        with faults.injected(plan):
+            rate = OVERLOAD_MULT * WORKERS / DELAY_S
+            outcomes = _storm(server, N_REQUESTS, rate, rng)
+
+        # Every request answered: success or a typed envelope, never a hang
+        # or an unclassified transport death.
+        assert outcomes["hang"] == 0, outcomes
+        assert outcomes["error"] == 0, outcomes
+        answered = sum(outcomes.values())
+        assert answered == N_REQUESTS, outcomes
+        # 4x sustained load must actually engage admission control, yet the
+        # daemon keeps serving — degraded, not collapsed.
+        assert outcomes["shed"] > 0, outcomes
+        assert outcomes["ok"] > 0, outcomes
+        assert server.counters["requests_shed"] >= outcomes["shed"]
+
+        # No worker thread died in the storm.
+        alive = [
+            t for t in server._threads
+            if t.name.startswith("repro-serve-worker") and t.is_alive()
+        ]
+        assert len(alive) == WORKERS
+
+        # Post-storm the daemon is whole: healthy and the warm path intact.
+        health = client.health()
+        assert health["state"] == "ready"
+        post = client.compile(**PROBLEM)
+        assert post["served_from"] == "registry"
+        assert post["stages"] == {}

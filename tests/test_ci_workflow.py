@@ -23,7 +23,7 @@ def test_workflow_parses_and_has_expected_jobs(workflow):
     assert workflow["name"] == "CI"
     assert set(workflow["jobs"]) == {
         "lint", "tests", "sync-safety", "bench-smoke", "chaos", "serve-smoke",
-        "fleet-smoke",
+        "fleet-smoke", "soak-smoke",
     }
 
 
@@ -184,6 +184,44 @@ class TestFleetSmokeJob:
         ]
         assert len(uploads) == 1
         assert uploads[0]["with"]["path"] == "fleet-throughput.json"
+
+
+class TestSoakSmokeJob:
+    """The soak-smoke job is the executable acceptance criterion for
+    overload resilience: a short Poisson-traffic soak with injected delay
+    faults must shed (not hang), answer every request, kill no worker
+    thread, and leave the warm registry path intact."""
+
+    def test_runs_overload_soak_in_smoke_mode(self, workflow):
+        cmds = job_commands(workflow["jobs"]["soak-smoke"])
+        soak = [c for c in cmds if "bench_overload.py" in c]
+        assert len(soak) == 1, "soak-smoke must run the overload soak once"
+        assert "--smoke" in soak[0]
+        assert "--out overload.json" in soak[0]
+
+    def test_asserts_overload_invariants(self, workflow):
+        cmds = "\n".join(job_commands(workflow["jobs"]["soak-smoke"]))
+        assert 'r["workers_alive"] == r["workers"]' in cmds, (
+            "must assert zero worker deaths"
+        )
+        assert 'r["levels"][-1]["shed"] > 0' in cmds, (
+            "must assert overload actually shed"
+        )
+        assert 'lv["hang"] == 0' in cmds, "must assert no request hung"
+        assert 'lv["answered"] == lv["requests"]' in cmds, (
+            "must assert every request was answered"
+        )
+        assert 'r["post_soak_served_from"] == "registry"' in cmds, (
+            "must assert the warm path survived the soak"
+        )
+
+    def test_uploads_overload_artifact(self, workflow):
+        uploads = [
+            s for s in workflow["jobs"]["soak-smoke"]["steps"]
+            if "upload-artifact" in s.get("uses", "")
+        ]
+        assert len(uploads) == 1
+        assert uploads[0]["with"]["path"] == "overload.json"
 
 
 def test_bench_smoke_records_compile_throughput(workflow):

@@ -171,9 +171,15 @@ class TestServeParser:
         assert args.workers is None and args.space is None
 
     def test_serve_defaults_mirror_server_constants(self):
-        from repro.cli import _SERVE_IDLE_TIMEOUT, _SERVE_SPACE, _SERVE_WORKERS
+        from repro.cli import (
+            _SERVE_IDLE_TIMEOUT,
+            _SERVE_MAX_QUEUE,
+            _SERVE_SPACE,
+            _SERVE_WORKERS,
+        )
         from repro.serve.server import (
             DEFAULT_IDLE_TIMEOUT,
+            DEFAULT_MAX_QUEUE,
             DEFAULT_SPACE,
             DEFAULT_WORKERS,
         )
@@ -181,15 +187,22 @@ class TestServeParser:
         assert _SERVE_WORKERS == DEFAULT_WORKERS
         assert _SERVE_SPACE == DEFAULT_SPACE
         assert _SERVE_IDLE_TIMEOUT == DEFAULT_IDLE_TIMEOUT
+        assert _SERVE_MAX_QUEUE == DEFAULT_MAX_QUEUE
 
     def test_serve_requires_an_endpoint(self, capsys):
         assert main(["serve"]) == 2
         assert "--socket" in capsys.readouterr().err
 
     def test_client_actions(self):
-        for action in ("compile", "tune", "status", "stop", "ping"):
+        for action in ("compile", "tune", "status", "health", "stop", "ping"):
             args = build_parser().parse_args(["client", action, "--socket", "/tmp/d.sock"])
             assert args.action == action
+
+    def test_client_overload_flags(self):
+        args = build_parser().parse_args(
+            ["client", "ping", "--socket", "/tmp/d.sock",
+             "--deadline", "2.5", "--retries", "3"])
+        assert args.deadline == 2.5 and args.retries == 3
 
     def test_client_rejects_unknown_action(self):
         with pytest.raises(SystemExit):
