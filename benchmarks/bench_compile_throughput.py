@@ -10,7 +10,10 @@ PR by the CI artifact:
   (schedule, lower, pipelining transform, spec extraction, simulation) on
   an empty cache, with the per-stage breakdown alongside;
 * **warm configs/sec** — the same sweep answered from the measurement
-  cache.
+  cache;
+* **tracing overhead** — the same cold sweep with an active tracer and a
+  root span (so every compile stage is also recorded as a span), asserted
+  to cost < 2% of cold-sweep throughput (docs/observability.md).
 
 Runs two ways: as a pytest benchmark inside the suite, and as a plain
 script (``python benchmarks/bench_compile_throughput.py --smoke --out
@@ -32,6 +35,10 @@ RANK_MIN_CONFIGS = 2000
 #: Loose floor on the batch speedup: typically ~20x; the assert tolerates a
 #: loaded CI runner, the JSON records the exact measurement.
 RANK_SPEEDUP_FLOOR = 5.0
+#: Ceiling on the observability layer's cost on the cold compile path, in
+#: percent of cold-sweep throughput. Interleaved min-of-N runs keep the
+#: measurement stable on loaded CI runners.
+TRACING_OVERHEAD_CEILING_PCT = 2.0
 
 
 def _best_of(fn, rounds: int) -> float:
@@ -70,6 +77,57 @@ def run_experiment(quick: bool, jobs: int = 1) -> dict:
     measurer.sweep(sweep_spec, sweep_space)
     warm_s = time.perf_counter() - t0
 
+    # --- tracing-on vs tracing-off overhead guard ---------------------------
+    # A loaded CI runner's noise is second-scale (load spikes, frequency
+    # drift), so the two modes are interleaved at *chunk* granularity
+    # (~25 ms of work) with alternating order inside each round — any drift
+    # hits both modes equally instead of being misread as tracing cost.
+    # Each chunk gets a fresh Measurer, so every sweep is genuinely cold;
+    # per-round totals are compared and the best (min) round wins: noise
+    # only ever inflates the ratio, a real regression shows in every round.
+    # Rounds stop early once one lands comfortably under the ceiling, and
+    # keep going (up to six) when the runner is noisy.
+    guard_space = enumerate_space(
+        sweep_spec, A100, options=SpaceOptions(max_size=160)
+    )
+    chunks = [guard_space[i::4] for i in range(4)]
+
+    def cold_chunk_s(chunk, traced: bool) -> float:
+        from repro.obs import trace as obs_trace
+
+        m = Measurer(A100, via_ir=True, jobs=jobs)
+        if traced:
+            tracer = obs_trace.Tracer(capacity=1 << 18)
+            with obs_trace.activate(tracer, all_threads=True):
+                with obs_trace.span("bench-cold-sweep"):
+                    t0 = time.perf_counter()
+                    m.sweep(sweep_spec, chunk)
+                    return time.perf_counter() - t0
+        t0 = time.perf_counter()
+        m.sweep(sweep_spec, chunk)
+        return time.perf_counter() - t0
+
+    cold_chunk_s(chunks[0], traced=False)  # warm both code paths
+    cold_chunk_s(chunks[0], traced=True)
+    untraced_s = traced_s = float("inf")
+    overhead_pct = float("inf")
+    for _ in range(6):
+        round_off = round_on = 0.0
+        for j, chunk in enumerate(chunks):
+            order = (False, True) if j % 2 == 0 else (True, False)
+            for traced in order:
+                dt = cold_chunk_s(chunk, traced=traced)
+                if traced:
+                    round_on += dt
+                else:
+                    round_off += dt
+        pct = 100.0 * (round_on - round_off) / round_off
+        if pct < overhead_pct:
+            overhead_pct = pct
+            untraced_s, traced_s = round_off, round_on
+        if overhead_pct < TRACING_OVERHEAD_CEILING_PCT / 2:
+            break
+
     return {
         "quick": quick,
         "rank_space_size": len(rank_space),
@@ -81,6 +139,9 @@ def run_experiment(quick: bool, jobs: int = 1) -> dict:
         "cold_configs_per_s": len(sweep_space) / cold_s,
         "warm_sweep_s": warm_s,
         "warm_configs_per_s": len(sweep_space) / warm_s,
+        "untraced_cold_configs_per_s": len(guard_space) / untraced_s,
+        "traced_cold_configs_per_s": len(guard_space) / traced_s,
+        "tracing_overhead_pct": overhead_pct,
         "stage_time_s": dict(measurer.stage_times.ordered()),
     }
 
@@ -98,6 +159,11 @@ def format_table(r: dict) -> str:
         f"cold {r['cold_configs_per_s']:7.1f} configs/s, "
         f"warm {r['warm_configs_per_s']:9.1f} configs/s"
     )
+    lines.append(
+        f"tracing overhead: off {r['untraced_cold_configs_per_s']:7.1f} "
+        f"configs/s, on {r['traced_cold_configs_per_s']:7.1f} configs/s "
+        f"({r['tracing_overhead_pct']:+.2f}%)"
+    )
     lines.append("per-stage compile breakdown (cold sweep):")
     total = sum(r["stage_time_s"].values()) or 1.0
     for name, s in r["stage_time_s"].items():
@@ -114,6 +180,11 @@ def check_invariants(r: dict) -> None:
         "warm (cached) sweep should beat the cold compile path"
     )
     assert r["stage_time_s"], "cold via_ir sweep recorded no stage breakdown"
+    assert r["tracing_overhead_pct"] < TRACING_OVERHEAD_CEILING_PCT, (
+        f"tracing-on cold sweep costs {r['tracing_overhead_pct']:.2f}% "
+        f"(ceiling {TRACING_OVERHEAD_CEILING_PCT}%): the observability "
+        "layer has grown a hot-path cost"
+    )
 
 
 # ------------------------------------------------------------------ pytest

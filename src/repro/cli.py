@@ -8,7 +8,8 @@ Commands
 ``suite``     TVM-vs-ALCOP speedups over the paper's operator suite;
 ``check``     static sync-race check of pipelined IR over the workload suite;
 ``serve``     long-running compile-as-a-service daemon (docs/serving.md);
-``client``    talk to a running daemon: compile | tune | status | health | stop;
+``client``    talk to a running daemon: compile | tune | status | health |
+              metrics | stop;
 ``fleet-worker``  one remote seat of a distributed tuning fleet: a serve
               daemon tuned for the ``measure`` endpoint (docs/distributed.md).
 """
@@ -184,6 +185,7 @@ _TRIALS_DEFAULT = 50
 
 
 def _cmd_tune(args) -> int:
+    import contextlib
     import time
 
     from .tuning.record import save_history
@@ -238,6 +240,16 @@ def _cmd_tune(args) -> int:
     if session is not None and len(session):
         n = session.preload(measurer, spec)
         print(f"replaying {n} journalled trial(s) from the session")
+    tracer = None
+    trace_scope = contextlib.ExitStack()
+    if args.trace_out:
+        from .obs import trace as obs_trace
+
+        tracer = obs_trace.Tracer(capacity=262144)
+        trace_scope.enter_context(obs_trace.activate(tracer, all_threads=True))
+        trace_scope.enter_context(obs_trace.span(
+            "tune", attrs={"m": spec.m, "n": spec.n, "k": spec.k,
+                           "method": args.method, "trials": args.trials}))
     try:
         space = enumerate_space(spec, gpu, options=SpaceOptions(max_size=args.space))
         if args.fleet or args.fleet_endpoint:
@@ -262,19 +274,34 @@ def _cmd_tune(args) -> int:
         )
         on_trial = session.log_trial if session is not None else None
         history = tuner.tune(args.trials, on_trial=on_trial)
+        best_cfg = history.best_config_at(args.trials)
+        if tracer is not None and best_cfg is not None:
+            # Re-build the winning schedule under the trace so the export
+            # carries the schedule/lower/transform stage spans even when
+            # measurement went through the static timing spec.
+            from .core.compiler import AlcopCompiler
+
+            with obs_trace.span("build-best", attrs={"config": str(best_cfg)}):
+                AlcopCompiler(gpu=gpu, measurer=measurer).build(spec, best_cfg)
     except KeyboardInterrupt:
+        trace_scope.close()
         what = "tuning stopped"
         if session is not None:
             session.close()
             what += f"; resume with: repro tune --resume {session.path}"
         return _interrupted(measurer, time.perf_counter() - t0, what)
+    trace_scope.close()
+    if tracer is not None:
+        tracer.write_chrome_trace(args.trace_out)
+        print(f"trace: {len(tracer)} span(s) written to {args.trace_out}"
+              + (f" ({tracer.spans_dropped} dropped)" if tracer.spans_dropped else ""))
     print(f"space: {len(space)} schedules; exhaustive best {best:.1f} us")
     if tuner.prune_stats is not None:
         print(f"{tuner.prune_stats.summary()}")
     for k in (1, 2, 4, 8, 16, 32, args.trials):
         if k <= args.trials:
             print(f"  best-in-{k:<3d}: {history.normalized_curve([k], best)[0]:.3f}")
-    print(f"best schedule: {history.best_config_at(args.trials)}")
+    print(f"best schedule: {best_cfg}")
     _print_telemetry(measurer, time.perf_counter() - t0, profile=args.profile)
     if session is not None:
         session.close()
@@ -416,6 +443,8 @@ def _cmd_serve(args) -> int:
         default_space=space,
         idle_timeout=args.idle_timeout,
         max_queue=args.max_queue,
+        trace_dir=args.trace_dir,
+        trace_sample_rate=args.trace_sample_rate,
     )
 
     def _stop(signum, frame):
@@ -467,6 +496,8 @@ def _cmd_fleet_worker(args) -> int:
         via_ir=bool(args.via_ir),
         idle_timeout=args.idle_timeout,
         max_queue=args.max_queue,
+        trace_dir=args.trace_dir,
+        trace_sample_rate=args.trace_sample_rate,
     )
 
     def _stop(signum, frame):
@@ -557,7 +588,17 @@ def _cmd_client(args) -> int:
             }
             if args.space:
                 params["space"] = args.space
-            result = client.request(args.action, params)
+            if args.trace_out:
+                from .obs import trace as obs_trace
+
+                tracer = obs_trace.Tracer(capacity=65536)
+                with obs_trace.activate(tracer, all_threads=True):
+                    with obs_trace.span("cli"):
+                        result = client.request(args.action, params)
+                tracer.write_chrome_trace(args.trace_out)
+                print(f"trace: {len(tracer)} span(s) written to {args.trace_out}")
+            else:
+                result = client.request(args.action, params)
             if args.action == "compile" and args.out:
                 with open(args.out, "w") as f:
                     f.write(result.get("cuda_source", ""))
@@ -572,18 +613,21 @@ def _cmd_client(args) -> int:
                 m = result.get("measurer", {})
                 print(f"daemon   : pid {result.get('pid')} session {result.get('session')} "
                       f"up {result.get('uptime_s', 0):.0f}s on {result.get('gpu')}")
-                print(f"registry : {result.get('registry', {}).get('size', 0)} artifact(s), "
-                      f"{c.get('registry_hits', 0)} hit(s) / "
-                      f"{c.get('registry_misses', 0)} miss(es)")
-                print(f"tuning   : {c.get('sweeps_run', 0)} sweep(s), "
-                      f"{c.get('dedup_hits', 0)} deduped request(s), "
-                      f"{m.get('n_compiled', 0)} compile(s)")
+                print(f"registry : {result.get('registry', {}).get('size', 0)} artifact(s)")
                 print(f"queue    : depth {result.get('queue_depth', 0)}, "
                       f"{result.get('inflight', 0)} in flight, "
-                      f"{result.get('workers', 0)} worker(s)")
-                print(f"overload : {c.get('requests_shed', 0)} shed, "
-                      f"{c.get('deadline_exceeded', 0)} deadline-exceeded, "
+                      f"{result.get('workers', 0)} worker(s), "
                       f"max queue {result.get('max_queue', 0)}")
+                # Counters and measurer stats render generically so a new
+                # server counter shows up here with zero CLI changes.
+                if c:
+                    print("counters :")
+                    for name in sorted(c):
+                        print(f"  {name:24s} {c[name]}")
+                if m:
+                    print("measurer :")
+                    for name in sorted(m):
+                        print(f"  {name:24s} {m[name]}")
                 for op, snap in sorted((result.get("endpoints") or {}).items()):
                     if snap.get("requests"):
                         extras = ""
@@ -607,6 +651,12 @@ def _cmd_client(args) -> int:
                       f"{result.get('deadline_exceeded', 0)} deadline-exceeded")
             if result.get("state") != "ready":
                 return 1
+        elif args.action == "metrics":
+            result = client.metrics()
+            if args.json:
+                print(json.dumps(result, indent=1, sort_keys=True))
+            else:
+                print(result.get("text", ""), end="")
         elif args.action == "stop":
             result = client.shutdown()
             print(f"daemon stopping (session {result.get('session')})")
@@ -678,6 +728,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fleet circuit breaker: base cooldown before an "
                         "opened seat sends a half-open probe shard "
                         "(escalates per open)")
+    p.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="write a Chrome/Perfetto trace JSON of the whole run "
+                        "(coordinator, fleet shards, compile stages; "
+                        "docs/observability.md)")
     p.set_defaults(fn=_cmd_tune)
 
     p = sub.add_parser("suite", help="TVM vs ALCOP over the operator suite")
@@ -736,6 +790,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--via-ir", action="store_true",
                    help="tune through the full compiler path instead of the "
                         "static timing spec")
+    p.add_argument("--trace-dir", default=None, metavar="DIR",
+                   help="write a Chrome-trace JSON per sampled request here "
+                        "(docs/observability.md)")
+    p.add_argument("--trace-sample-rate", type=float, default=1.0, metavar="R",
+                   help="fraction of requests traced to --trace-dir, 0..1 "
+                        "(deterministic 1-in-1/R sampling; default 1.0)")
     p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser(
@@ -765,6 +825,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--via-ir", action="store_true",
                    help="measure through the full compiler path; must match "
                         "the coordinator's --via-ir or the shard is refused")
+    p.add_argument("--trace-dir", default=None, metavar="DIR",
+                   help="write a Chrome-trace JSON per sampled request here "
+                        "(docs/observability.md)")
+    p.add_argument("--trace-sample-rate", type=float, default=1.0, metavar="R",
+                   help="fraction of requests traced to --trace-dir, 0..1 "
+                        "(default 1.0)")
     p.set_defaults(fn=_cmd_fleet_worker)
 
     p = sub.add_parser(
@@ -772,7 +838,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="talk to a running repro serve daemon",
     )
     p.add_argument("action",
-                   choices=["compile", "tune", "status", "health", "stop", "ping"])
+                   choices=["compile", "tune", "status", "health", "metrics",
+                            "stop", "ping"])
     p.add_argument("--socket", default=None, metavar="PATH",
                    help="daemon Unix socket path")
     p.add_argument("--port", type=int, default=None, help="daemon TCP port")
@@ -802,6 +869,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the raw result payload as JSON")
     p.add_argument("--out", default=None,
                    help="compile only: write the CUDA source here")
+    p.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="compile/tune only: write a Chrome-trace JSON of the "
+                        "request, stitching the daemon's server-side spans "
+                        "into the client timeline (docs/observability.md)")
     p.set_defaults(fn=_cmd_client)
     return parser
 

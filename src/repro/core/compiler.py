@@ -38,6 +38,7 @@ from ..transform import apply_pipelining
 from ..tuning.measure import Measurer
 from ..tuning.space import SpaceOptions, enumerate_space, restrict_space
 from ..tuning.tuners import ModelAssistedXGBTuner, XGBTuner
+from . import profiling
 from .errors import CompileError, DegradationEvent, ReproError
 
 __all__ = ["CompiledKernel", "AlcopCompiler", "VARIANTS"]
@@ -157,8 +158,12 @@ class AlcopCompiler:
             a = placeholder("A", a_shape, dtype=spec.dtype)
             b = placeholder("B", b_shape, dtype=spec.dtype)
             graph_output = contraction(a, b, spec)
-        sch = auto_schedule(graph_output, config)
-        return apply_pipelining(lower(sch), verify_sync=self.verify_sync)
+        with profiling.stage("schedule"):
+            sch = auto_schedule(graph_output, config)
+        with profiling.stage("lower"):
+            kernel = lower(sch)
+        with profiling.stage("transform"):
+            return apply_pipelining(kernel, verify_sync=self.verify_sync)
 
     def compile(self, spec: GemmSpec, graph_output: Optional[Tensor] = None) -> CompiledKernel:
         """Search, build and time a kernel for ``spec`` (cached)."""

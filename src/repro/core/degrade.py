@@ -1,0 +1,58 @@
+"""Shared degrade-to-memory policy for disk-backed stores.
+
+Three stores persist opportunistically — the measurement cache, the tune
+session journal and the kernel artifact registry.  All of them follow the
+same contract on ``OSError`` (ENOSPC, EIO, read-only mounts): warn once,
+flip to memory-only operation, keep counting errors, never crash the
+tuner or the daemon.  This module is that contract in one place; each
+store owns a :class:`DiskDegrade` and delegates its ``disk_errors`` /
+``degraded`` surface to it.
+
+Every noted error also increments the process-global
+``repro_disk_errors_total`` counter, so degradation shows up on
+``GET /metrics`` no matter which store hit it.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from ..obs import metrics as _metrics
+
+__all__ = ["DiskDegrade"]
+
+_DISK_ERRORS = _metrics.counter(
+    "repro_disk_errors_total",
+    "OSErrors absorbed by disk-backed stores (cache, journal, registry).")
+
+
+class DiskDegrade:
+    """Warn-once degrade policy for one disk-backed store.
+
+    ``subject`` names the store in the warning ("measurement cache", ...);
+    ``consequence`` finishes the sentence with what the user loses
+    ("results from this run will not persist to /path").
+    """
+
+    def __init__(self, subject, consequence):
+        self.subject = subject
+        self.consequence = consequence
+        self.disk_errors = 0
+        self.degraded = False
+
+    def note(self, action, exc, stacklevel=4):
+        """Record one failed disk ``action``; warn on the first only.
+
+        The default ``stacklevel`` of 4 points the warning at the caller
+        of the store method, through the store's own ``_note_disk_error``
+        wrapper and this method.
+        """
+        self.disk_errors += 1
+        _DISK_ERRORS.inc()
+        if self.degraded:
+            return
+        self.degraded = True
+        warnings.warn(
+            f"{self.subject} cannot {action} ({exc}); degrading to "
+            f"memory-only operation — {self.consequence}",
+            RuntimeWarning, stacklevel=stacklevel)

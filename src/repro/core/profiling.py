@@ -33,6 +33,8 @@ import threading
 import time
 from typing import Dict, Iterator, List, Mapping, Tuple
 
+from ..obs import trace as _trace
+
 __all__ = ["StageTimes", "collect", "stage", "STAGE_ORDER"]
 
 #: Canonical display order of the compile/measure pipeline stages.
@@ -124,15 +126,24 @@ def collect(into: StageTimes) -> Iterator[StageTimes]:
 
 @contextlib.contextmanager
 def stage(name: str) -> Iterator[None]:
-    """Time the enclosed block under ``name`` (no-op when nothing collects)."""
+    """Time the enclosed block under ``name`` (no-op when nothing collects).
+
+    When a tracer is active with an open span on this thread, the stage is
+    also recorded as a child span (the observability bridge: per-stage
+    compile timings appear in exported traces for free).
+    """
     stack = _active()
-    if not stack:
+    traced = _trace.stage_active()
+    if not stack and not traced:
         yield
         return
     t0 = time.perf_counter()
     try:
         yield
     finally:
-        dt = time.perf_counter() - t0
+        t1 = time.perf_counter()
+        dt = t1 - t0
         for collector in stack:
             collector.add(name, dt)
+        if traced:
+            _trace.record_stage(name, t0, t1)

@@ -1,0 +1,20 @@
+"""Unified observability: distributed tracing, a process-global metrics
+registry, and Chrome-trace export.
+
+Zero third-party dependencies.  See ``docs/observability.md`` for the
+span model, the metric-name table and how to view exported traces.
+"""
+
+from . import metrics, trace
+from .metrics import REGISTRY, MetricsRegistry
+from .trace import Span, SpanContext, Tracer
+
+__all__ = [
+    "metrics",
+    "trace",
+    "MetricsRegistry",
+    "REGISTRY",
+    "Span",
+    "SpanContext",
+    "Tracer",
+]

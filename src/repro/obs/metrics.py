@@ -1,0 +1,257 @@
+"""Process-global metrics registry: counters, gauges and histograms with
+Prometheus text exposition.
+
+Zero dependencies by design — the registry renders the exposition format
+by hand (``# HELP`` / ``# TYPE`` plus one line per sample) so a stock
+Prometheus scraper can consume ``GET /metrics`` on the serve daemon
+without any client library in the image.
+
+The registry is get-or-create: scattered subsystems (serve counters,
+fleet telemetry, disk-degrade paths) each ask for their metric by name at
+import or construction time and increment the shared instance they get
+back.  Re-registering an existing name with the same type returns the
+existing metric; re-registering with a different type is a programming
+error and raises.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "counter",
+    "gauge",
+    "histogram",
+    "render",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+# Latency buckets in seconds, chosen for the serve path: sub-millisecond
+# warm registry hits up to ten-second cold fleet sweeps.
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def _format_value(v):
+    if v == float("inf"):
+        return "+Inf"
+    if isinstance(v, float) and v.is_integer():
+        return str(int(v))
+    return repr(v) if isinstance(v, float) else str(v)
+
+
+class Counter:
+    """Monotonically increasing counter."""
+
+    kind = "counter"
+
+    def __init__(self, name, help=""):
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, n=1):
+        if n < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc({n}))")
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self):
+        with self._lock:
+            return self._value
+
+    def samples(self):
+        return [(self.name, self.value)]
+
+
+class Gauge:
+    """Instantaneous value: either set explicitly or read from a callback.
+
+    A callback gauge re-reads its function at render time, which lets the
+    server expose live queue depth without a write on every enqueue.  The
+    callback is replaced wholesale on re-registration so a fresh server
+    instance in the same process (common in tests) wins over a stopped one.
+    """
+
+    kind = "gauge"
+
+    def __init__(self, name, help="", fn=None):
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0
+        self._fn = fn
+
+    def set(self, v):
+        with self._lock:
+            self._fn = None
+            self._value = float(v)
+
+    def set_function(self, fn):
+        with self._lock:
+            self._fn = fn
+
+    @property
+    def value(self):
+        with self._lock:
+            fn = self._fn
+            if fn is None:
+                return self._value
+        try:
+            return float(fn())
+        except Exception:
+            # A dead callback (stopped server) must not poison the whole
+            # exposition page.
+            return 0.0
+
+    def samples(self):
+        return [(self.name, self.value)]
+
+
+class Histogram:
+    """Cumulative-bucket histogram in the Prometheus style."""
+
+    kind = "histogram"
+
+    def __init__(self, name, help="", buckets=DEFAULT_BUCKETS):
+        self.name = name
+        self.help = help
+        self.buckets = tuple(sorted(buckets))
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(self.buckets) + 1)  # last slot is +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, v):
+        v = float(v)
+        with self._lock:
+            self._sum += v
+            self._count += 1
+            for i, le in enumerate(self.buckets):
+                if v <= le:
+                    self._counts[i] += 1
+                    return
+            self._counts[-1] += 1
+
+    @property
+    def count(self):
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self):
+        with self._lock:
+            return self._sum
+
+    def samples(self):
+        with self._lock:
+            counts = list(self._counts)
+            total, sum_ = self._count, self._sum
+        out, cumulative = [], 0
+        for le, n in zip(self.buckets, counts):
+            cumulative += n
+            out.append((f'{self.name}_bucket{{le="{_format_value(float(le))}"}}',
+                        cumulative))
+        out.append((f'{self.name}_bucket{{le="+Inf"}}', total))
+        out.append((f"{self.name}_sum", sum_))
+        out.append((f"{self.name}_count", total))
+        return out
+
+
+class MetricsRegistry:
+    """Thread-safe, name-keyed registry of metrics."""
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._metrics = {}
+
+    def _get_or_create(self, cls, name, help, **kwargs):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name: {name!r}")
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}")
+                return existing
+            metric = cls(name, help=help, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name, help=""):
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name, help="", fn=None):
+        g = self._get_or_create(Gauge, name, help)
+        if fn is not None:
+            g.set_function(fn)
+        return g
+
+    def histogram(self, name, help="", buckets=DEFAULT_BUCKETS):
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def get(self, name):
+        with self._lock:
+            return self._metrics.get(name)
+
+    def snapshot(self):
+        """Flat ``{sample_name: value}`` dict, for tests and status ops."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        out = {}
+        for m in metrics:
+            for sample, value in m.samples():
+                out[sample] = value
+        return out
+
+    def render(self):
+        """Prometheus text exposition (version 0.0.4)."""
+        with self._lock:
+            metrics = sorted(self._metrics.values(), key=lambda m: m.name)
+        lines = []
+        for m in metrics:
+            if m.help:
+                escaped = m.help.replace("\\", r"\\").replace("\n", r"\n")
+                lines.append(f"# HELP {m.name} {escaped}")
+            lines.append(f"# TYPE {m.name} {m.kind}")
+            for sample, value in m.samples():
+                lines.append(f"{sample} {_format_value(value)}")
+        return "\n".join(lines) + "\n"
+
+    def reset(self):
+        """Drop every metric.  Tests only — production code never unregisters."""
+        with self._lock:
+            self._metrics.clear()
+
+
+#: The process-global registry every subsystem shares.
+REGISTRY = MetricsRegistry()
+
+
+def counter(name, help=""):
+    return REGISTRY.counter(name, help)
+
+
+def gauge(name, help="", fn=None):
+    return REGISTRY.gauge(name, help, fn=fn)
+
+
+def histogram(name, help="", buckets=DEFAULT_BUCKETS):
+    return REGISTRY.histogram(name, help, buckets=buckets)
+
+
+def render():
+    return REGISTRY.render()

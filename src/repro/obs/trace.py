@@ -1,0 +1,463 @@
+"""Distributed tracing: spans, tracers, context propagation and
+Chrome-trace export.
+
+A :class:`Span` is one timed operation; spans share a ``trace_id`` and
+reference their parent by ``span_id``, so a client request, the serve
+daemon's queue wait, a fleet worker's shard and the compiler's stage
+timings stitch into one tree even across process boundaries.
+
+Timing uses ``time.perf_counter()`` (CLOCK_MONOTONIC on Linux, consistent
+across local processes), so spans recorded in a fleet worker child line
+up with the coordinator's on the same timeline.
+
+Tracers are explicitly activated — either per thread (the server
+activates one per sampled request) or process-wide (``repro tune
+--trace-out`` captures the fleet driver threads too).  When no tracer is
+active, :func:`span` yields ``None`` without allocating, so the
+instrumentation threaded through the hot paths costs nearly nothing by
+default.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import random
+import re
+import threading
+import time
+
+from . import metrics as _metrics
+
+__all__ = [
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "activate",
+    "active_tracers",
+    "current_context",
+    "current_span",
+    "extract_context",
+    "inject_context",
+    "new_id",
+    "record_span",
+    "record_stage",
+    "span",
+    "stage_active",
+]
+
+#: Envelope field names for cross-process propagation.
+TRACE_ID_FIELD = "trace_id"
+PARENT_SPAN_FIELD = "parent_span_id"
+
+_ID_RE = re.compile(r"^[0-9a-f]{8,32}$")
+
+_SPANS_DROPPED = _metrics.counter(
+    "repro_spans_dropped_total",
+    "Spans evicted from a tracer ring buffer under overflow.")
+
+
+# Id generation and the origin pid are on the per-span hot path (the bench
+# guard holds tracing under 2% of cold-sweep throughput), so both avoid a
+# syscall per span: a dedicated PRNG (never the seedable module-level
+# ``random`` state, which tuners may pin) and a cached pid, each re-armed
+# after fork so fleet worker children stay distinct.
+_rng = random.Random(os.urandom(16))
+_PID = os.getpid()
+
+
+def _after_fork():
+    global _PID
+    _rng.seed(os.urandom(16))
+    _PID = os.getpid()
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_after_fork)
+
+
+def new_id():
+    return "%016x" % _rng.getrandbits(64)
+
+
+class SpanContext:
+    """Propagatable reference to a span: ``(trace_id, span_id)``.
+
+    An empty ``span_id`` means "join this trace but parent to nothing" —
+    the shape produced when an envelope carries a valid ``trace_id`` but a
+    garbled parent id.
+    """
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id, span_id=""):
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    def __eq__(self, other):
+        return (isinstance(other, SpanContext)
+                and other.trace_id == self.trace_id
+                and other.span_id == self.span_id)
+
+    def __repr__(self):
+        return f"SpanContext({self.trace_id!r}, {self.span_id!r})"
+
+
+class Span:
+    __slots__ = ("name", "trace_id", "span_id", "parent_id",
+                 "start_s", "duration_s", "category", "pid", "tid", "attrs")
+
+    def __init__(self, name, trace_id, span_id, parent_id=None,
+                 start_s=0.0, duration_s=0.0, category="", attrs=None):
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_s = start_s
+        self.duration_s = duration_s
+        self.category = category
+        self.pid = _PID
+        self.tid = threading.get_ident()
+        self.attrs = attrs
+
+    def context(self):
+        if not self.span_id:
+            self.span_id = new_id()
+        return SpanContext(self.trace_id, self.span_id)
+
+    def as_dict(self):
+        if not self.span_id:
+            # Leaf spans (stage bridges) defer id generation to export —
+            # nothing parents under them, so the hot path skips the cost.
+            self.span_id = new_id()
+        d = {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "pid": self.pid,
+            "tid": self.tid,
+        }
+        if self.category:
+            d["category"] = self.category
+        if self.attrs:
+            d["attrs"] = self.attrs
+        return d
+
+    @classmethod
+    def from_dict(cls, d):
+        """Rebuild a span shipped across a process boundary.
+
+        Tolerant by design: a malformed dict returns ``None`` rather than
+        raising, so one corrupt entry cannot fail a whole import batch.
+        """
+        if not isinstance(d, dict):
+            return None
+        try:
+            name = d["name"]
+            trace_id = d["trace_id"]
+            span_id = d["span_id"]
+            start_s = float(d["start_s"])
+            duration_s = float(d["duration_s"])
+        except (KeyError, TypeError, ValueError):
+            return None
+        if not (isinstance(name, str) and _ID_RE.match(str(trace_id))
+                and _ID_RE.match(str(span_id))):
+            return None
+        parent = d.get("parent_id")
+        span = cls(name, trace_id, span_id,
+                   parent_id=parent if isinstance(parent, str) else None,
+                   start_s=start_s, duration_s=duration_s,
+                   category=d.get("category", "") or "",
+                   attrs=d.get("attrs") if isinstance(d.get("attrs"), dict) else None)
+        # Preserve the origin process/thread ids so the Chrome trace keeps
+        # child-process spans on their own rows.
+        if isinstance(d.get("pid"), int):
+            span.pid = d["pid"]
+        if isinstance(d.get("tid"), int):
+            span.tid = d["tid"]
+        return span
+
+    def to_chrome_event(self):
+        if not self.span_id:
+            self.span_id = new_id()
+        args = {"trace_id": self.trace_id, "span_id": self.span_id}
+        if self.parent_id:
+            args["parent_span_id"] = self.parent_id
+        if self.attrs:
+            args.update(self.attrs)
+        event = {
+            "name": self.name,
+            "ph": "X",
+            "ts": self.start_s * 1e6,
+            "dur": self.duration_s * 1e6,
+            "pid": self.pid,
+            "tid": self.tid,
+            "args": args,
+        }
+        if self.category:
+            event["cat"] = self.category
+        return event
+
+
+class Tracer:
+    """Bounded ring buffer of finished spans.
+
+    Overflow drops the oldest span and counts it — both on the instance
+    (``spans_dropped``) and in the process-global ``repro_spans_dropped_total``
+    counter — so a long fleet sweep degrades visibly instead of eating
+    unbounded memory.
+    """
+
+    def __init__(self, capacity=16384):
+        if capacity < 1:
+            raise ValueError("tracer capacity must be >= 1")
+        self.capacity = capacity
+        self.spans_dropped = 0
+        self._lock = threading.Lock()
+        self._spans = []
+
+    def add(self, span):
+        # list.append is atomic under the GIL, so the common path takes no
+        # lock (span recording is on the compile hot path); the lock only
+        # serializes overflow trimming and snapshot reads.
+        spans = self._spans
+        spans.append(span)
+        if len(spans) > self.capacity:
+            with self._lock:
+                overflow = len(spans) - self.capacity
+                if overflow > 0:
+                    del spans[:overflow]
+                    self.spans_dropped += overflow
+                    _SPANS_DROPPED.inc(overflow)
+
+    def import_spans(self, dicts):
+        """Adopt spans serialized by another process; skips invalid entries."""
+        added = 0
+        for d in dicts or ():
+            span = Span.from_dict(d)
+            if span is not None:
+                self.add(span)
+                added += 1
+        return added
+
+    def spans(self):
+        with self._lock:
+            return list(self._spans)
+
+    def __len__(self):
+        with self._lock:
+            return len(self._spans)
+
+    def to_chrome_trace(self):
+        return {
+            "traceEvents": [s.to_chrome_event() for s in self.spans()],
+            "displayTimeUnit": "ms",
+        }
+
+    def write_chrome_trace(self, path):
+        with open(path, "w") as f:
+            json.dump(self.to_chrome_trace(), f, indent=1)
+
+
+# --- activation -------------------------------------------------------------
+#
+# Two scopes: a process-global tracer list (CLI --trace-out, visible from
+# every thread including fleet drivers) and a thread-local list (the server
+# activates a tracer for the one request thread it owns).  The span stack
+# used for implicit parenting is always thread-local.
+
+_global_tracers = []
+_global_lock = threading.Lock()
+_tls = threading.local()
+
+
+def _local_tracers():
+    return getattr(_tls, "tracers", None) or ()
+
+
+def _stack():
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = _tls.stack = []
+    return stack
+
+
+def active_tracers():
+    local = _local_tracers()
+    if _global_tracers or local:
+        return list(_global_tracers) + list(local)
+    return []
+
+
+@contextlib.contextmanager
+def activate(tracer, all_threads=False):
+    """Make ``tracer`` receive spans for the duration of the block.
+
+    ``all_threads=True`` registers process-wide (spans from any thread are
+    captured); the default registers for the current thread only.
+    """
+    if all_threads:
+        with _global_lock:
+            _global_tracers.append(tracer)
+        try:
+            yield tracer
+        finally:
+            with _global_lock:
+                for i in range(len(_global_tracers) - 1, -1, -1):
+                    if _global_tracers[i] is tracer:
+                        del _global_tracers[i]
+                        break
+    else:
+        tracers = getattr(_tls, "tracers", None)
+        if tracers is None:
+            tracers = _tls.tracers = []
+        tracers.append(tracer)
+        try:
+            yield tracer
+        finally:
+            for i in range(len(tracers) - 1, -1, -1):
+                if tracers[i] is tracer:
+                    del tracers[i]
+                    break
+
+
+def current_span():
+    stack = getattr(_tls, "stack", None)
+    return stack[-1] if stack else None
+
+
+def current_context():
+    """Context of the innermost open span on this thread, or ``None``."""
+    top = current_span()
+    return top.context() if top is not None else None
+
+
+@contextlib.contextmanager
+def span(name, parent=None, attrs=None, category=""):
+    """Open a span.  Yields the :class:`Span`, or ``None`` when no tracer
+    is active (the no-tracer path does no allocation or clock reads).
+
+    Parenting: an explicit ``parent`` :class:`SpanContext` wins, else the
+    innermost open span on this thread, else a fresh root trace.
+    """
+    tracers = active_tracers()
+    if not tracers:
+        yield None
+        return
+    if parent is None:
+        parent = current_context()
+    if parent is not None:
+        trace_id, parent_id = parent.trace_id, parent.span_id or None
+    else:
+        trace_id, parent_id = new_id(), None
+    s = Span(name, trace_id, new_id(), parent_id=parent_id,
+             category=category, attrs=dict(attrs) if attrs else None)
+    stack = _stack()
+    stack.append(s)
+    s.start_s = time.perf_counter()
+    try:
+        yield s
+    finally:
+        s.duration_s = time.perf_counter() - s.start_s
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] is s:
+                del stack[i]
+                break
+        for tracer in tracers:
+            tracer.add(s)
+
+
+def record_span(name, start_s, end_s, parent=None, attrs=None, category=""):
+    """Record an already-elapsed interval as a span (retroactive).
+
+    Used for intervals measured before a tracer could exist — e.g. the
+    server's admission-queue wait, whose clock started before the request
+    reached a worker thread.  Returns the span, or ``None`` when no tracer
+    is active or no parent can be determined (retroactive spans never
+    start new root traces).
+    """
+    tracers = active_tracers()
+    if not tracers:
+        return None
+    if parent is None:
+        parent = current_context()
+    if parent is None:
+        return None
+    s = Span(name, parent.trace_id, new_id(),
+             parent_id=parent.span_id or None,
+             start_s=start_s, duration_s=max(0.0, end_s - start_s),
+             category=category, attrs=dict(attrs) if attrs else None)
+    for tracer in tracers:
+        tracer.add(s)
+    return s
+
+
+# --- profiling bridge -------------------------------------------------------
+
+def stage_active():
+    """True when a profiling stage should also be recorded as a span:
+    a tracer is active AND there is an open span to parent under."""
+    if not _global_tracers and not getattr(_tls, "tracers", None):
+        return False
+    return current_span() is not None
+
+
+def record_stage(name, t0, t1):
+    """Bridge one ``profiling.stage`` interval into the active trace.
+
+    Specialized for the compile hot path: skips the :class:`SpanContext`
+    allocation and the attrs handling of :func:`record_span` — stage spans
+    are the overwhelming majority of spans in a traced sweep.
+    """
+    local = getattr(_tls, "tracers", None)
+    if not _global_tracers and not local:
+        return None
+    top = current_span()
+    if top is None:
+        return None
+    # span_id="" defers id generation to export: stage spans are leaves.
+    s = Span(name, top.trace_id, "", parent_id=top.span_id,
+             start_s=t0, duration_s=t1 - t0, category="stage")
+    for tracer in _global_tracers:
+        tracer.add(s)
+    for tracer in local or ():
+        tracer.add(s)
+    return s
+
+
+# --- envelope propagation ---------------------------------------------------
+
+def inject_context(envelope, ctx=None):
+    """Stamp trace-context fields onto a request envelope (in place).
+
+    No-op when there is no context to inject."""
+    if ctx is None:
+        ctx = current_context()
+    if ctx is None:
+        return envelope
+    envelope[TRACE_ID_FIELD] = ctx.trace_id
+    if ctx.span_id:
+        envelope[PARENT_SPAN_FIELD] = ctx.span_id
+    return envelope
+
+
+def extract_context(message):
+    """Pull trace context out of a request envelope, tolerantly.
+
+    Missing or garbage ``trace_id`` → ``None`` (the request simply goes
+    untraced); a valid ``trace_id`` with a garbage parent id joins the
+    trace with no parent.  Never raises on hostile input.
+    """
+    if not isinstance(message, dict):
+        return None
+    trace_id = message.get(TRACE_ID_FIELD)
+    if not isinstance(trace_id, str) or not _ID_RE.match(trace_id):
+        return None
+    parent = message.get(PARENT_SPAN_FIELD)
+    if not isinstance(parent, str) or not _ID_RE.match(parent):
+        parent = ""
+    return SpanContext(trace_id, parent)

@@ -30,6 +30,7 @@ import uuid
 from typing import Dict, Optional
 
 from ..core.errors import DeadlineExceededError, OverloadedError, ProtocolError, ServeError
+from ..obs import trace as obs_trace
 from . import protocol
 from .protocol import decode_message, encode_message, raise_remote_error
 
@@ -169,11 +170,25 @@ class ServeClient:
         envelope: Dict = {"op": op, "params": params or {}, "id": uuid.uuid4().hex[:8]}
         if self.deadline_s is not None:
             envelope["deadline_s"] = self.deadline_s
-        response = self._roundtrip(envelope)
+        # Distributed tracing: when a tracer is active on this thread the
+        # request gets a client span and carries its context on the
+        # envelope; the server ships its spans back on the result and we
+        # adopt them, stitching one tree across the process boundary. With
+        # no tracer active, span() yields None and nothing is stamped.
+        with obs_trace.span(f"client:{op}") as client_span:
+            if client_span is not None:
+                obs_trace.inject_context(envelope)
+            response = self._roundtrip(envelope)
         if not response.get("ok"):
             raise_remote_error(response.get("error") or {})
         result = response.get("result")
-        return result if isinstance(result, dict) else {}
+        if not isinstance(result, dict):
+            return {}
+        if client_span is not None:
+            remote_spans = result.pop("spans", None)
+            for tracer in obs_trace.active_tracers():
+                tracer.import_spans(remote_spans)
+        return result
 
     def request(self, op: str, params: Optional[Dict] = None) -> Dict:
         """One request/response cycle (with up to ``retries`` retries on
@@ -244,6 +259,12 @@ class ServeClient:
 
     def status(self) -> Dict:
         return self.request("status")
+
+    def metrics(self) -> Dict:
+        """The daemon's metrics page (Prometheus text exposition under the
+        ``text`` key), for clients on the jsonl transport where there is
+        no ``GET /metrics`` to curl."""
+        return self.request("metrics")
 
     def shutdown(self) -> Dict:
         """Ask the daemon to stop gracefully (drains, flushes registry)."""

@@ -74,9 +74,13 @@ __all__ = [
     "MAX_SHARD_CONFIGS",
 ]
 
-PROTOCOL_VERSION = 1
+# Version 2 adds the ``metrics`` op and optional ``trace_id`` /
+# ``parent_span_id`` envelope fields (ignored by version-1 servers, which
+# tolerate unknown fields by design).
+PROTOCOL_VERSION = 2
 
-OPS = ("ping", "compile", "tune", "status", "measure", "health", "shutdown")
+OPS = ("ping", "compile", "tune", "status", "metrics", "measure", "health",
+       "shutdown")
 
 #: Upper bound on one serialized message; a registry artifact (IR + CUDA
 #: text) is tens of KB, so this is generous while still refusing abuse.
@@ -239,6 +243,9 @@ def parse_measure_params(params: Dict) -> Dict:
 
 HTTP_PATH = "/rpc"
 
+#: Prometheus scrape endpoint on the HTTP transport (GET, no envelope).
+HTTP_METRICS_PATH = "/metrics"
+
 
 def http_request_bytes(body: bytes, host: str) -> bytes:
     head = (
@@ -251,10 +258,15 @@ def http_request_bytes(body: bytes, host: str) -> bytes:
     return head.encode() + body
 
 
-def http_response_bytes(body: bytes, status: int = 200, reason: str = "OK") -> bytes:
+def http_response_bytes(
+    body: bytes,
+    status: int = 200,
+    reason: str = "OK",
+    content_type: str = "application/json",
+) -> bytes:
     head = (
         f"HTTP/1.1 {status} {reason}\r\n"
-        "Content-Type: application/json\r\n"
+        f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
         "Connection: close\r\n\r\n"
     )

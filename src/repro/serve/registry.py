@@ -44,17 +44,23 @@ import os
 import pathlib
 import threading
 import time
-import warnings
 from typing import Dict, List, Optional, Union
 
 from .. import faults
+from ..core.degrade import DiskDegrade
 from ..core.errors import RegistryError
 from ..gpusim.config import GpuSpec
+from ..obs import metrics as obs_metrics
 from ..schedule.config import TileConfig
 from ..tensor.operation import GemmSpec
 from ..tuning.cache import compiler_version_hash, gpu_fingerprint
 
 __all__ = ["KernelArtifact", "ArtifactRegistry", "artifact_key"]
+
+_REGISTRY_HITS = obs_metrics.counter(
+    "repro_registry_hits_total", "Artifact-registry lookups that hit.")
+_REGISTRY_MISSES = obs_metrics.counter(
+    "repro_registry_misses_total", "Artifact-registry lookups that missed.")
 
 #: Bumped when the on-disk artifact schema changes shape.
 SCHEMA_VERSION = 1
@@ -166,10 +172,9 @@ class ArtifactRegistry:
         self.misses = 0
         self.n_quarantined = 0
         self.n_put = 0
-        #: publishes/flushes absorbed by degrading to memory-only operation
-        self.disk_errors = 0
-        #: True once a disk failure switched publishing to memory-only
-        self.degraded = False
+        self._degrade = DiskDegrade(
+            f"artifact registry at {self.root}",
+            "artifacts from this run will not persist across restarts")
         if self.root is not None:
             try:
                 (self.root / ARTIFACT_DIR).mkdir(parents=True, exist_ok=True)
@@ -225,20 +230,21 @@ class ArtifactRegistry:
             return None
         return art
 
+    @property
+    def disk_errors(self) -> int:
+        """Publishes/flushes absorbed by degrading to memory-only operation."""
+        return self._degrade.disk_errors
+
+    @property
+    def degraded(self) -> bool:
+        """True once a disk failure switched publishing to memory-only."""
+        return self._degrade.degraded
+
     def _note_disk_error(self, action: str, exc: OSError) -> None:
         """Degrade to memory-only publishing: warn once, count always. The
         artifact still serves from memory for this daemon's lifetime — it
         just will not survive a restart."""
-        self.disk_errors += 1
-        if not self.degraded:
-            self.degraded = True
-            warnings.warn(
-                f"artifact registry at {self.root} cannot {action} ({exc}); "
-                "degrading to memory-only operation — artifacts from this "
-                "run will not persist across restarts",
-                RuntimeWarning,
-                stacklevel=3,
-            )
+        self._degrade.note(action, exc)
 
     # ------------------------------------------------------------------ api
     def get(self, key: str) -> Optional[KernelArtifact]:
@@ -252,8 +258,10 @@ class ArtifactRegistry:
                     self._memory[key] = art
             if art is None:
                 self.misses += 1
+                _REGISTRY_MISSES.inc()
             else:
                 self.hits += 1
+                _REGISTRY_HITS.inc()
             return art
 
     def put(self, artifact: KernelArtifact) -> KernelArtifact:

@@ -25,8 +25,10 @@ accepting, drains the workers, and flushes the registry index last.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import os
+import pathlib
 import queue
 import socket
 import threading
@@ -46,6 +48,8 @@ from ..core.errors import (
 )
 from ..gpusim.config import A100, GpuSpec
 from ..ir.printer import format_kernel
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from ..schedule.auto import auto_schedule
 from ..schedule.config import TileConfig
 from ..tensor.operation import GemmSpec, contraction, placeholder
@@ -99,6 +103,23 @@ DEFAULT_MAX_QUEUE = 64
 
 #: Latency samples kept per endpoint for the p50/p95/p99 estimates.
 _LATENCY_WINDOW = 2048
+
+#: Cap on spans shipped back in a traced response envelope — a runaway
+#: sweep must not balloon one response past MAX_MESSAGE_BYTES.
+_MAX_RESPONSE_SPANS = 2048
+
+#: Server counters and their Prometheus help text. The ``counters`` dict
+#: on the instance stays the status-op surface; each name is mirrored
+#: into the process-global registry as ``repro_<name>_total``.
+_COUNTER_HELP = {
+    "sweeps_run": "Design-space sweeps the daemon has run.",
+    "artifacts_built": "Kernel artifacts built and published to the registry.",
+    "dedup_hits": "Requests served by joining another request's in-flight solve.",
+    "fleet_shards": "Fleet measure shards served.",
+    "fleet_trials": "Individual fleet trials measured for coordinators.",
+    "requests_shed": "Connections refused at admission because the queue was full.",
+    "deadline_exceeded": "Requests rejected or aborted past their deadline_s budget.",
+}
 
 
 class EndpointStats:
@@ -186,6 +207,12 @@ class ReproServer:
         connection that finds the queue full is shed immediately with an
         ``OverloadedError`` envelope carrying ``retry_after_s`` — never a
         hang, never a silently dropped socket.
+    trace_dir / trace_sample_rate:
+        When ``trace_dir`` is set, a deterministic fraction
+        (``trace_sample_rate``, 0..1) of requests are traced server-side
+        and each sampled request's span tree is written to one Chrome-trace
+        JSON file under the directory. Independent of client-initiated
+        tracing, which always rides back on the response envelope.
     """
 
     def __init__(
@@ -202,6 +229,8 @@ class ReproServer:
         default_space: int = DEFAULT_SPACE,
         idle_timeout: Optional[float] = DEFAULT_IDLE_TIMEOUT,
         max_queue: int = DEFAULT_MAX_QUEUE,
+        trace_dir: Optional[str] = None,
+        trace_sample_rate: float = 1.0,
     ) -> None:
         if socket_path is None and port is None:
             raise ValueError("ReproServer needs a socket_path and/or a port to listen on")
@@ -226,17 +255,19 @@ class ReproServer:
         #: connections shed at admission, before any op is known
         self._stats["admission"] = EndpointStats()
         self._counter_lock = threading.Lock()
-        self.counters: Dict[str, int] = {
-            "sweeps_run": 0,
-            "artifacts_built": 0,
-            "dedup_hits": 0,
-            "fleet_shards": 0,
-            "fleet_trials": 0,
-            "requests_shed": 0,
-            "deadline_exceeded": 0,
+        self.counters: Dict[str, int] = {name: 0 for name in _COUNTER_HELP}
+        self._obs_counters = {
+            name: obs_metrics.counter(f"repro_{name}_total", help_text)
+            for name, help_text in _COUNTER_HELP.items()
         }
+        self._request_seconds = obs_metrics.histogram(
+            "repro_request_seconds", "End-to-end request handling latency.")
         self._inflight: Dict[str, Future] = {}
         self._inflight_lock = threading.Lock()
+
+        self.trace_dir = trace_dir
+        self.trace_sample_rate = max(0.0, min(1.0, float(trace_sample_rate)))
+        self._trace_accum = 0.0  # deterministic sampling accumulator
 
         self.max_queue = max(1, int(max_queue))
         # (transport kind, connection, enqueue time) — the enqueue stamp
@@ -251,6 +282,18 @@ class ReproServer:
         self._threads: List[threading.Thread] = []
         self._stop_event = threading.Event()
         self._started = False
+
+        # Callback gauges: re-registering replaces the callback, so the
+        # newest server instance in a process (tests spin up several) is
+        # the one the exposition page reflects.
+        obs_metrics.gauge(
+            "repro_serve_queue_depth",
+            "Connections waiting in the admission queue.",
+            fn=self._conn_queue.qsize)
+        obs_metrics.gauge(
+            "repro_serve_inflight",
+            "Deduplicated solves currently in flight.",
+            fn=lambda: len(self._inflight))
 
     # -------------------------------------------------------------- lifecycle
     def start(self) -> None:
@@ -330,6 +373,12 @@ class ReproServer:
     def running(self) -> bool:
         return self._started and not self._stop_event.is_set()
 
+    def _count(self, name: str, n: int = 1) -> None:
+        """Increment a server counter and its process-global obs mirror."""
+        with self._counter_lock:
+            self.counters[name] += n
+        self._obs_counters[name].inc(n)
+
     # ------------------------------------------------------------- networking
     def _accept_loop(self, listener: socket.socket, kind: str) -> None:
         while not self._stop_event.is_set():
@@ -363,8 +412,7 @@ class ReproServer:
         thread; the 1s send timeout bounds how long a slow shed client can
         stall further accepts."""
         retry_after = self._retry_after_s()
-        with self._counter_lock:
-            self.counters["requests_shed"] += 1
+        self._count("requests_shed")
         self._stats["admission"].record_shed()
         err = OverloadedError(
             f"daemon is overloaded ({self.max_queue} connections queued); "
@@ -471,6 +519,13 @@ class ReproServer:
             try:
                 first, headers = protocol.read_http_head(rfile)
                 method, path, *_ = first.split(" ") + ["", ""]
+                if method == "GET" and path == protocol.HTTP_METRICS_PATH:
+                    # Prometheus scrape: plain exposition text, no envelope.
+                    conn.sendall(protocol.http_response_bytes(
+                        obs_metrics.render().encode(),
+                        content_type="text/plain; version=0.0.4; charset=utf-8",
+                    ))
+                    return
                 if method != "POST" or path != protocol.HTTP_PATH:
                     raise ProtocolError(
                         f"unsupported HTTP request {method} {path}; "
@@ -534,36 +589,93 @@ class ReproServer:
         # `op` is attacker-controlled JSON: an unhashable value (list/dict)
         # would raise from a bare `op in self._stats`, so type-check first.
         stats_key = op if isinstance(op, str) and op in self._stats else "invalid"
-        try:
-            if not isinstance(op, str) or op not in OPS:
-                raise ProtocolError(f"unknown op {op!r}; choose from {OPS}")
-            params = message.get("params") or {}
-            deadline = None
-            budget = parse_deadline(message)
-            if budget is not None:
-                remaining = budget - queue_wait_s
-                if remaining <= 0:
-                    raise DeadlineExceededError(
-                        f"request spent {queue_wait_s:.3f}s queued, past its "
-                        f"{budget}s deadline; rejected before any work started"
-                    )
-                deadline = time.monotonic() + remaining
-            stages = profiling.StageTimes()
-            with profiling.collect(stages):
-                result = self._dispatch(op, params, deadline)
-            if op in ("compile", "tune"):
-                result["stages"] = {name: round(t, 6) for name, t in stages.ordered()}
-            response = ok_response(result, request_id)
-            ok = True
-        except Exception as e:  # every failure becomes a structured envelope
-            if isinstance(e, DeadlineExceededError):
-                self._stats[stats_key].record_deadline_exceeded()
-                with self._counter_lock:
-                    self.counters["deadline_exceeded"] += 1
-            response = error_response(e, request_id)
-            ok = False
-        self._stats[stats_key].record(time.perf_counter() - t0, ok)
+        # Trace context on the envelope is optional and tolerant: garbage
+        # ids mean "untraced", never an error (old-client compatibility).
+        ctx = obs_trace.extract_context(message)
+        tracer, to_file = self._request_tracer(ctx)
+        root_span = None
+        with contextlib.ExitStack() as obs_scope:
+            if tracer is not None:
+                obs_scope.enter_context(obs_trace.activate(tracer))
+                root_span = obs_scope.enter_context(obs_trace.span(
+                    f"serve:{op if isinstance(op, str) else 'invalid'}",
+                    parent=ctx,
+                    attrs={"session": self.session_id},
+                ))
+                if queue_wait_s > 0.0:
+                    # The queue wait elapsed before any tracer existed;
+                    # record it retroactively under the root span.
+                    now = time.perf_counter()
+                    obs_trace.record_span("queue-wait", now - queue_wait_s, now)
+            try:
+                if not isinstance(op, str) or op not in OPS:
+                    raise ProtocolError(f"unknown op {op!r}; choose from {OPS}")
+                params = message.get("params") or {}
+                deadline = None
+                budget = parse_deadline(message)
+                if budget is not None:
+                    remaining = budget - queue_wait_s
+                    if remaining <= 0:
+                        raise DeadlineExceededError(
+                            f"request spent {queue_wait_s:.3f}s queued, past its "
+                            f"{budget}s deadline; rejected before any work started"
+                        )
+                    deadline = time.monotonic() + remaining
+                stages = profiling.StageTimes()
+                with profiling.collect(stages):
+                    result = self._dispatch(op, params, deadline)
+                if op in ("compile", "tune"):
+                    result["stages"] = {name: round(t, 6) for name, t in stages.ordered()}
+                response = ok_response(result, request_id)
+                ok = True
+            except Exception as e:  # every failure becomes a structured envelope
+                if isinstance(e, DeadlineExceededError):
+                    self._stats[stats_key].record_deadline_exceeded()
+                    self._count("deadline_exceeded")
+                response = error_response(e, request_id)
+                ok = False
+        duration = time.perf_counter() - t0
+        self._request_seconds.observe(duration)
+        self._stats[stats_key].record(duration, ok)
+        if root_span is not None:
+            if ctx is not None and ok:
+                # Client-initiated trace: ship the server-side spans back
+                # on the result so the client stitches one tree.
+                response["result"]["spans"] = [
+                    s.as_dict() for s in tracer.spans()[:_MAX_RESPONSE_SPANS]
+                ]
+                response["result"]["trace_id"] = root_span.trace_id
+            if to_file:
+                self._write_trace(tracer, root_span)
         return response
+
+    def _request_tracer(self, ctx) -> Tuple[Optional[obs_trace.Tracer], bool]:
+        """Decide whether this request is traced: always when the envelope
+        carries context (the client asked), or when ``--trace-dir``
+        sampling picks it. The sampler is a deterministic accumulator —
+        rate 0.25 traces exactly every 4th request — so smoke tests and
+        reproductions see stable behavior."""
+        to_file = False
+        if self.trace_dir is not None and self.trace_sample_rate > 0.0:
+            with self._counter_lock:
+                self._trace_accum += self.trace_sample_rate
+                if self._trace_accum >= 1.0:
+                    self._trace_accum -= 1.0
+                    to_file = True
+        if ctx is None and not to_file:
+            return None, False
+        return obs_trace.Tracer(capacity=4096), to_file
+
+    def _write_trace(self, tracer: obs_trace.Tracer, root_span) -> None:
+        """Dump one sampled request's spans to ``trace_dir``. Tracing must
+        never fail a request, so disk errors are swallowed."""
+        try:
+            d = pathlib.Path(self.trace_dir)
+            d.mkdir(parents=True, exist_ok=True)
+            name = f"trace-{root_span.trace_id}-{root_span.span_id}.json"
+            tracer.write_chrome_trace(d / name)
+        except OSError:
+            pass
 
     def _dispatch(self, op: str, params: Dict,
                   deadline: Optional[float] = None) -> Dict:
@@ -573,6 +685,8 @@ class ReproServer:
             return self._op_status()
         if op == "health":
             return self._op_health()
+        if op == "metrics":
+            return self._op_metrics()
         if op == "shutdown":
             return {"stopping": True, "session": self.session_id}
         if op == "measure":
@@ -617,6 +731,16 @@ class ReproServer:
             "session": self.session_id,
         }
 
+    def _op_metrics(self) -> Dict:
+        """The process-global metrics page, as Prometheus text exposition.
+        Same content as ``GET /metrics`` on the HTTP transport, wrapped in
+        an envelope for jsonl clients."""
+        return {
+            "text": obs_metrics.render(),
+            "protocol": PROTOCOL_VERSION,
+            "session": self.session_id,
+        }
+
     # ----------------------------------------------------------- fleet worker
     def _op_measure(self, params: Dict, deadline: Optional[float] = None) -> Dict:
         """One fleet shard (docs/distributed.md): measure a batch of
@@ -632,10 +756,10 @@ class ReproServer:
             p["name"], batch=p["batch"], m=p["m"], n=p["n"], k=p["k"], dtype=p["dtype"]
         )
         cfgs = p["configs"]
-        latencies = self.measurer.measure_many(spec, cfgs, deadline=deadline)
-        with self._counter_lock:
-            self.counters["fleet_shards"] += 1
-            self.counters["fleet_trials"] += len(cfgs)
+        with obs_trace.span("measure-shard", attrs={"configs": len(cfgs)}):
+            latencies = self.measurer.measure_many(spec, cfgs, deadline=deadline)
+        self._count("fleet_shards")
+        self._count("fleet_trials", len(cfgs))
         persist = [
             self.measurer._key(spec, cfg) not in self.measurer.quarantined
             for cfg in cfgs
@@ -674,10 +798,8 @@ class ReproServer:
                     return artifact, "registry"
                 fut = Future()
                 self._inflight[key] = fut
-            else:
-                with self._counter_lock:
-                    self.counters["dedup_hits"] += 1
         if not owner:
+            self._count("dedup_hits")
             # Someone else is already solving this exact problem; share
             # their result (or their exception — both callers see it). A
             # deadline bounds the wait: the solve itself keeps running for
@@ -686,7 +808,8 @@ class ReproServer:
             if deadline is not None:
                 timeout = max(0.0, deadline - time.monotonic())
             try:
-                return fut.result(timeout=timeout), "inflight"
+                with obs_trace.span("dedup-wait"):
+                    return fut.result(timeout=timeout), "inflight"
             except FutureTimeoutError:
                 raise DeadlineExceededError(
                     "deadline expired while waiting on another request's "
@@ -717,10 +840,11 @@ class ReproServer:
                 f"design space for {spec.name} is empty under the {variant!r} "
                 f"variant restriction (cap {space_cap})"
             )
-        cfg, latency = self.measurer.best(spec, space, deadline=deadline)
-        with self._counter_lock:
-            self.counters["sweeps_run"] += 1
-        kernel = self._build_kernel(spec, cfg)
+        with obs_trace.span("sweep", attrs={"space": len(space)}):
+            cfg, latency = self.measurer.best(spec, space, deadline=deadline)
+        self._count("sweeps_run")
+        with obs_trace.span("build-kernel"):
+            kernel = self._build_kernel(spec, cfg)
         artifact = KernelArtifact(
             key=key,
             spec=dataclasses.asdict(spec),
@@ -741,8 +865,7 @@ class ReproServer:
             },
         )
         stored = self.registry.put(artifact)
-        with self._counter_lock:
-            self.counters["artifacts_built"] += 1
+        self._count("artifacts_built")
         return stored
 
     def _build_kernel(self, spec: GemmSpec, cfg: TileConfig):

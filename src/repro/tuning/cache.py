@@ -24,11 +24,12 @@ import json
 import math
 import pathlib
 import threading
-import warnings
 from typing import Dict, Optional, Union
 
 from .. import faults
+from ..core.degrade import DiskDegrade
 from ..gpusim.config import GpuSpec
+from ..obs import metrics as obs_metrics
 from ..schedule.config import TileConfig
 from ..tensor.operation import GemmSpec
 
@@ -100,6 +101,11 @@ def measurement_key(
 
 _MISS = object()
 
+_CACHE_HITS = obs_metrics.counter(
+    "repro_cache_hits_total", "Measurement-cache lookups served from memory.")
+_CACHE_MISSES = obs_metrics.counter(
+    "repro_cache_misses_total", "Measurement-cache lookups that missed.")
+
 
 class MeasurementCache:
     """Append-only JSON-lines store of measured latencies under a directory.
@@ -126,10 +132,9 @@ class MeasurementCache:
         self, cache_dir: Union[str, pathlib.Path], version: Optional[str] = None
     ) -> None:
         self.dir = pathlib.Path(cache_dir)
-        #: disk writes absorbed by degrading to memory-only operation
-        self.disk_errors = 0
-        #: True once a disk failure switched this cache to memory-only
-        self.degraded = False
+        self._degrade = DiskDegrade(
+            "measurement cache",
+            f"results from this run will not persist to {self.dir}")
         try:
             self.dir.mkdir(parents=True, exist_ok=True)
         except OSError as e:
@@ -142,18 +147,19 @@ class MeasurementCache:
         self._lock = threading.Lock()
         self._load()
 
+    @property
+    def disk_errors(self) -> int:
+        """Disk writes absorbed by degrading to memory-only operation."""
+        return self._degrade.disk_errors
+
+    @property
+    def degraded(self) -> bool:
+        """True once a disk failure switched this cache to memory-only."""
+        return self._degrade.degraded
+
     def _note_disk_error(self, action: str, exc: OSError) -> None:
         """Degrade to memory-only: warn once, count every occurrence."""
-        self.disk_errors += 1
-        if not self.degraded:
-            self.degraded = True
-            warnings.warn(
-                f"measurement cache cannot {action} ({exc}); degrading to "
-                f"memory-only operation — results from this run will not "
-                f"persist to {self.dir}",
-                RuntimeWarning,
-                stacklevel=3,
-            )
+        self._degrade.note(action, exc)
 
     def _load(self) -> None:
         try:
@@ -184,8 +190,10 @@ class MeasurementCache:
             hit = self._entries.get(key, _MISS)
             if hit is _MISS:
                 self.misses += 1
+                _CACHE_MISSES.inc()
                 return None
             self.hits += 1
+            _CACHE_HITS.inc()
             return hit
 
     def put(self, key: str, latency_us: float, meta: Optional[dict] = None) -> None:

@@ -53,6 +53,7 @@ times is deemed dead and retires its seat for good.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import math
 import threading
@@ -62,6 +63,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from .. import faults
 from ..core.errors import FaultInjected, ServeError, WorkerCrash
 from ..gpusim.config import A100, GpuSpec
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from ..schedule.config import TileConfig
 from ..tensor.operation import GemmSpec
 from .measure import Measurer, _cfg_token
@@ -84,6 +87,19 @@ Item = Tuple[int, TileConfig]
 ResultSink = Callable[[int, float, bool], None]
 
 
+#: Process-global mirrors of the fleet telemetry counters, so a long
+#: coordinator (or a daemon hosting many sweeps) shows up on /metrics.
+_FLEET_STEALS = obs_metrics.counter(
+    "repro_fleet_steals_total", "Straggler shards work-stolen mid-sweep.")
+_FLEET_DEATHS = obs_metrics.counter(
+    "repro_fleet_worker_deaths_total", "Fleet workers that died mid-shard.")
+_BREAKER_OPENS = obs_metrics.counter(
+    "repro_breaker_opens_total", "Circuit breakers opened on sick fleet seats.")
+_BREAKER_REJOINS = obs_metrics.counter(
+    "repro_breaker_rejoins_total",
+    "Fleet seats that rejoined after a successful half-open probe.")
+
+
 def _coordinator_token(sid: int, attempt: int) -> str:
     return f"coordinator|shard={sid}|attempt={attempt}"
 
@@ -103,6 +119,15 @@ def _fleet_worker_main(conn, gpu: GpuSpec, via_ir: bool, retries: int) -> None:
     loses at most the trial in flight when this process dies. ``persist``
     is False for crash-quarantined FAILED placeholders, which are run
     properties, not config properties, and must stay out of disk caches.
+
+    A shard message may carry a sixth element, ``(trace_id, span_id)``:
+    the coordinator's trace context. The worker then records a
+    ``fleet:worker-shard`` span with per-trial children and ships the
+    serialized spans back on the ``done`` message, stitching the child
+    process into the coordinator's tree. Older coordinators send 5-tuples
+    and older workers ignore the extra element — both directions stay
+    compatible. A worker that dies mid-shard simply never ships its spans:
+    the trace loses that shard's detail, never its validity.
     """
     try:
         faults.ensure_env_plan()
@@ -111,13 +136,29 @@ def _fleet_worker_main(conn, gpu: GpuSpec, via_ir: bool, retries: int) -> None:
             msg = conn.recv()
             if msg[0] == "stop":
                 return
-            _, sid, attempt, spec, items = msg
-            for idx, cfg in items:
-                faults.inject("fleet", token=_worker_token(spec, cfg, sid, attempt))
-                latency = measurer.measure(spec, cfg)
-                persist = measurer._key(spec, cfg) not in measurer.quarantined
-                conn.send(("result", sid, idx, latency, persist))
-            conn.send(("done", sid))
+            _, sid, attempt, spec, items = msg[:5]
+            wire_ctx = msg[5] if len(msg) > 5 else None
+            ctx = None
+            if (isinstance(wire_ctx, (tuple, list)) and len(wire_ctx) == 2
+                    and all(isinstance(x, str) for x in wire_ctx)):
+                ctx = obs_trace.SpanContext(wire_ctx[0], wire_ctx[1])
+            tracer = None
+            with contextlib.ExitStack() as scope:
+                if ctx is not None:
+                    tracer = scope.enter_context(
+                        obs_trace.activate(obs_trace.Tracer(capacity=4096)))
+                    scope.enter_context(obs_trace.span(
+                        "fleet:worker-shard", parent=ctx,
+                        attrs={"shard": sid, "attempt": attempt,
+                               "trials": len(items)}))
+                for idx, cfg in items:
+                    faults.inject("fleet", token=_worker_token(spec, cfg, sid, attempt))
+                    with obs_trace.span("fleet:trial", attrs={"index": idx}):
+                        latency = measurer.measure(spec, cfg)
+                    persist = measurer._key(spec, cfg) not in measurer.quarantined
+                    conn.send(("result", sid, idx, latency, persist))
+            spans = [s.as_dict() for s in tracer.spans()] if tracer is not None else None
+            conn.send(("done", sid, spans))
     except (EOFError, OSError, KeyboardInterrupt):
         pass  # coordinator went away; nothing to report to
     finally:
@@ -160,8 +201,10 @@ class LocalProcessWorker:
         ``on_result`` as it lands. Raises :class:`WorkerCrash` when the
         worker dies mid-shard (the caller requeues the remainder) or when
         ``should_abort`` turns true (sweep already complete elsewhere)."""
+        ctx = obs_trace.current_context()
+        wire_ctx = (ctx.trace_id, ctx.span_id) if ctx is not None else None
         try:
-            self._conn.send(("shard", sid, attempt, spec, list(items)))
+            self._conn.send(("shard", sid, attempt, spec, list(items), wire_ctx))
             while True:
                 if not self._conn.poll(0.05):
                     if should_abort is not None and should_abort():
@@ -174,6 +217,11 @@ class LocalProcessWorker:
                     )
                 msg = self._conn.recv()
                 if msg[0] == "done":
+                    # Adopt the child process's spans (message element 3,
+                    # absent from older workers) into every active tracer.
+                    if len(msg) > 2 and msg[2]:
+                        for tracer in obs_trace.active_tracers():
+                            tracer.import_spans(msg[2])
                     return
                 _, _, idx, latency, persist = msg
                 on_result(idx, latency, persist)
@@ -527,6 +575,9 @@ class FleetCoordinator:
         self._peak = 0
         self._breaker_opens = 0
         self._breaker_rejoins = 0
+        #: trace context of the coordinator's root span, handed to the
+        #: driver threads (which have no span stack of their own).
+        self._trace_ctx: Optional[obs_trace.SpanContext] = None
 
     # ------------------------------------------------------------- public api
     def run(self, on_result: Optional[ResultSink] = None) -> FleetResult:
@@ -536,6 +587,14 @@ class FleetCoordinator:
         config, as its first result streams in (the hook
         :func:`fleet_sweep` uses to commit into a measurer's caches).
         """
+        with obs_trace.span(
+            "fleet:coordinator",
+            attrs={"configs": len(self.configs), "shards": self._n_shards},
+        ) as root:
+            self._trace_ctx = root.context() if root is not None else None
+            return self._run(on_result)
+
+    def _run(self, on_result: Optional[ResultSink]) -> FleetResult:
         self._on_result = on_result
         if not self.configs:
             return FleetResult([], self._telemetry_locked())
@@ -663,10 +722,20 @@ class FleetCoordinator:
                         token=_coordinator_token(shard.sid, shard.attempt),
                         kinds=("crash",),
                     )
-                    worker.measure_shard(
-                        self.spec, shard.sid, shard.attempt, shard.items,
-                        self._commit, should_abort=self._over,
-                    )
+                    # Driver threads have no span stack; parent the dispatch
+                    # explicitly under the coordinator's root span so local
+                    # worker-shard spans (and remote serve spans, via the
+                    # client context on this thread) stitch into one tree.
+                    with obs_trace.span(
+                        "fleet:dispatch", parent=self._trace_ctx,
+                        attrs={"slot": slot.slot_id, "shard": shard.sid,
+                               "attempt": shard.attempt,
+                               "kind": getattr(worker, "kind", "unknown")},
+                    ):
+                        worker.measure_shard(
+                            self.spec, shard.sid, shard.attempt, shard.items,
+                            self._commit, should_abort=self._over,
+                        )
                 except FaultInjected:
                     # Lost dispatch (shard-loss): the worker never saw the
                     # shard; requeue it whole, keep the worker.
@@ -692,6 +761,7 @@ class FleetCoordinator:
                     if slot.breaker.record_success():
                         with self._cond:
                             self._breaker_rejoins += 1
+                        _BREAKER_REJOINS.inc()
                     self._finish(shard)
         except BaseException as e:  # never die silently: fail the sweep
             with self._cond:
@@ -708,6 +778,7 @@ class FleetCoordinator:
         the sweep aborts rather than hangs."""
         if slot.breaker.record_failure():
             self._breaker_opens += 1
+            _BREAKER_OPENS.inc()
             if slot.breaker.exhausted:
                 slot.retired = True
                 if not any(
@@ -749,6 +820,7 @@ class FleetCoordinator:
                 shard, remaining = victim
                 shard.thieves += 1
                 self._steals += 1
+                _FLEET_STEALS.inc()
                 return _Shard(shard.sid, remaining, shard.attempt + 1,
                               steal_of=shard.sid)
         return None
@@ -785,6 +857,7 @@ class FleetCoordinator:
         with self._cond:
             if death:
                 self._deaths += 1
+                _FLEET_DEATHS.inc()
             self._losses += 1
             if shard.steal_of is not None:
                 # The owner still carries these items; just release the

@@ -30,10 +30,10 @@ import json
 import math
 import os
 import pathlib
-import warnings
 from typing import Dict, List, Tuple, Union
 
 from .. import faults
+from ..core.degrade import DiskDegrade
 from ..schedule.config import TileConfig
 from ..tensor.operation import GemmSpec
 
@@ -69,11 +69,9 @@ class TuneSession:
         self._trials: List[Tuple[TileConfig, float]] = []
         self._seen: set = set()
         self._journal_f = None
-        #: journal writes absorbed by degrading to memory-only operation
-        self.disk_errors = 0
-        #: True once a disk failure stopped journalling (trials stay in
-        #: memory; the run continues, it just loses crash-resumability)
-        self.degraded = False
+        self._degrade = DiskDegrade(
+            f"session journal at {self.path}",
+            "trials from here on cannot be replayed by --resume after a crash")
         #: whether the session directory has been fsynced since the
         #: journal file was (re)created, making the file's *existence*
         #: durable, not just its contents.
@@ -160,20 +158,22 @@ class TuneSession:
         self._trials.append((cfg, latency_us))
         return True
 
+    @property
+    def disk_errors(self) -> int:
+        """Journal writes absorbed by degrading to memory-only operation."""
+        return self._degrade.disk_errors
+
+    @property
+    def degraded(self) -> bool:
+        """True once a disk failure stopped journalling (trials stay in
+        memory; the run continues, it just loses crash-resumability)."""
+        return self._degrade.degraded
+
     def _note_disk_error(self, exc: OSError) -> None:
         """Stop journalling: warn once, count every occurrence. The trial
         itself is already remembered in memory, so tuning continues — the
         run just loses crash-resumability from this point on."""
-        self.disk_errors += 1
-        if not self.degraded:
-            self.degraded = True
-            warnings.warn(
-                f"session journal at {self.path} is unwritable ({exc}); "
-                "continuing memory-only — trials from here on cannot be "
-                "replayed by --resume after a crash",
-                RuntimeWarning,
-                stacklevel=3,
-            )
+        self._degrade.note("append a trial", exc)
         if self._journal_f is not None:
             try:
                 self._journal_f.close()

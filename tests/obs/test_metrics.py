@@ -1,0 +1,159 @@
+"""Metrics registry: get-or-create semantics, thread safety and the
+hand-rolled Prometheus text exposition."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("c_total")
+        assert c.value == 0
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+
+    def test_rejects_negative_increment(self):
+        c = Counter("c_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_thread_safe_under_contention(self):
+        c = Counter("c_total")
+
+        def worker():
+            for _ in range(10_000):
+                c.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 80_000
+
+
+class TestGauge:
+    def test_set_value(self):
+        g = Gauge("g")
+        g.set(3.5)
+        assert g.value == 3.5
+
+    def test_callback_read_at_render_time(self):
+        box = {"v": 1}
+        g = Gauge("g", fn=lambda: box["v"])
+        assert g.value == 1
+        box["v"] = 7
+        assert g.value == 7
+
+    def test_dead_callback_reads_zero(self):
+        def boom():
+            raise RuntimeError("server stopped")
+
+        g = Gauge("g", fn=boom)
+        assert g.value == 0.0
+
+    def test_set_clears_callback(self):
+        g = Gauge("g", fn=lambda: 99)
+        g.set(2)
+        assert g.value == 2.0
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self):
+        h = Histogram("h_seconds", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        samples = dict(h.samples())
+        assert samples['h_seconds_bucket{le="0.1"}'] == 1
+        assert samples['h_seconds_bucket{le="1"}'] == 3
+        assert samples['h_seconds_bucket{le="10"}'] == 4
+        assert samples['h_seconds_bucket{le="+Inf"}'] == 5
+        assert samples["h_seconds_count"] == 5
+        assert samples["h_seconds_sum"] == pytest.approx(56.05)
+
+    def test_default_buckets_cover_serve_latencies(self):
+        assert DEFAULT_BUCKETS[0] <= 0.001
+        assert DEFAULT_BUCKETS[-1] >= 10.0
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        r = MetricsRegistry()
+        a = r.counter("x_total", "help")
+        b = r.counter("x_total")
+        assert a is b
+
+    def test_type_mismatch_raises(self):
+        r = MetricsRegistry()
+        r.counter("x_total")
+        with pytest.raises(ValueError, match="already registered"):
+            r.gauge("x_total")
+
+    def test_invalid_name_rejected(self):
+        r = MetricsRegistry()
+        for bad in ("1abc", "a-b", "a b", ""):
+            with pytest.raises(ValueError):
+                r.counter(bad)
+
+    def test_gauge_callback_replaced_on_reregistration(self):
+        r = MetricsRegistry()
+        r.gauge("g", fn=lambda: 1)
+        g = r.gauge("g", fn=lambda: 2)
+        assert g.value == 2
+
+    def test_snapshot_flattens_samples(self):
+        r = MetricsRegistry()
+        r.counter("c_total").inc(3)
+        r.histogram("h", buckets=(1.0,)).observe(0.5)
+        snap = r.snapshot()
+        assert snap["c_total"] == 3
+        assert snap["h_count"] == 1
+
+    def test_render_prometheus_exposition(self):
+        r = MetricsRegistry()
+        r.counter("repro_sweeps_run_total", "Sweeps executed.").inc(2)
+        r.gauge("repro_queue_depth", "Queue depth.").set(1)
+        r.histogram("repro_request_seconds", "Latency.",
+                    buckets=(0.5,)).observe(0.1)
+        text = r.render()
+        assert "# HELP repro_sweeps_run_total Sweeps executed." in text
+        assert "# TYPE repro_sweeps_run_total counter" in text
+        assert "repro_sweeps_run_total 2" in text
+        assert "# TYPE repro_queue_depth gauge" in text
+        assert "# TYPE repro_request_seconds histogram" in text
+        assert 'repro_request_seconds_bucket{le="0.5"} 1' in text
+        assert 'repro_request_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_request_seconds_count 1" in text
+        assert text.endswith("\n")
+
+    def test_render_escapes_help_newlines(self):
+        r = MetricsRegistry()
+        r.counter("c_total", "line one\nline two")
+        text = r.render()
+        assert "\nline two" not in text.split("# TYPE")[0].replace(
+            r"\n", "")
+        assert r"line one\nline two" in text
+
+    def test_exposition_parses_line_by_line(self):
+        """Every non-comment line must be `name{labels} value` — the shape a
+        stock Prometheus scraper requires."""
+        r = MetricsRegistry()
+        r.counter("a_total").inc()
+        r.histogram("b_seconds").observe(0.2)
+        for line in r.render().splitlines():
+            if line.startswith("#") or not line:
+                continue
+            name, value = line.rsplit(" ", 1)
+            assert name
+            float(value.replace("+Inf", "inf"))

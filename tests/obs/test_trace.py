@@ -1,0 +1,200 @@
+"""Tracing core: activation, parenting, the ring buffer and Chrome export."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.trace import (
+    Span,
+    SpanContext,
+    Tracer,
+    activate,
+    extract_context,
+    inject_context,
+    new_id,
+    record_span,
+    span,
+)
+
+
+class TestSpanBasics:
+    def test_span_yields_none_without_tracer(self):
+        with span("work") as s:
+            assert s is None
+
+    def test_span_records_into_active_tracer(self):
+        t = Tracer()
+        with activate(t):
+            with span("work", attrs={"k": 1}) as s:
+                assert s is not None
+        spans = t.spans()
+        assert [s.name for s in spans] == ["work"]
+        assert spans[0].duration_s >= 0
+        assert spans[0].attrs == {"k": 1}
+
+    def test_nested_spans_parent_implicitly(self):
+        t = Tracer()
+        with activate(t):
+            with span("outer") as outer:
+                with span("inner") as inner:
+                    assert inner.trace_id == outer.trace_id
+                    assert inner.parent_id == outer.span_id
+
+    def test_explicit_parent_wins(self):
+        t = Tracer()
+        ctx = SpanContext(new_id(), new_id())
+        with activate(t):
+            with span("ambient"):
+                with span("child", parent=ctx) as s:
+                    assert s.trace_id == ctx.trace_id
+                    assert s.parent_id == ctx.span_id
+
+    def test_empty_parent_span_id_joins_trace_without_parent(self):
+        t = Tracer()
+        ctx = SpanContext(new_id(), "")
+        with activate(t):
+            with span("child", parent=ctx) as s:
+                assert s.trace_id == ctx.trace_id
+                assert s.parent_id is None
+
+    def test_thread_local_activation_does_not_leak_across_threads(self):
+        t = Tracer()
+        seen = []
+
+        def other():
+            with span("elsewhere") as s:
+                seen.append(s)
+
+        with activate(t):
+            th = threading.Thread(target=other)
+            th.start()
+            th.join()
+        assert seen == [None]
+        assert len(t) == 0
+
+    def test_all_threads_activation_captures_worker_threads(self):
+        t = Tracer()
+
+        def worker():
+            with span("threaded"):
+                pass
+
+        with activate(t, all_threads=True):
+            th = threading.Thread(target=worker)
+            th.start()
+            th.join()
+        assert [s.name for s in t.spans()] == ["threaded"]
+
+
+class TestRecordSpan:
+    def test_retroactive_span_needs_a_parent(self):
+        t = Tracer()
+        with activate(t):
+            assert record_span("queue-wait", 0.0, 1.0) is None
+        assert len(t) == 0
+
+    def test_retroactive_span_under_open_parent(self):
+        t = Tracer()
+        with activate(t):
+            with span("request") as root:
+                s = record_span("queue-wait", 5.0, 5.25)
+        assert s.parent_id == root.span_id
+        assert s.duration_s == pytest.approx(0.25)
+
+    def test_no_tracer_returns_none(self):
+        assert record_span("x", 0.0, 1.0, parent=SpanContext(new_id())) is None
+
+
+class TestRingBuffer:
+    def test_drop_oldest_under_overflow_and_counter(self):
+        from repro.obs.metrics import REGISTRY
+
+        dropped_before = REGISTRY.get("repro_spans_dropped_total").value
+        t = Tracer(capacity=3)
+        for i in range(5):
+            t.add(Span(f"s{i}", new_id(), new_id()))
+        assert [s.name for s in t.spans()] == ["s2", "s3", "s4"]
+        assert t.spans_dropped == 2
+        assert REGISTRY.get("repro_spans_dropped_total").value == dropped_before + 2
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+
+class TestChromeExport:
+    def test_export_shape(self, tmp_path):
+        t = Tracer()
+        with activate(t):
+            with span("root", category="stage"):
+                pass
+        out = tmp_path / "trace.json"
+        t.write_chrome_trace(out)
+        payload = json.loads(out.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        (event,) = payload["traceEvents"]
+        assert event["ph"] == "X"
+        assert event["cat"] == "stage"
+        assert event["ts"] >= 0 and event["dur"] >= 0
+        assert event["args"]["trace_id"]
+
+    def test_parent_id_surfaces_in_args(self):
+        t = Tracer()
+        with activate(t):
+            with span("outer"):
+                with span("inner"):
+                    pass
+        events = {e["name"]: e for e in t.to_chrome_trace()["traceEvents"]}
+        assert (events["inner"]["args"]["parent_span_id"]
+                == events["outer"]["args"]["span_id"])
+
+
+class TestImportExport:
+    def test_round_trip_preserves_origin_pid_tid(self):
+        s = Span("remote", new_id(), new_id(), start_s=1.0, duration_s=0.5)
+        d = s.as_dict()
+        d["pid"], d["tid"] = 4242, 99
+        back = Span.from_dict(d)
+        assert back.pid == 4242 and back.tid == 99
+        assert back.name == "remote" and back.duration_s == 0.5
+
+    def test_import_skips_garbage_entries(self):
+        t = Tracer()
+        good = Span("ok", new_id(), new_id()).as_dict()
+        added = t.import_spans([
+            None, "not-a-dict", {}, {"name": "x"},
+            {"name": "x", "trace_id": "ZZZ", "span_id": "ok",
+             "start_s": 0, "duration_s": 0},
+            good,
+        ])
+        assert added == 1
+        assert [s.name for s in t.spans()] == ["ok"]
+
+
+class TestEnvelopePropagation:
+    def test_inject_then_extract_round_trips(self):
+        ctx = SpanContext(new_id(), new_id())
+        env = inject_context({"op": "tune"}, ctx)
+        assert extract_context(env) == ctx
+
+    def test_inject_without_context_is_noop(self):
+        env = {"op": "tune"}
+        assert inject_context(env) is env
+        assert trace.TRACE_ID_FIELD not in env
+
+    @pytest.mark.parametrize("bad", [
+        None, 42, [], "xyz", "UPPERCASE00", "abc", "g" * 16, "a" * 33, "",
+    ])
+    def test_garbage_trace_id_means_untraced_not_fatal(self, bad):
+        assert extract_context({"trace_id": bad}) is None
+
+    def test_missing_trace_id_means_untraced(self):
+        assert extract_context({"op": "tune"}) is None
+        assert extract_context("not a dict") is None
+
+    def test_valid_trace_garbage_parent_joins_without_parent(self):
+        tid = new_id()
+        ctx = extract_context({"trace_id": tid, "parent_span_id": "ZZ!!"})
+        assert ctx == SpanContext(tid, "")

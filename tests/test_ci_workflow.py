@@ -106,7 +106,8 @@ class TestServeSmokeJob:
 
     def test_three_concurrent_clients_same_shape(self, workflow):
         cmds = job_commands(workflow["jobs"]["serve-smoke"])
-        fanout = [c for c in cmds if "client tune" in c]
+        fanout = [c for c in cmds
+                  if "client tune" in c and "--trace-out" not in c]
         assert len(fanout) == 1
         assert "for i in 1 2 3" in fanout[0], "three concurrent clients"
         assert fanout[0].count("--m 512 --n 512 --k 512"), "same GEMM shape"
@@ -131,8 +132,35 @@ class TestServeSmokeJob:
             s for s in workflow["jobs"]["serve-smoke"]["steps"]
             if "upload-artifact" in s.get("uses", "")
         ]
-        assert len(uploads) == 1
-        assert uploads[0]["with"]["path"] == "serve-latency.json"
+        assert {u["with"]["path"] for u in uploads} == {
+            "serve-latency.json", "trace.json",
+        }
+
+    def test_curls_metrics_endpoint_and_asserts_dedup_counter(self, workflow):
+        """The daemon must expose Prometheus metrics over HTTP, and the job
+        must prove the exposition parses and the fanout registered >= 2
+        dedup joins, with the resilience counters present."""
+        boot = next(c for c in job_commands(workflow["jobs"]["serve-smoke"])
+                    if "repro.cli serve" in c)
+        assert "--port 8731" in boot, "daemon must listen on HTTP for /metrics"
+        cmds = "\n".join(job_commands(workflow["jobs"]["serve-smoke"]))
+        assert "curl -sf http://127.0.0.1:8731/metrics" in cmds
+        assert 'values["repro_dedup_hits_total"] >= 2' in cmds
+        for counter in ("repro_requests_shed_total",
+                        "repro_deadline_exceeded_total",
+                        "repro_disk_errors_total"):
+            assert counter in cmds, f"metrics step must check {counter}"
+
+    def test_traced_tune_validates_and_uploads_chrome_trace(self, workflow):
+        """A traced client tune must produce one stitched Chrome trace —
+        client and server spans under a single trace_id — uploaded as an
+        artifact."""
+        cmds = job_commands(workflow["jobs"]["serve-smoke"])
+        traced = [c for c in cmds if "--trace-out trace.json" in c]
+        assert len(traced) == 1, "serve-smoke must run one traced tune"
+        assert "client tune" in traced[0]
+        assert 'len({e["args"]["trace_id"] for e in events}) == 1' in traced[0]
+        assert '{"client:tune", "serve:tune", "sweep"} <= names' in traced[0]
 
     def test_daemon_is_stopped_even_on_failure(self, workflow):
         stops = [

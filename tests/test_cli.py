@@ -89,6 +89,25 @@ class TestCommands:
             ln for ln in warm.splitlines() if not ln.startswith(("telemetry", "cache"))
         ], "warm results must match cold results"
 
+    def test_tune_trace_out_writes_chrome_trace(self, capsys, tmp_path):
+        """Acceptance: `repro tune --fleet 2 --trace-out` produces one valid
+        Chrome trace with coordinator, per-shard worker and per-stage
+        (transform/lower) spans under a single trace_id."""
+        out = tmp_path / "trace.json"
+        rc = main(["tune", "--m", "128", "--n", "128", "--k", "256",
+                   "--space", "24", "--method", "random", "--trials", "4",
+                   "--fleet", "2", "--trace-out", str(out)])
+        assert rc == 0
+        assert "span(s) written" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        events = payload["traceEvents"]
+        names = {e["name"] for e in events}
+        assert {"tune", "fleet:coordinator", "fleet:worker-shard",
+                "build-best", "schedule", "lower", "transform"} <= names
+        assert len({e["args"]["trace_id"] for e in events}) == 1
+        assert len({e["pid"] for e in events}) >= 2, \
+            "worker-process spans must stitch into the coordinator trace"
+
     def test_tune_parallel_jobs_match_serial(self, capsys, tmp_path):
         argv = ["tune", "--m", "128", "--n", "128", "--k", "256", "--space", "40",
                 "--method", "grid", "--trials", "6"]
@@ -262,9 +281,30 @@ class TestServeEndToEnd:
     def test_client_status_and_stop(self, capsys, daemon):
         assert main(["client", "status", "--socket", daemon.socket_path]) == 0
         out = capsys.readouterr().out
-        assert "registry :" in out and "tuning   :" in out
+        assert "registry :" in out and "counters :" in out
         assert main(["client", "stop", "--socket", daemon.socket_path]) == 0
         assert "daemon stopping" in capsys.readouterr().out
+
+    def test_client_status_renders_every_counter_generically(self, capsys, daemon):
+        """The text view prints every counter the server reports, so a new
+        server counter needs zero CLI changes to become visible — pinned by
+        comparing against the --json payload."""
+        assert main(["client", "status", "--socket", daemon.socket_path,
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert main(["client", "status", "--socket", daemon.socket_path]) == 0
+        text = capsys.readouterr().out
+        assert payload["counters"], "status payload lost its counters dict"
+        for name, value in payload["counters"].items():
+            assert name in text, f"counter {name} missing from text status"
+        for name in payload.get("measurer", {}):
+            assert name in text, f"measurer stat {name} missing from text status"
+
+    def test_client_metrics_returns_prometheus_exposition(self, capsys, daemon):
+        assert main(["client", "metrics", "--socket", daemon.socket_path]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_sweeps_run_total counter" in out
+        assert "repro_requests_shed_total" in out
 
     def test_client_unreachable_daemon_exits_1(self, capsys, tmp_path):
         rc = main(["client", "ping", "--socket", str(tmp_path / "nope.sock")])
