@@ -11,6 +11,13 @@ PR by the CI artifact:
   an empty cache, with the per-stage breakdown alongside;
 * **warm configs/sec** — the same sweep answered from the measurement
   cache;
+* **incremental configs/sec** — the same cold compile path with the
+  incremental engine's stage-graph memoization, on a *group-preserving*
+  slice of the space (whole tile-key groups, so the pipelining-knob
+  siblings the engine reuses across are actually present), against a
+  fresh-per-config measurer on the identical slice. The two latency
+  lists are asserted exactly equal — the speedup is only recorded for
+  bitwise-identical results (docs/performance.md);
 * **tracing overhead** — the same cold sweep with an active tracer and a
   root span (so every compile stage is also recorded as a span), asserted
   to cost < 2% of cold-sweep throughput (docs/observability.md).
@@ -39,6 +46,35 @@ RANK_SPEEDUP_FLOOR = 5.0
 #: percent of cold-sweep throughput. Interleaved min-of-N runs keep the
 #: measurement stable on loaded CI runners.
 TRACING_OVERHEAD_CEILING_PCT = 2.0
+#: Loose floor on the incremental-vs-fresh speedup: typically >= 2x on an
+#: idle machine; the assert tolerates a loaded CI runner, the JSON records
+#: the exact measurement.
+INCREMENTAL_SPEEDUP_FLOOR = 1.3
+#: The engine serves 7 of each 8-config stage group from its memoized
+#: base; the measured ratio is deterministic, the floor merely loose.
+INCREMENTAL_REUSE_FLOOR = 0.5
+
+
+def _group_preserving_space(spec, gpu, target: int):
+    """Whole tile-key groups (all pipelining-knob siblings) until at least
+    ``target`` configs — the strided ``max_size`` cap would scatter the
+    siblings the incremental engine reuses across."""
+    from repro.core.incremental import schedule_key
+    from repro.tuning import enumerate_space
+
+    out, seen_keys = [], []
+    groups = {}
+    for cfg in enumerate_space(spec, gpu):
+        k = schedule_key(spec, cfg)
+        if k not in groups:
+            groups[k] = []
+            seen_keys.append(k)
+        groups[k].append(cfg)
+    for k in seen_keys:
+        out.extend(groups[k])
+        if len(out) >= target:
+            break
+    return out
 
 
 def _best_of(fn, rounds: int) -> float:
@@ -76,6 +112,44 @@ def run_experiment(quick: bool, jobs: int = 1) -> dict:
     t0 = time.perf_counter()
     measurer.sweep(sweep_spec, sweep_space)
     warm_s = time.perf_counter() - t0
+
+    # --- incremental engine vs fresh-per-config, identity-checked -----------
+    from repro.ir.printer import format_kernel
+
+    inc_space = _group_preserving_space(sweep_spec, A100, 48 if quick else 160)
+    inc_rounds = 2 if quick else 3
+    fresh_s = inc_s = float("inf")
+    fresh_lat = inc_lat = None
+    inc_measurer = None
+    for _ in range(inc_rounds):
+        m_fresh = Measurer(A100, via_ir=True, incremental=False)
+        t0 = time.perf_counter()
+        lat = m_fresh.sweep(sweep_spec, inc_space)
+        dt = time.perf_counter() - t0
+        if dt < fresh_s:
+            fresh_s, fresh_lat = dt, lat
+        m_inc = Measurer(A100, via_ir=True)
+        t0 = time.perf_counter()
+        lat = m_inc.sweep(sweep_spec, inc_space)
+        dt = time.perf_counter() - t0
+        if dt < inc_s:
+            inc_s, inc_lat, inc_measurer = dt, lat, m_inc
+    # Identity gate: the speedup is only real if the results are. Latency
+    # lists must match exactly, and the first stage group's kernels must
+    # print byte-identically through the engine's copy-on-write path.
+    assert inc_lat == fresh_lat, "incremental sweep changed measured latencies"
+    from repro.codegen.lower import lower as _lower
+    from repro.schedule.auto import auto_schedule as _auto
+    from repro.transform import apply_pipelining as _pipe
+
+    graph = inc_measurer._te_graph(sweep_spec)
+    engine = inc_measurer.engine
+    for cfg in inc_space[:8]:
+        fresh_kernel = _pipe(_lower(_auto(graph, cfg)))
+        assert format_kernel(engine.kernel(graph, sweep_spec, cfg)) == format_kernel(
+            fresh_kernel
+        ), f"incremental kernel for {cfg} prints differently"
+    incremental_identity_checked = True
 
     # --- tracing-on vs tracing-off overhead guard ---------------------------
     # A loaded CI runner's noise is second-scale (load spikes, frequency
@@ -139,6 +213,13 @@ def run_experiment(quick: bool, jobs: int = 1) -> dict:
         "cold_configs_per_s": len(sweep_space) / cold_s,
         "warm_sweep_s": warm_s,
         "warm_configs_per_s": len(sweep_space) / warm_s,
+        "incremental_space_size": len(inc_space),
+        "incremental_fresh_configs_per_s": len(inc_space) / fresh_s,
+        "incremental_cold_configs_per_s": len(inc_space) / inc_s,
+        "incremental_speedup": fresh_s / inc_s,
+        "lower_reuse_ratio": inc_measurer.engine.reuse_ratio,
+        "incremental_identity_checked": incremental_identity_checked,
+        "incremental_stage_time_s": dict(inc_measurer.stage_times.ordered()),
         "untraced_cold_configs_per_s": len(guard_space) / untraced_s,
         "traced_cold_configs_per_s": len(guard_space) / traced_s,
         "tracing_overhead_pct": overhead_pct,
@@ -158,6 +239,14 @@ def format_table(r: dict) -> str:
         f"via_ir sweep ({r['sweep_space_size']} configs): "
         f"cold {r['cold_configs_per_s']:7.1f} configs/s, "
         f"warm {r['warm_configs_per_s']:9.1f} configs/s"
+    )
+    lines.append(
+        f"incremental sweep ({r['incremental_space_size']} configs, "
+        f"group-preserving): fresh {r['incremental_fresh_configs_per_s']:7.1f} "
+        f"configs/s, incremental {r['incremental_cold_configs_per_s']:7.1f} "
+        f"configs/s ({r['incremental_speedup']:.2f}x, "
+        f"reuse {r['lower_reuse_ratio']:.3f}, "
+        f"identity {'checked' if r['incremental_identity_checked'] else 'SKIPPED'})"
     )
     lines.append(
         f"tracing overhead: off {r['untraced_cold_configs_per_s']:7.1f} "
@@ -180,6 +269,21 @@ def check_invariants(r: dict) -> None:
         "warm (cached) sweep should beat the cold compile path"
     )
     assert r["stage_time_s"], "cold via_ir sweep recorded no stage breakdown"
+    assert r["incremental_identity_checked"] is True, (
+        "incremental sweep speedup recorded without the bitwise identity check"
+    )
+    assert r["incremental_speedup"] >= INCREMENTAL_SPEEDUP_FLOOR, (
+        f"incremental engine only {r['incremental_speedup']:.2f}x faster than "
+        f"fresh-per-config compiles (floor {INCREMENTAL_SPEEDUP_FLOOR}x)"
+    )
+    assert r["lower_reuse_ratio"] >= INCREMENTAL_REUSE_FLOOR, (
+        f"incremental engine reused only {r['lower_reuse_ratio']:.3f} of "
+        f"stage-graph builds (floor {INCREMENTAL_REUSE_FLOOR}); the sweep "
+        "ordering or keying no longer groups pipelining-knob siblings"
+    )
+    assert r["incremental_stage_time_s"], (
+        "incremental sweep recorded no stage breakdown"
+    )
     assert r["tracing_overhead_pct"] < TRACING_OVERHEAD_CEILING_PCT, (
         f"tracing-on cold sweep costs {r['tracing_overhead_pct']:.2f}% "
         f"(ceiling {TRACING_OVERHEAD_CEILING_PCT}%): the observability "

@@ -38,7 +38,7 @@ def _add_problem_args(p: argparse.ArgumentParser, required: bool = True) -> None
     p.add_argument("--k", type=int, required=required)
     p.add_argument("--batch", type=int, default=1)
     p.add_argument("--gpu", choices=sorted(_GPUS), default="a100")
-    p.add_argument("--space", type=int, default=600, help="design-space cap (strided)")
+    p.add_argument("--space", type=int, default=600, help="design-space cap (strided; 0 = full space)")
 
 
 def _add_measure_args(p: argparse.ArgumentParser) -> None:
@@ -64,6 +64,11 @@ def _add_measure_args(p: argparse.ArgumentParser) -> None:
                    help="measure through the full compiler path (schedule/"
                         "lower/transform/extract) instead of the static "
                         "timing spec; slower but exercises every stage")
+
+
+def _space_cap(args):
+    """--space N caps the enumeration (strided); 0 or negative = full space."""
+    return args.space if args.space > 0 else None
 
 
 def _measurer(args, gpu):
@@ -127,7 +132,7 @@ def _cmd_compile(args) -> int:
     spec = _spec(args)
     gpu = _GPUS[args.gpu]
     measurer = _measurer(args, gpu)
-    options = SpaceOptions(max_size=args.space)
+    options = SpaceOptions(max_size=_space_cap(args))
     alcop = AlcopCompiler(
         gpu=gpu, variant=args.variant, measurer=measurer, space_options=options
     ).compile(spec)
@@ -251,7 +256,7 @@ def _cmd_tune(args) -> int:
             "tune", attrs={"m": spec.m, "n": spec.n, "k": spec.k,
                            "method": args.method, "trials": args.trials}))
     try:
-        space = enumerate_space(spec, gpu, options=SpaceOptions(max_size=args.space))
+        space = enumerate_space(spec, gpu, options=SpaceOptions(max_size=_space_cap(args)))
         if args.fleet or args.fleet_endpoint:
             # Shard the full enumerated sweep across the fleet first; every
             # trial below (measurer.best and the tuner) is then a cache hit,
@@ -320,7 +325,7 @@ def _cmd_suite(args) -> int:
     t0 = time.perf_counter()
     gpu = _GPUS[args.gpu]
     measurer = _measurer(args, gpu)
-    options = SpaceOptions(max_size=args.space)
+    options = SpaceOptions(max_size=_space_cap(args))
     names = args.ops.split(",") if args.ops else list(OPERATOR_SUITE)
     events = []
     print(f"{'operator':16s} | {'TVM (us)':>9s} | {'ALCOP (us)':>10s} | {'speedup':>7s}")
@@ -384,7 +389,7 @@ def _cmd_check(args) -> int:
         print(f"unknown operator(s): {', '.join(unknown)}")
         print(f"available: {', '.join(OPERATOR_SUITE)}")
         return 2
-    options = SpaceOptions(max_size=args.space, launchable_only=True)
+    options = SpaceOptions(max_size=_space_cap(args), launchable_only=True)
     total_diags = 0
     total_kernels = 0
     for name in names:
@@ -746,7 +751,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="statically check pipeline synchronization over the workload suite",
     )
     p.add_argument("--gpu", choices=sorted(_GPUS), default="a100")
-    p.add_argument("--space", type=int, default=400, help="design-space cap (strided)")
+    p.add_argument("--space", type=int, default=400, help="design-space cap (strided; 0 = full space)")
     p.add_argument("--ops", default=None, help="comma-separated operator names")
     p.add_argument("--configs", type=int, default=4,
                    help="pipelined schedules checked per operator")

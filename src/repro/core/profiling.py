@@ -124,26 +124,42 @@ def collect(into: StageTimes) -> Iterator[StageTimes]:
                 break
 
 
-@contextlib.contextmanager
-def stage(name: str) -> Iterator[None]:
+class stage:
     """Time the enclosed block under ``name`` (no-op when nothing collects).
 
     When a tracer is active with an open span on this thread, the stage is
     also recorded as a child span (the observability bridge: per-stage
     compile timings appear in exported traces for free).
+
+    A slotted context-manager class rather than a generator: the
+    measurement hot path enters several stages per compiled config, and
+    the generator protocol's overhead is measurable at sweep scale.
     """
-    stack = _active()
-    traced = _trace.stage_active()
-    if not stack and not traced:
-        yield
-        return
-    t0 = time.perf_counter()
-    try:
-        yield
-    finally:
+
+    __slots__ = ("name", "_stack", "_traced", "_t0")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __enter__(self) -> None:
+        stack = getattr(_local, "stack", None)
+        if stack is None:
+            stack = _local.stack = []
+        self._traced = _trace.stage_active()
+        # The record/skip decision is taken at entry (matching the original
+        # generator implementation): a collector activated mid-block does
+        # not retroactively see this stage.
+        self._stack = stack if (stack or self._traced) else None
+        self._t0 = time.perf_counter() if self._stack is not None else 0.0
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        stack = self._stack
+        if stack is None:
+            return
+        t0 = self._t0
         t1 = time.perf_counter()
         dt = t1 - t0
         for collector in stack:
-            collector.add(name, dt)
-        if traced:
-            _trace.record_stage(name, t0, t1)
+            collector.add(self.name, dt)
+        if self._traced:
+            _trace.record_stage(self.name, t0, t1)

@@ -13,9 +13,18 @@ from __future__ import annotations
 import dataclasses
 from typing import Optional, Tuple
 
-from ..ir.analysis import enclosing_loops, loop_extent_int, walk_with_path
+from ..ir.analysis import loop_extent_int
 from ..ir.buffer import Scope
-from ..ir.stmt import Allocate, ComputeStmt, For, ForKind, Kernel, MemCopy
+from ..ir.stmt import (
+    Allocate,
+    ComputeStmt,
+    For,
+    ForKind,
+    IfThenElse,
+    Kernel,
+    MemCopy,
+    SeqStmt,
+)
 from ..schedule.config import TileConfig
 from ..tensor.operation import GemmSpec
 
@@ -68,12 +77,82 @@ class KernelTimingSpec:
             raise ValueError("kernel performs no compute; nothing to simulate")
 
 
-def _thread_multiplier(path: Tuple) -> int:
-    mult = 1
-    for loop in enclosing_loops(path):
-        if loop.kind is ForKind.THREAD:
-            mult *= loop_extent_int(loop)
-    return mult
+class _IRScan:
+    """One specialized pre-order traversal replacing the generic
+    ``walk_with_path`` loop: serial-loop depth, innermost serial loop and
+    the thread-loop extent product are carried down the recursion instead
+    of being recomputed from ancestor paths at every node. Visit order —
+    hence every accumulation order and error behavior — matches the
+    generic walk exactly; this is the measurement path's hottest read-only
+    pass, run once per sweep trial."""
+
+    __slots__ = (
+        "grid", "smem_bytes", "epilogue_bytes", "flops_chunk",
+        "smem_copies", "reg_copies",
+    )
+
+    def __init__(self) -> None:
+        self.grid = 1
+        self.smem_bytes = 0
+        self.epilogue_bytes = 0
+        self.flops_chunk = 0
+        # (depth, loop, bytes, swizzle, is_async) per shared copy;
+        # (depth, loop, bytes) per register copy. Prologue copies sit at a
+        # shallower serial depth than the main-loop copies (or outside any
+        # serial loop entirely) and are dropped in favour of the deepest
+        # level.
+        self.smem_copies = []
+        self.reg_copies = []
+
+    def scan(self, node, serial_depth: int, serial_loop, thread_mult: int) -> None:
+        if isinstance(node, SeqStmt):
+            for s in node.stmts:
+                self.scan(s, serial_depth, serial_loop, thread_mult)
+        elif isinstance(node, For):
+            kind = node.kind
+            if kind is ForKind.SERIAL:
+                self.scan(node.body, serial_depth + 1, node, thread_mult)
+                return
+            if kind is ForKind.BLOCK:
+                self.grid *= loop_extent_int(node)
+            elif kind is ForKind.THREAD:
+                thread_mult *= loop_extent_int(node)
+            self.scan(node.body, serial_depth, serial_loop, thread_mult)
+        elif isinstance(node, MemCopy):
+            scope = node.dst.buffer.scope
+            if scope is Scope.SHARED:
+                if serial_depth:  # depth 0 = hoisted prologue: pipeline fill
+                    self.smem_copies.append(
+                        (
+                            serial_depth,
+                            serial_loop,
+                            node.bytes,
+                            bool(node.annotations.get("swizzle", True)),
+                            node.is_async,
+                        )
+                    )
+            elif scope is Scope.REGISTER:
+                if serial_depth:
+                    self.reg_copies.append(
+                        (serial_depth, serial_loop, node.bytes * thread_mult)
+                    )
+            elif scope is Scope.GLOBAL:
+                # DRAM sees the *output* bytes (the accumulator is wider).
+                self.epilogue_bytes += node.dst.size_bytes * thread_mult
+        elif isinstance(node, ComputeStmt):
+            if node.flops > 0:
+                if not serial_depth:
+                    raise ValueError("compute statement outside any serial loop")
+                self.flops_chunk += node.flops * thread_mult
+        elif isinstance(node, Allocate):
+            if node.buffer.scope is Scope.SHARED:
+                self.smem_bytes += node.buffer.size_bytes
+            self.scan(node.body, serial_depth, serial_loop, thread_mult)
+        elif isinstance(node, IfThenElse):
+            self.scan(node.then_body, serial_depth, serial_loop, thread_mult)
+            if node.else_body is not None:
+                self.scan(node.else_body, serial_depth, serial_loop, thread_mult)
+        # PipelineSync and anything else without children: nothing to read.
 
 
 def extract_timing_spec(kernel: Kernel) -> KernelTimingSpec:
@@ -81,61 +160,24 @@ def extract_timing_spec(kernel: Kernel) -> KernelTimingSpec:
     spec: Optional[GemmSpec] = kernel.attrs.get("spec")
     config: Optional[TileConfig] = kernel.attrs.get("config")
 
-    grid = 1
     warps = 1
-    smem_bytes = 0
     outer_loop: Optional[For] = None
     inner_loop: Optional[For] = None
     smem_chunk = 0
     a_chunk = 0
     b_chunk = 0
     frag_bytes = 0
-    flops_chunk = 0
-    epilogue_bytes = 0
     swizzle = True
     async_smem = False
 
-    # (depth, loop, bytes, is_a_side, swizzle, is_async) per shared copy;
-    # (depth, loop, bytes) per register copy. Prologue copies sit at a
-    # shallower serial depth than the main-loop copies (or outside any
-    # serial loop entirely) and are dropped in favour of the deepest level.
-    smem_copies = []
-    reg_copies = []
-    for node, path in walk_with_path(kernel.body):
-        if isinstance(node, For):
-            if node.kind is ForKind.BLOCK:
-                grid *= loop_extent_int(node)
-        elif isinstance(node, Allocate):
-            if node.buffer.scope is Scope.SHARED:
-                smem_bytes += node.buffer.size_bytes
-        elif isinstance(node, MemCopy):
-            serial = [lp for lp in enclosing_loops(path) if lp.kind is ForKind.SERIAL]
-            if node.dst.buffer.scope is Scope.SHARED:
-                if not serial:
-                    continue  # hoisted prologue: accounted for by pipeline fill
-                smem_copies.append(
-                    (
-                        len(serial),
-                        serial[-1],
-                        node.bytes,
-                        bool(node.annotations.get("swizzle", True)),
-                        node.is_async,
-                    )
-                )
-            elif node.dst.buffer.scope is Scope.REGISTER:
-                if not serial:
-                    continue
-                reg_copies.append(
-                    (len(serial), serial[-1], node.bytes * _thread_multiplier(path))
-                )
-            elif node.dst.buffer.scope is Scope.GLOBAL:
-                # DRAM sees the *output* bytes (the accumulator is wider).
-                epilogue_bytes += node.dst.size_bytes * _thread_multiplier(path)
-        elif isinstance(node, ComputeStmt) and node.flops > 0:
-            serial = [lp for lp in enclosing_loops(path) if lp.kind is ForKind.SERIAL]
-            if not serial:
-                raise ValueError("compute statement outside any serial loop")
-            flops_chunk += node.flops * _thread_multiplier(path)
+    scan = _IRScan()
+    scan.scan(kernel.body, 0, None, 1)
+    grid = scan.grid
+    smem_bytes = scan.smem_bytes
+    epilogue_bytes = scan.epilogue_bytes
+    flops_chunk = scan.flops_chunk
+    smem_copies = scan.smem_copies
+    reg_copies = scan.reg_copies
 
     if not smem_copies:
         raise ValueError("kernel has no shared-memory load-and-use loop")
@@ -185,7 +227,10 @@ def extract_timing_spec(kernel: Kernel) -> KernelTimingSpec:
         threads = config.threads_per_block
         warps = config.warps_per_block
         # Register budget follows the *realized* stage counts in the IR.
-        effective = config.with_stages(smem_stages, reg_stages)
+        if config.smem_stages == smem_stages and config.reg_stages == reg_stages:
+            effective = config
+        else:
+            effective = config.with_stages(smem_stages, reg_stages)
         regs = effective.resource_usage(spec.dtype if spec else "float16").regs_per_thread
         m_tiles = (spec.m // config.block_m) if spec else 1
         n_tiles = (spec.n // config.block_n) if spec else 1

@@ -138,8 +138,27 @@ class TileConfig:
         return dataclasses.replace(self, smem_stages=smem_stages, reg_stages=reg_stages)
 
     def key(self) -> Tuple:
-        """Hashable identity used for caching compiled/simulated results."""
-        return dataclasses.astuple(self)
+        """Hashable identity used for caching compiled/simulated results.
+
+        Memoized on the (frozen, hot) instance: every cache layer on the
+        measurement path keys by it, and ``dataclasses.astuple`` is far too
+        slow to re-run per lookup.
+        """
+        k = getattr(self, "_key", None)
+        if k is None:
+            k = (
+                self.block_m,
+                self.block_n,
+                self.block_k,
+                self.warp_m,
+                self.warp_n,
+                self.chunk_k,
+                self.smem_stages,
+                self.reg_stages,
+                self.swizzle,
+            )
+            object.__setattr__(self, "_key", k)
+        return k
 
     def as_dict(self) -> Dict[str, object]:
         return dataclasses.asdict(self)

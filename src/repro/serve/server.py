@@ -917,5 +917,9 @@ class ReproServer:
                 "n_timeouts": telemetry.n_timeouts,
                 "disk_errors": telemetry.disk_errors,
             },
+            "incremental": (
+                self.measurer.engine.stats()
+                if self.measurer.engine is not None else None
+            ),
             "endpoints": {op: s.snapshot() for op, s in self._stats.items()},
         }

@@ -1,10 +1,22 @@
 """Pipelining program transformation (paper Sec. III) and companion
 passes: static bounds verification, unrolling, simplification."""
 
-from .analysis import BufferPlan, GroupPlan, PipelinePlan, TransformError, analyze
+from .analysis import (
+    BufferPlan,
+    GroupPlan,
+    PipelinePlan,
+    TransformError,
+    analyze,
+    instantiate_plan,
+)
 from .bounds import BoundsError, Interval, interval_of, verify_in_bounds
 from .cleanup import simplify_pass, unroll_pass
-from .pipeline_pass import PipelineGroupInfo, apply_pipelining
+from .pipeline_pass import (
+    PipelineGroupInfo,
+    RewriteCaches,
+    apply_pipelining,
+    transform_with_plan,
+)
 
 __all__ = [
     "BufferPlan",
@@ -12,6 +24,7 @@ __all__ = [
     "PipelinePlan",
     "TransformError",
     "analyze",
+    "instantiate_plan",
     "BoundsError",
     "Interval",
     "interval_of",
@@ -19,5 +32,7 @@ __all__ = [
     "simplify_pass",
     "unroll_pass",
     "PipelineGroupInfo",
+    "RewriteCaches",
     "apply_pipelining",
+    "transform_with_plan",
 ]

@@ -29,6 +29,7 @@ import dataclasses
 import math
 import threading
 import time
+from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .. import faults
@@ -41,6 +42,9 @@ from ..core.errors import (
     ReproError,
     WorkerCrash,
 )
+from ..core.incremental import IncrementalEngine
+from ..core.incremental import sort_key as _incremental_sort_key
+from ..obs import metrics as _metrics
 from ..gpusim.config import A100, GpuSpec
 from ..gpusim.engine import simulate_kernel
 from ..gpusim.spec import extract_timing_spec
@@ -55,6 +59,20 @@ __all__ = ["Measurer", "MeasureTelemetry", "MeasureFailure", "FAILED"]
 
 #: Latency recorded for configurations that fail to compile/launch.
 FAILED = math.inf
+
+#: LRU bound on the per-spec tensor-expression graph cache: one entry per
+#: distinct problem shape, so a long-lived serve daemon cycling many shapes
+#: holds at most this many graphs.
+TE_CACHE_MAX = 64
+
+_TE_EVICTIONS = _metrics.counter(
+    "repro_te_cache_evictions_total",
+    "Tensor-expression graphs evicted from a measurer's per-spec LRU",
+)
+_TE_SIZE_GAUGE = _metrics.gauge(
+    "repro_te_cache_entries",
+    "Tensor-expression graphs currently held by the newest measurer",
+)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -79,6 +97,16 @@ class MeasureTelemetry:
     stage_time_s: Tuple[Tuple[str, float], ...] = ()
     #: disk-cache write failures absorbed by degrading to memory-only
     disk_errors: int = 0
+    #: trials that reused a memoized schedule+lower base kernel
+    lower_cache_hits: int = 0
+    #: trials that built (and memoized) a new base kernel
+    lower_cache_misses: int = 0
+    #: pipelining transforms run by the incremental engine
+    transform_runs: int = 0
+    #: trials the engine handed back to the fresh path (no reuse evidence)
+    lower_cache_bypasses: int = 0
+    #: whether an incremental engine was attached at all
+    incremental: bool = False
 
     @property
     def n_measured(self) -> int:
@@ -101,10 +129,22 @@ class MeasureTelemetry:
         return out
 
     def profile_summary(self) -> str:
-        """Per-stage wall-clock breakdown of the compile+simulate path."""
+        """Per-stage wall-clock breakdown of the compile+simulate path,
+        with the incremental engine's stage-cache reuse next to it."""
         times = profiling.StageTimes()
         times.merge(dict(self.stage_time_s))
-        return times.summary()
+        out = times.summary()
+        if self.incremental:
+            served = self.lower_cache_hits + self.lower_cache_misses
+            reuse = 100.0 * self.lower_cache_hits / served if served else 0.0
+            out += (
+                f"\n  stage cache      {self.lower_cache_hits} hits / "
+                f"{self.lower_cache_misses} misses ({reuse:.0f}% reuse), "
+                f"{self.transform_runs} incremental transform(s)"
+            )
+            if self.lower_cache_bypasses:
+                out += f", {self.lower_cache_bypasses} bypassed"
+        return out
 
 
 @dataclasses.dataclass(frozen=True)
@@ -202,6 +242,13 @@ class Measurer:
         quarantined.
     backoff_s:
         Base of the exponential retry backoff (``backoff_s * 2**attempt``).
+    incremental:
+        Enable the incremental compile engine
+        (:class:`~repro.core.incremental.IncrementalEngine`): configs
+        sharing tile knobs reuse one memoized schedule+lower base kernel
+        and only re-run the pipelining transform. Outputs are
+        bitwise-identical to fresh builds. Defaults to ``via_ir`` (the
+        static-spec path has no IR stages to share).
     """
 
     def __init__(
@@ -213,6 +260,7 @@ class Measurer:
         trial_timeout_s: Optional[float] = None,
         retries: int = 2,
         backoff_s: float = 0.05,
+        incremental: Optional[bool] = None,
     ) -> None:
         self.gpu = gpu
         self.via_ir = via_ir
@@ -229,8 +277,20 @@ class Measurer:
         #: canonical tensor-expression graph per problem: building the
         #: placeholders + contraction is config-independent, so one graph
         #: serves every trial of a spec (auto_schedule never mutates it —
-        #: cache_read materializes new tensors).
-        self._te_cache: Dict[GemmSpec, Tensor] = {}
+        #: cache_read materializes new tensors). Bounded LRU
+        #: (:data:`TE_CACHE_MAX`) so a daemon cycling many shapes cannot
+        #: grow it without limit; evictions are counted.
+        self._te_cache: "OrderedDict[GemmSpec, Tensor]" = OrderedDict()
+        self.te_cache_evictions = 0
+        #: incremental compile engine (None = always compile fresh)
+        self.engine: Optional[IncrementalEngine] = (
+            IncrementalEngine()
+            if (via_ir if incremental is None else bool(incremental)) and via_ir
+            else None
+        )
+        # Newest measurer wins the process-wide size gauge (matching the
+        # engine's own gauge convention).
+        _TE_SIZE_GAUGE.set_function(lambda: len(self._te_cache))
         self.n_compiled = 0
         self.n_memory_hits = 0
         self.n_disk_hits = 0
@@ -269,6 +329,11 @@ class Measurer:
             n_pruned=self.n_pruned,
             stage_time_s=tuple(self.stage_times.ordered()),
             disk_errors=self.cache.disk_errors if self.cache is not None else 0,
+            lower_cache_hits=self.engine.hits if self.engine is not None else 0,
+            lower_cache_misses=self.engine.misses if self.engine is not None else 0,
+            transform_runs=self.engine.transform_runs if self.engine is not None else 0,
+            lower_cache_bypasses=self.engine.bypasses if self.engine is not None else 0,
+            incremental=self.engine is not None,
         )
 
     def _key(self, spec: GemmSpec, cfg: TileConfig) -> Tuple:
@@ -280,15 +345,24 @@ class Measurer:
 
     def _te_graph(self, spec: GemmSpec) -> Tensor:
         """The canonical (placeholder + contraction) graph for ``spec``,
-        built once and reused by every trial of the sweep."""
-        c = self._te_cache.get(spec)
-        if c is None:
-            a_shape = (spec.batch, spec.m, spec.k) if spec.batch > 1 else (spec.m, spec.k)
-            b_shape = (spec.batch, spec.n, spec.k) if spec.batch > 1 else (spec.n, spec.k)
-            a = placeholder("A", a_shape, dtype=spec.dtype)
-            b = placeholder("B", b_shape, dtype=spec.dtype)
-            c = contraction(a, b, spec)
+        built once per LRU residency and reused by every trial."""
+        with self._lock:
+            c = self._te_cache.get(spec)
+            if c is not None:
+                self._te_cache.move_to_end(spec)
+                return c
+        a_shape = (spec.batch, spec.m, spec.k) if spec.batch > 1 else (spec.m, spec.k)
+        b_shape = (spec.batch, spec.n, spec.k) if spec.batch > 1 else (spec.n, spec.k)
+        a = placeholder("A", a_shape, dtype=spec.dtype)
+        b = placeholder("B", b_shape, dtype=spec.dtype)
+        c = contraction(a, b, spec)
+        with self._lock:
             self._te_cache[spec] = c
+            self._te_cache.move_to_end(spec)
+            while len(self._te_cache) > TE_CACHE_MAX:
+                self._te_cache.popitem(last=False)
+                self.te_cache_evictions += 1
+                _TE_EVICTIONS.inc()
         return c
 
     def _build_timing_spec(self, spec: GemmSpec, cfg: TileConfig):
@@ -298,6 +372,11 @@ class Measurer:
         from ..transform import apply_pipelining
 
         c = self._te_graph(spec)
+        if self.engine is not None:
+            ts = self.engine.timing_spec(c, spec, cfg)
+            if ts is not None:
+                return ts
+            # engine declined (no reuse evidence for this tile key): fresh
         with profiling.stage("schedule"):
             sched = auto_schedule(c, cfg)
         with profiling.stage("lower"):
@@ -313,19 +392,33 @@ class Measurer:
         propagates for the recovery layer to classify."""
         t0 = time.perf_counter()
         try:
-            with faults.push_token(token), profiling.collect(self.stage_times):
-                faults.inject("compile")
-                try:
-                    ts = self._build_timing_spec(spec, cfg)
-                    with profiling.stage("simulate"):
-                        latency = simulate_kernel(ts, self.gpu).latency_us
-                except (CompileError, ValueError):
-                    latency = FAILED
-        finally:
+            # Ambient token only matters to fault injection; skip the
+            # context-manager round-trip on the (common) fault-free path.
+            if faults.active_plan() is None:
+                with profiling.collect(self.stage_times):
+                    try:
+                        ts = self._build_timing_spec(spec, cfg)
+                        with profiling.stage("simulate"):
+                            latency = simulate_kernel(ts, self.gpu).latency_us
+                    except (CompileError, ValueError):
+                        latency = FAILED
+            else:
+                with faults.push_token(token), profiling.collect(self.stage_times):
+                    faults.inject("compile")
+                    try:
+                        ts = self._build_timing_spec(spec, cfg)
+                        with profiling.stage("simulate"):
+                            latency = simulate_kernel(ts, self.gpu).latency_us
+                    except (CompileError, ValueError):
+                        latency = FAILED
+        except BaseException:
             dt = time.perf_counter() - t0
             with self._lock:
                 self.compile_time_s += dt
+            raise
+        dt = time.perf_counter() - t0
         with self._lock:
+            self.compile_time_s += dt
             self.n_compiled += 1
         return latency
 
@@ -384,10 +477,13 @@ class Measurer:
         """Serial (in-process) trial with bounded retry; crash-class
         exceptions become :data:`FAILED` + quarantine instead of aborting
         the sweep."""
-        token_base = _cfg_token(spec, cfg)
+        # The trial token exists solely for fault injection; don't pay for
+        # its construction per trial when no plan is active.
+        token_base = _cfg_token(spec, cfg) if faults.active_plan() is not None else ""
         for attempt in range(self.retries + 1):
             try:
-                latency = self._compile_and_time(spec, cfg, token=f"{token_base}#a{attempt}")
+                token = f"{token_base}#a{attempt}" if token_base else ""
+                latency = self._compile_and_time(spec, cfg, token=token)
                 self._record(key, spec, cfg, latency)
                 return
             except Exception as e:
@@ -616,6 +712,15 @@ class Measurer:
                 continue
             pending[key] = [i]
             order.append((key, cfg))
+        if self.engine is not None and len(order) > 1:
+            # Group uncached trials by shared schedule-key prefix so one
+            # memoized base kernel's reuse window is contiguous, and tell
+            # the engine which tile keys this batch repeats (so even their
+            # first trial goes through it). Results are merged back by key
+            # into input positions below, so the recorded latencies — and
+            # which configs are measured — are unchanged.
+            order.sort(key=lambda kc: _incremental_sort_key(kc[1]))
+            self.engine.note_batch(spec, [cfg for _, cfg in order])
         if order:
             if width <= 1 and self.trial_timeout_s is None:
                 for done, (key, cfg) in enumerate(order):

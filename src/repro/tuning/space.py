@@ -25,6 +25,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..gpusim.config import A100, GpuSpec
 from ..gpusim.occupancy import CompileError, check_launchable
+from ..obs import metrics as _metrics
 from ..schedule.config import TileConfig
 from ..tensor.operation import GemmSpec
 
@@ -73,6 +74,21 @@ _restrict_cache: "OrderedDict[Tuple[str, Tuple[TileConfig, ...]], Tuple[TileConf
     OrderedDict()
 )
 
+_SPACE_EVICTIONS = _metrics.counter(
+    "repro_space_cache_evictions_total",
+    "Entries evicted from the enumerate/restrict memo caches",
+)
+_ENUM_SIZE_GAUGE = _metrics.gauge(
+    "repro_space_enum_cache_entries",
+    "Design-space enumerations currently memoized",
+)
+_ENUM_SIZE_GAUGE.set_function(lambda: len(_enum_cache))
+_RESTRICT_SIZE_GAUGE = _metrics.gauge(
+    "repro_space_restrict_cache_entries",
+    "Variant sub-space restrictions currently memoized",
+)
+_RESTRICT_SIZE_GAUGE.set_function(lambda: len(_restrict_cache))
+
 
 def clear_space_caches() -> None:
     """Drop both memo caches (tests and long-lived sessions)."""
@@ -85,6 +101,7 @@ def _cache_put(cache: "OrderedDict", size: int, key, value) -> None:
     cache[key] = value
     while len(cache) > size:
         cache.popitem(last=False)
+        _SPACE_EVICTIONS.inc()
 
 
 def enumerate_space(

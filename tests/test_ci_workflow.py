@@ -267,3 +267,13 @@ def test_bench_smoke_records_compile_throughput(workflow):
     ]
     assert len(uploads) == 1, "the throughput JSON must be uploaded as an artifact"
     assert uploads[0]["with"]["path"] == "compile-throughput.json"
+
+
+def test_bench_smoke_checks_incremental_engine_fields(workflow):
+    """The throughput record must carry the incremental-engine fields and
+    prove the speedup was gated on the bitwise identity check — a silent
+    drop of either would let the engine regress (or cheat) unnoticed."""
+    cmds = "\n".join(job_commands(workflow["jobs"]["bench-smoke"]))
+    assert "'incremental_cold_configs_per_s' in r" in cmds
+    assert "'lower_reuse_ratio' in r" in cmds
+    assert "r['incremental_identity_checked'] is True" in cmds
